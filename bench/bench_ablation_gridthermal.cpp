@@ -1,0 +1,81 @@
+// Ablation: thermal-model fidelity — block (per-core) vs. grid (sub-core)
+// resolution.
+//
+// The run-time system reads one thermal sensor per core; the aging model
+// then uses that per-core temperature.  But NBTI is local: the hottest
+// functional unit on the critical path ages fastest.  This bench
+// quantifies the fidelity gap by comparing, for concentrated intra-core
+// power maps, (a) the block model's core temperature, (b) the grid
+// model's core average, and (c) the grid model's intra-core peak — and
+// translating the temperature differences into 10-year delay-factor
+// differences via Eq. (7).
+#include <cstdio>
+
+#include "aging/nbti_model.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/thermal_model.hpp"
+
+int main() {
+  using namespace hayat;
+
+  std::printf("=== Ablation: per-core vs. sub-core thermal resolution "
+              "===\n\n");
+
+  ThermalConfig base;
+  base.floorplan = FloorPlan(GridShape(8, 8), 1.70e-3, 1.75e-3);
+  const ThermalModel block(base);
+  GridThermalConfig gc;
+  gc.base = base;
+  gc.subdivision = 3;
+  const GridThermalModel grid(gc);
+
+  const NbtiModel nbti;
+  TextTable table({"power concentration", "block T [K]", "grid avg T [K]",
+                   "grid peak T [K]", "delay@10y (block)",
+                   "delay@10y (grid peak)", "aging underestimate [%]"});
+
+  // A 50%-dark checkerboard at 5 W per active core; concentration = the
+  // fraction of a core's power burned in ONE of its 9 sub-blocks (the
+  // rest spreads evenly) — 1/9 is uniform, 1.0 is a single hot unit.
+  for (double concentration : {1.0 / 9.0, 0.3, 0.5, 0.8, 1.0}) {
+    Vector corePower(64, 0.0);
+    Vector subPower(static_cast<std::size_t>(grid.subGrid().count()), 0.0);
+    for (int i = 0; i < 64; ++i) {
+      const TilePos p = GridShape(8, 8).posOf(i);
+      if ((p.row + p.col) % 2 != 0) continue;
+      corePower[static_cast<std::size_t>(i)] = 5.0;
+      const auto blocks = grid.coreSubBlocks(i);
+      const double hot = 5.0 * concentration;
+      const double rest = (5.0 - hot) / (static_cast<double>(blocks.size()) - 1);
+      for (std::size_t b = 0; b < blocks.size(); ++b)
+        subPower[static_cast<std::size_t>(blocks[b])] = b == 0 ? hot : rest;
+    }
+    const Vector blockT = block.steadyStateCoreTemperatures(corePower);
+    const Vector gridNodes = grid.steadyStateSubBlocks(subPower);
+    const Vector gridAvg = grid.coreTemperatures(gridNodes);
+    const Vector gridPeak = grid.corePeakTemperatures(gridNodes);
+
+    // Evaluate the hottest active core.
+    int hottest = 0;
+    for (int i = 0; i < 64; ++i)
+      if (gridPeak[static_cast<std::size_t>(i)] >
+          gridPeak[static_cast<std::size_t>(hottest)])
+        hottest = i;
+    const auto h = static_cast<std::size_t>(hottest);
+    const double dBlock = nbti.delayFactor(blockT[h], 0.6, 10.0);
+    const double dPeak = nbti.delayFactor(gridPeak[h], 0.6, 10.0);
+    table.addRow(formatDouble(concentration, 2),
+                 {blockT[h], gridAvg[h], gridPeak[h], dBlock, dPeak,
+                  100.0 * (dPeak - dBlock) / (dBlock - 1.0)},
+                 3);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: with power concentrated in one functional unit, "
+              "the per-core sensor\nunderestimates the critical path's "
+              "true aging — motivation for the paper's\nper-core delay "
+              "(not temperature) sensors, which measure the aged path "
+              "directly.\n");
+  return 0;
+}

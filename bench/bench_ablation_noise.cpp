@@ -1,0 +1,77 @@
+// Ablation: robustness of Hayat to aging-sensor measurement error.
+//
+// The paper assumes per-core aging sensors "like [9, 10]" (silicon
+// odometers) feed the health map.  Real sensors quantize and drift; this
+// ablation sweeps Gaussian noise on the measured delay factor (a 1.10
+// delay factor misread by sigma 0.01 is a ~1% frequency error) and
+// reports how much of Hayat's advantage over VAA survives.  Because
+// Eq. (9)'s matching term works on *relative* frequencies, moderate
+// sensor error should degrade the policy gracefully rather than
+// catastrophically.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/vaa.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace hayat;
+
+  int chips = 5;
+  if (const char* env = std::getenv("HAYAT_CHIPS"))
+    chips = std::max(1, std::atoi(env));
+
+  std::printf("=== Ablation: aging-sensor noise (50%% dark, %d chips) "
+              "===\n\n", chips);
+
+  const double sigmas[] = {0.0, 0.005, 0.01, 0.02, 0.05};
+  const SystemConfig sysConfig;
+
+  // VAA reference (ideal sensors) for the advantage column.
+  std::vector<double> vaaAvgF;
+  for (int c = 0; c < chips; ++c) {
+    System system = System::create(sysConfig, 2015, c);
+    LifetimeConfig lc;
+    lc.minDarkFraction = 0.5;
+    lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
+    VaaPolicy vaa;
+    vaaAvgF.push_back(
+        LifetimeSimulator(lc).run(system, vaa).epochs.back().averageFmax /
+        1e9);
+  }
+  const double vaaMean = mean(vaaAvgF);
+
+  TextTable table({"sensor sigma", "avg fmax@10y [GHz]",
+                   "chip fmax@10y [GHz]", "advantage over VAA [%]"});
+  for (double sigma : sigmas) {
+    std::vector<double> avgF, chipF;
+    for (int c = 0; c < chips; ++c) {
+      System system = System::create(sysConfig, 2015, c);
+      LifetimeConfig lc;
+      lc.minDarkFraction = 0.5;
+      lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
+      lc.healthSensorNoise.gaussianSigma = sigma;
+      HayatPolicy hayat;
+      const LifetimeResult r = LifetimeSimulator(lc).run(system, hayat);
+      avgF.push_back(r.epochs.back().averageFmax / 1e9);
+      chipF.push_back(r.epochs.back().chipFmax / 1e9);
+    }
+    table.addRow(formatDouble(sigma, 3),
+                 {mean(avgF), mean(chipF),
+                  100.0 * (mean(avgF) - vaaMean) / vaaMean},
+                 3);
+    std::fprintf(stderr, "[noise] sigma=%.3f done\n", sigma);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("VAA reference (ideal sensors): avg fmax@10y %.3f GHz.\n"
+              "Expected: graceful degradation — Hayat's advantage shrinks "
+              "with sensor error\nbut does not invert for realistic "
+              "sigmas (silicon odometers resolve <1%%).\n",
+              vaaMean);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: the two terms of the Eq. (9) weighting function.
+//
+// Section V calibrates (alpha, beta) for the early- and late-aging
+// regimes.  This ablation isolates each term's contribution by running
+// the full lifetime experiment with
+//
+//   paper       — the Section V schedule (early -> late switch at 3 yr)
+//   match-only  — beta = 0: pure frequency matching, no health feedback
+//   health-only — alpha ~ 0: pure health balancing, no fast-core
+//                 preservation
+//   late-always — the late-aging coefficients from year 0
+//
+// and reporting chip-fmax preservation (what matching buys), the average
+// fmax (what balancing buys), and DTM events.
+#include <cstdio>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace hayat;
+
+  int chips = 5;
+  if (const char* env = std::getenv("HAYAT_CHIPS"))
+    chips = std::max(1, std::atoi(env));
+
+  std::printf("=== Ablation: Eq. (9) weighting coefficients (%d chips, "
+              "25%% and 50%% dark) ===\n\n",
+              chips);
+
+  struct Variant {
+    std::string name;
+    HayatConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper", HayatConfig{}});
+  {
+    HayatConfig c;
+    c.earlyBeta = 0.0;
+    c.lateBeta = 0.0;
+    variants.push_back({"match-only", c});
+  }
+  {
+    HayatConfig c;
+    c.earlyAlphaGHz = 1e-6;
+    c.lateAlphaGHz = 1e-6;
+    variants.push_back({"health-only", c});
+  }
+  {
+    HayatConfig c;
+    c.lateAgingOnset = 0.0;  // late coefficients from the start
+    variants.push_back({"late-always", c});
+  }
+
+  TextTable table({"variant", "dark", "chip fmax@10y [GHz]",
+                   "avg fmax@10y [GHz]", "DTM events", "Tavg-amb [K]"});
+
+  const SystemConfig sysConfig;
+  for (double dark : {0.25, 0.50}) {
+    for (const Variant& v : variants) {
+      std::vector<double> chipF, avgF, events, tavg;
+      for (int c = 0; c < chips; ++c) {
+        System system = System::create(sysConfig, 2015, c);
+        LifetimeConfig lc;
+        lc.minDarkFraction = dark;
+        lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
+        const LifetimeSimulator sim(lc);
+        HayatPolicy policy(v.config);
+        const LifetimeResult r = sim.run(system, policy);
+        chipF.push_back(r.epochs.back().chipFmax / 1e9);
+        avgF.push_back(r.epochs.back().averageFmax / 1e9);
+        events.push_back(static_cast<double>(r.totalDtmEvents()));
+        tavg.push_back(
+            r.averageTemperatureOverAmbient(sysConfig.thermal.ambient));
+      }
+      table.addRow(v.name + std::string(dark == 0.25 ? " @25%" : " @50%"),
+                   {dark, mean(chipF), mean(avgF), mean(events), mean(tavg)},
+                   3);
+      std::fprintf(stderr, "[ablation] %s @%.0f%% done\n", v.name.c_str(),
+                   100 * dark);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Interpretation: at 50%% dark the scenarios are thermally easy and "
+      "all variants\ncoincide.  At 25%% dark the health term carries most "
+      "of the benefit in this\nreproduction — fast silicon is leaky "
+      "silicon, so health-seeking avoids (and\nthereby preserves) the "
+      "fast cores on its own; the matching term's contribution\nis "
+      "keeping deadline-critical capacity available, which these "
+      "throughput-only\nmixes do not exercise.  See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Reproduces Fig. 11.
+//
+// Left: aged per-core frequency maps of VAA vs. Hayat for an example 8x8
+// chip after 10 years at 50% dark silicon.
+//
+// Right: average fmax over 10 years, four series — {VAA, Hayat} x
+// {25%, 50% dark} — averaged across the chip population, plus the
+// lifetime-extension readout: "Hayat improves the lifetime by 3 months if
+// the required lifetime is 3 years ... improved significantly to 2x if
+// the required lifetime is 10 years."
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/vaa.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/system.hpp"
+#include "sweep.hpp"
+
+namespace {
+
+using namespace hayat;
+using namespace hayat::bench;
+
+/// Population-mean trajectory for a (policy, dark) selection [GHz].
+std::vector<double> meanTrajectory(const std::vector<SweepRow>& sel) {
+  std::size_t epochs = 0;
+  for (const SweepRow& r : sel)
+    epochs = std::max(epochs, r.avgFmaxByEpoch.size());
+  std::vector<double> out(epochs, 0.0);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    double acc = 0.0;
+    int n = 0;
+    for (const SweepRow& r : sel) {
+      if (e < r.avgFmaxByEpoch.size()) {
+        acc += r.avgFmaxByEpoch[e] / 1e9;
+        ++n;
+      }
+    }
+    out[e] = acc / std::max(1, n);
+  }
+  return out;
+}
+
+/// Years until a stepwise trajectory (value after each epoch) drops below
+/// `threshold`; returns the horizon if it never does.
+double yearsUntilBelow(const std::vector<double>& trajectory, double f0,
+                       double threshold, double epochLength) {
+  double prev = f0;
+  double prevYear = 0.0;
+  for (std::size_t e = 0; e < trajectory.size(); ++e) {
+    const double year = (static_cast<double>(e) + 1.0) * epochLength;
+    if (trajectory[e] < threshold) {
+      if (prev <= threshold) return prevYear;
+      const double frac = (prev - threshold) / (prev - trajectory[e]);
+      return prevYear + frac * (year - prevYear);
+    }
+    prev = trajectory[e];
+    prevYear = year;
+  }
+  return prevYear;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 11 (left): aged frequency maps after 10 years, "
+              "example chip, 50%% dark ===\n\n");
+  const SweepConfig config = sweepConfigFromEnv();
+  const auto rows = runSweep(config);
+
+  // Example chip maps: re-run chip 0 directly to recover per-core maps
+  // (the sweep cache only stores aggregates).
+  {
+    const SystemConfig sysConfig;
+    System system = System::create(sysConfig, config.populationSeed, 0);
+    const GridShape grid = system.chip().grid();
+    for (const char* which : {"VAA", "Hayat"}) {
+      system.resetHealth();
+      LifetimeConfig lc;
+      lc.horizon = config.horizon;
+      lc.epochLength = config.epochLength;
+      lc.minDarkFraction = 0.5;
+      lc.workloadSeed = config.workloadSeed;
+      const LifetimeSimulator sim(lc);
+      std::unique_ptr<MappingPolicy> policy;
+      if (std::string(which) == "VAA")
+        policy = std::make_unique<VaaPolicy>();
+      else
+        policy = std::make_unique<HayatPolicy>();
+      const LifetimeResult r = sim.run(system, *policy);
+      std::vector<double> ghz;
+      for (double f : r.finalFmax) ghz.push_back(f / 1e9);
+      std::printf("%s aged frequencies [GHz]:\n%s\n", which,
+                  renderHeatmap(grid, ghz, 2).c_str());
+    }
+  }
+
+  std::printf("=== Fig. 11 (right): average fmax over the lifetime "
+              "[GHz] ===\n\n");
+  const auto v25 = meanTrajectory(select(rows, "VAA", 0.25));
+  const auto v50 = meanTrajectory(select(rows, "VAA", 0.50));
+  const auto h25 = meanTrajectory(select(rows, "Hayat", 0.25));
+  const auto h50 = meanTrajectory(select(rows, "Hayat", 0.50));
+
+  double f0 = 0.0;
+  {
+    std::vector<double> inits;
+    for (const SweepRow& r : rows) inits.push_back(r.avgFmax0 / 1e9);
+    f0 = mean(inits);
+  }
+
+  TextTable series({"year", "VAA 25%", "Hayat 25%", "VAA 50%", "Hayat 50%"});
+  series.addRow("0.00", {f0, f0, f0, f0}, 3);
+  const std::size_t stride = std::max<std::size_t>(1, v50.size() / 20);
+  for (std::size_t e = 0; e < v50.size(); e += stride) {
+    const double year = (static_cast<double>(e) + 1.0) * config.epochLength;
+    series.addRow(formatDouble(year, 2),
+                  {e < v25.size() ? v25[e] : v25.back(),
+                   e < h25.size() ? h25[e] : h25.back(), v50[e], h50[e]},
+                  3);
+  }
+  std::printf("%s\n", series.render().c_str());
+
+  // Lifetime extension: for a required lifetime L, take VAA@50%'s average
+  // frequency at L as the service floor; Hayat's lifetime is when its
+  // curve reaches that floor.  When Hayat's curve never reaches the floor
+  // within the simulated horizon, the extension is reported as a lower
+  // bound (extrapolating the t^(1/6) law decades out would not be
+  // meaningful).
+  std::printf("Lifetime extension (50%% dark): floor = VAA average fmax at "
+              "the required lifetime\n");
+  for (double required : {3.0, config.horizon}) {
+    if (required > config.horizon) continue;
+    const auto idx = static_cast<std::size_t>(required / config.epochLength);
+    const double floor = v50[std::min(idx, v50.size()) - 1];
+    const double hayatLife =
+        yearsUntilBelow(h50, f0, floor, config.epochLength);
+    if (hayatLife >= config.horizon - 1e-9 && h50.back() > floor) {
+      if (required >= config.horizon - 1e-9) {
+        std::printf("  required %.0f yr: Hayat ends the %.0f-yr horizon "
+                    "%.3f GHz above VAA's floor; the crossing lies beyond "
+                    "the simulated range\n",
+                    required, config.horizon, h50.back() - floor);
+      } else {
+        std::printf("  required %.0f yr: VAA reaches the floor at %.2f yr; "
+                    "Hayat stays above it through the %.0f-yr horizon "
+                    "-> >= +%.0f months (>= %.1fx)\n",
+                    required, required, config.horizon,
+                    (config.horizon - required) * 12.0,
+                    config.horizon / required);
+      }
+    } else {
+      std::printf("  required %.0f yr: VAA reaches the floor at %.2f yr, "
+                  "Hayat at %.2f yr -> +%.0f months (%.2fx)\n",
+                  required, required, hayatLife,
+                  (hayatLife - required) * 12.0, hayatLife / required);
+    }
+  }
+  std::printf("Paper: +3 months at a 3-year requirement, ~2x at 10 years.\n"
+              "(Our reproduction separates the curves more strongly than "
+              "the paper, so the\nextension saturates the simulated "
+              "horizon; see EXPERIMENTS.md.)\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Reproduces the Section VI overhead discussion with google-benchmark
+// micro-timings:
+//
+//   "estimateNextHealth": ~10 us        (per-core table lookup)
+//   "predictTemperature": ~25 us        (candidate thermal prediction)
+//   worst case per decision: ~1.6 ms    (one Algorithm-1 thread placement)
+//   epoch-level health-map estimate: 1-10 s each 3-6 months (here: the
+//   full chip health-map estimation, which is far below that bound at
+//   this chip size)
+#include <benchmark/benchmark.h>
+
+#include "core/hayat_policy.hpp"
+#include "core/system.hpp"
+#include "runtime/health_estimator.hpp"
+#include "runtime/thermal_predictor.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace hayat;
+
+struct BenchSetup {
+  BenchSetup()
+      : system(System::create(SystemConfig{}, 2015)),
+        predictor(system.thermal(), system.leakage()),
+        estimator(system.chip().agingTable(), DutyPolicy::Known) {
+    Rng rng(7);
+    mix = ParsecLikeSuite::makeMix(rng, 32, 3.0e9);
+    const int n = system.chip().coreCount();
+    Vector dyn(static_cast<std::size_t>(n), 0.0);
+    std::vector<bool> on(static_cast<std::size_t>(n), false);
+    for (int i = 0; i < n; i += 2) {
+      dyn[static_cast<std::size_t>(i)] = 3.0;
+      on[static_cast<std::size_t>(i)] = true;
+    }
+    baseline = predictor.makeBaseline(dyn, on);
+    // A representative partially-aged core state.
+    aged = CoreAgingState::fromDelayFactor(1.06);
+  }
+
+  System system;
+  ThermalPredictor predictor;
+  HealthEstimator estimator;
+  WorkloadMix mix;
+  ThermalPredictor::Baseline baseline;
+  CoreAgingState aged;
+};
+
+BenchSetup& setup() {
+  static BenchSetup s;
+  return s;
+}
+
+/// Section VI: "estimateNextHealth: 10 us".
+void BM_EstimateNextHealth(benchmark::State& state) {
+  BenchSetup& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.estimator.estimateNextHealth(s.aged, 352.7, 0.63, 0.25));
+  }
+}
+BENCHMARK(BM_EstimateNextHealth);
+
+/// Section VI: "predictTemperature: 25 us" (per candidate evaluation).
+void BM_PredictTemperature(benchmark::State& state) {
+  BenchSetup& s = setup();
+  int core = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.predictor.predictWithCandidate(s.baseline, core, 3.7));
+    core = (core + 2) % s.system.chip().coreCount();
+  }
+}
+BENCHMARK(BM_PredictTemperature);
+
+/// Full thermal-profile prediction (superposition + leakage correction).
+void BM_PredictFullProfile(benchmark::State& state) {
+  BenchSetup& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.predictor.predict(s.baseline.dynamicPower, s.baseline.poweredOn));
+  }
+}
+BENCHMARK(BM_PredictFullProfile);
+
+/// Section VI: "In the worst case, 1.6 ms can be required in total" for a
+/// new-application decision — one full Algorithm-1 mapping pass.
+void BM_HayatFullMapping(benchmark::State& state) {
+  BenchSetup& s = setup();
+  HayatPolicy hayat;
+  PolicyContext ctx;
+  ctx.chip = &s.system.chip();
+  ctx.thermal = &s.system.thermal();
+  ctx.leakage = &s.system.leakage();
+  ctx.mix = &s.mix;
+  ctx.minDarkFraction = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hayat.map(ctx));
+  }
+}
+BENCHMARK(BM_HayatFullMapping)->Unit(benchmark::kMillisecond);
+
+/// Section VI's mid-epoch decision: a new application arrives and only
+/// its threads are placed into the running mapping ("In the worst case,
+/// 1.6 ms can be required in total").
+void BM_HayatPlaceApplication(benchmark::State& state) {
+  BenchSetup& s = setup();
+  HayatPolicy hayat;
+  PolicyContext ctx;
+  ctx.chip = &s.system.chip();
+  ctx.thermal = &s.system.thermal();
+  ctx.leakage = &s.system.leakage();
+  ctx.mix = &s.mix;
+  ctx.minDarkFraction = 0.5;
+  // Everything but the last application is already running.
+  WorkloadMix running = s.mix;
+  running.applications.pop_back();
+  Mapping existing(s.system.chip().coreCount());
+  {
+    PolicyContext runningCtx = ctx;
+    runningCtx.mix = &running;
+    existing = hayat.map(runningCtx);
+  }
+  const int arriving = static_cast<int>(s.mix.applications.size()) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hayat.placeApplication(ctx, existing, arriving));
+  }
+}
+BENCHMARK(BM_HayatPlaceApplication)->Unit(benchmark::kMillisecond);
+
+/// Epoch-boundary health-map estimation for the whole chip (Section VI:
+/// "about 1-10 seconds each 3 or 6 months" on the authors' setup).
+void BM_EpochHealthMapEstimate(benchmark::State& state) {
+  BenchSetup& s = setup();
+  const int n = s.system.chip().coreCount();
+  const std::vector<double> temps(static_cast<std::size_t>(n), 345.0);
+  const std::vector<double> duty(static_cast<std::size_t>(n), 0.55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.estimator.estimateNextHealthMap(
+        s.system.chip().health(), temps, duty, 0.25));
+  }
+}
+BENCHMARK(BM_EpochHealthMapEstimate)->Unit(benchmark::kMicrosecond);
+
+/// Offline start-up effort: 3D aging-table generation for one chip.
+void BM_AgingTableGeneration(benchmark::State& state) {
+  Rng rng(3);
+  const CorePathSet paths = CorePathSet::synthesize(rng, 6, 24);
+  const NbtiModel nbti;
+  for (auto _ : state) {
+    const AgingTable table(nbti, paths);
+    benchmark::DoNotOptimize(table.delayFactor(350.0, 0.5, 5.0));
+  }
+}
+BENCHMARK(BM_AgingTableGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// DCM explorer: compares Dark Core Map shapes thermally and in aging.
+//
+// Section II's analysis in miniature: take one chip and one workload and
+// evaluate four DCM strategies at 50% dark silicon —
+//   contiguous   (the Fig. 2(a) dense block),
+//   spread       (checkerboard),
+//   random       (arbitrary placement),
+//   hayat        (the variation/temperature-optimized map Algorithm 1
+//                 picks)
+// — reporting the steady-state thermal profile and the one-year health
+// outcome of each.  Demonstrates the ThermalPredictor, the coupled power
+// solve, and the health estimator as standalone tools.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/system.hpp"
+#include "power/thermal_coupling.hpp"
+#include "runtime/health_estimator.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace hayat;
+
+/// Assigns the mix's threads round-robin onto the lit cores of a DCM.
+Mapping mapOntoDcm(const Chip& chip, const DarkCoreMap& dcm,
+                   const WorkloadMix& mix) {
+  std::vector<int> lit;
+  for (int i = 0; i < chip.coreCount(); ++i)
+    if (dcm.isOn(i)) lit.push_back(i);
+  const auto k = chooseParallelism(mix, static_cast<int>(lit.size()));
+  const auto threads = runnableThreads(mix, k);
+  Mapping m(chip.coreCount());
+  std::size_t next = 0;
+  for (const RunnableThread& t : threads) {
+    const int core = lit[next++ % lit.size()];
+    m.assign(t.ref, core, std::min(t.minFrequency, chip.currentFmax(core)),
+             t.minFrequency);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hayat;
+
+  SystemConfig config;
+  System system = System::create(config, /*populationSeed=*/7);
+  Chip& chip = system.chip();
+  const GridShape grid = chip.grid();
+  const int half = grid.count() / 2;
+
+  Rng rng(11);
+  const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, half, 3.0e9);
+
+  // Candidate DCMs.
+  std::vector<std::pair<std::string, DarkCoreMap>> dcms;
+  dcms.emplace_back("contiguous", DarkCoreMap::contiguous(grid, half));
+  dcms.emplace_back("spread", DarkCoreMap::spread(grid, half));
+  {
+    DarkCoreMap random(grid);
+    Rng r(3);
+    int placed = 0;
+    while (placed < half) {
+      const int c = r.uniformInt(grid.count());
+      if (!random.isOn(c)) {
+        random.setOn(c, true);
+        ++placed;
+      }
+    }
+    dcms.emplace_back("random", random);
+  }
+  {
+    HayatPolicy hayat;
+    PolicyContext ctx;
+    ctx.chip = &chip;
+    ctx.thermal = &system.thermal();
+    ctx.leakage = &system.leakage();
+    ctx.mix = &mix;
+    ctx.minDarkFraction = 0.5;
+    dcms.emplace_back("hayat", hayat.map(ctx).toDarkCoreMap(grid));
+  }
+
+  const HealthEstimator estimator(chip.agingTable(), DutyPolicy::Known);
+  TextTable table({"DCM", "Tpeak [K]", "Tavg [K]", "min health@1y",
+                   "avg health@1y"});
+
+  for (const auto& [name, dcm] : dcms) {
+    const Mapping m = mapOntoDcm(chip, dcm, mix);
+    const int n = chip.coreCount();
+    std::vector<bool> on(static_cast<std::size_t>(n));
+    std::vector<double> duty(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      on[static_cast<std::size_t>(i)] = m.coreBusy(i);
+      if (const auto& slot = m.onCore(i); slot.has_value()) {
+        duty[static_cast<std::size_t>(i)] =
+            mix.applications[static_cast<std::size_t>(slot->ref.app)]
+                .thread(slot->ref.thread)
+                .averageDuty();
+      }
+    }
+    const CoupledOperatingPoint op = solveCoupledSteadyState(
+        system.thermal(), system.leakage(),
+        m.averageDynamicPower(mix, 3.0e9), on);
+
+    const auto health = estimator.estimateNextHealthMap(
+        chip.health(), op.coreTemperatures, duty, /*epochYears=*/1.0);
+
+    table.addRow(name,
+                 {maxOf(op.coreTemperatures), mean(op.coreTemperatures),
+                  minOf(health), mean(health)},
+                 3);
+
+    std::printf("%s DCM ('#' = powered):\n%s\n", name.c_str(),
+                renderBoolMap(grid, dcm.flags()).c_str());
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Takeaway (Section II): spread/optimized DCMs run cooler and\n"
+              "age slower than the contiguous block; Hayat's map also\n"
+              "accounts for which cores are worth preserving.\n");
+  return 0;
+}

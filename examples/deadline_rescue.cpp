@@ -1,0 +1,78 @@
+// Deadline rescue: why preserving high-frequency cores matters.
+//
+// Section II: "it may be beneficial to not to age some of the
+// high-frequency cores (if possible considering tasks' deadline) as they
+// should only be used to fulfill the deadline constraints of a critical
+// (single-threaded) application."
+//
+// Scenario: a chip is managed for several years, then a deadline-critical
+// single-threaded application arrives that needs a core faster than the
+// chip's nominal frequency.  Under Hayat's Eq. (9) frequency matching the
+// fastest cores stayed dark (or lightly used) and can still serve the
+// deadline; under aging-blind management they have degraded with the
+// rest of the chip and the deadline is missed.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/simple_policies.hpp"
+#include "baselines/vaa.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace hayat;
+
+  const SystemConfig config;
+  System system = System::create(config, /*populationSeed=*/2015);
+
+  // The critical application's requirement: 95% of the chip's best
+  // *initial* frequency — only a barely-aged fast core can serve it.
+  const Hertz deadline = 0.95 * system.chip().chipFmax();
+  std::printf("Chip's fastest core at year 0: %.3f GHz\n",
+              toGigahertz(system.chip().chipFmax()));
+  std::printf("Deadline-critical app needs:   %.3f GHz\n\n",
+              toGigahertz(deadline));
+
+  TextTable table({"management policy", "fastest core after 8 yr [GHz]",
+                   "cores meeting deadline", "deadline met?"});
+
+  struct Entry {
+    const char* label;
+    std::unique_ptr<MappingPolicy> policy;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"Hayat", std::make_unique<HayatPolicy>()});
+  entries.push_back({"VAA", std::make_unique<VaaPolicy>()});
+  entries.push_back(
+      {"CoolestFirst (aging-blind)", std::make_unique<CoolestFirstPolicy>()});
+
+  for (Entry& e : entries) {
+    system.resetHealth();
+    LifetimeConfig lc;
+    lc.horizon = 8.0;
+    lc.minDarkFraction = 0.5;
+    lc.workloadSeed = 99;
+    const LifetimeSimulator sim(lc);
+    sim.run(system, *e.policy);
+
+    const Chip& chip = system.chip();
+    int meeting = 0;
+    for (int i = 0; i < chip.coreCount(); ++i)
+      if (chip.currentFmax(i) >= deadline) ++meeting;
+    table.addRow({e.label, formatDouble(toGigahertz(chip.chipFmax()), 3),
+                  std::to_string(meeting),
+                  chip.chipFmax() >= deadline ? "YES" : "no"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Hayat's frequency-matching term (Eq. 9) kept the fast "
+              "cores' health intact for\nexactly this moment; policies "
+              "that spend all cores evenly cannot recover the\nlost "
+              "headroom — guardbanding at design time would have cost "
+              "~20%% frequency for\neveryone instead (Section I).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Lifetime study: VAA vs. Hayat on one chip over a 10-year horizon.
+//
+// Reproduces the single-chip view behind Fig. 11 (left): both policies
+// run on *identical silicon* under *identical workload sequences*, at 25%
+// and 50% minimum dark silicon, and the study reports DTM activity,
+// temperatures, and the aged frequency maps after 10 years.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/vaa.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace hayat;
+
+  SystemConfig config;
+  System system = System::create(config, /*populationSeed=*/42);
+  const Kelvin ambient = config.thermal.ambient;
+
+  TextTable table({"policy", "dark", "DTM events", "migr", "throttle",
+                   "Tavg-amb [K]", "Tpeak [K]", "chip fmax@10y [GHz]",
+                   "avg fmax@10y [GHz]"});
+
+  std::vector<Hertz> mapsHayat50, mapsVaa50;
+  for (double dark : {0.25, 0.50}) {
+    LifetimeConfig lc;
+    lc.minDarkFraction = dark;
+    lc.workloadSeed = 99;
+    const LifetimeSimulator sim(lc);
+
+    for (int which = 0; which < 2; ++which) {
+      system.resetHealth();
+      std::unique_ptr<MappingPolicy> policy;
+      if (which == 0)
+        policy = std::make_unique<VaaPolicy>();
+      else
+        policy = std::make_unique<HayatPolicy>();
+
+      const LifetimeResult r = sim.run(system, *policy);
+
+      double peak = 0.0;
+      for (const EpochRecord& e : r.epochs) peak = std::max(peak, e.chipPeak);
+      table.addRow(
+          {policy->name() + (dark == 0.25 ? " (25%)" : " (50%)"),
+           formatDouble(dark, 2), std::to_string(r.totalDtmEvents()),
+           std::to_string(r.totalMigrations()),
+           std::to_string(r.totalDtmEvents() - r.totalMigrations()),
+           formatDouble(r.averageTemperatureOverAmbient(ambient), 2),
+           formatDouble(peak, 1),
+           formatDouble(toGigahertz(r.epochs.back().chipFmax), 3),
+           formatDouble(toGigahertz(r.epochs.back().averageFmax), 3)});
+
+      if (dark == 0.50) {
+        if (which == 0)
+          mapsVaa50 = r.finalFmax;
+        else
+          mapsHayat50 = r.finalFmax;
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const GridShape grid = system.chip().grid();
+  auto toGhz = [](std::vector<Hertz> v) {
+    for (double& x : v) x /= 1e9;
+    return v;
+  };
+  std::printf("Aged frequency map after 10 years, VAA @50%% dark [GHz]:\n%s\n",
+              renderHeatmap(grid, toGhz(mapsVaa50), 2).c_str());
+  std::printf("Aged frequency map after 10 years, Hayat @50%% dark [GHz]:\n%s",
+              renderHeatmap(grid, toGhz(mapsHayat50), 2).c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a chip, run one aging epoch under Hayat, inspect the
+// results.
+//
+// This walks the full public API surface in ~100 lines:
+//   1. configure and create a System (chip + thermal + leakage models),
+//   2. generate a Parsec-like workload mix,
+//   3. ask the Hayat policy for a thread-to-core mapping,
+//   4. run the fine-grained epoch window (DTM, leakage coupling),
+//   5. advance the health map and print the chip state.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/system.hpp"
+#include "runtime/epoch.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace hayat;
+
+  // 1. A default System reproduces the paper's setup: 8x8 cores of
+  //    1.70 x 1.75 mm^2, 3 GHz nominal @ 1.13 V, ~30-35% frequency
+  //    variation, Tsafe = 95 C.
+  SystemConfig config;
+  System system = System::create(config, /*populationSeed=*/2015);
+  Chip& chip = system.chip();
+
+  Hertz slowest = chip.initialFmax(0);
+  for (int i = 1; i < chip.coreCount(); ++i)
+    slowest = std::min(slowest, chip.initialFmax(i));
+  std::printf("Chip: %dx%d cores, fmax %.2f-%.2f GHz (spread %.0f%%)\n",
+              chip.grid().rows(), chip.grid().cols(), toGigahertz(slowest),
+              toGigahertz(chip.chipFmax()),
+              100.0 * frequencySpread(chip.variation()));
+
+  // 2. Workload: a mix sized for 50% dark silicon (32 of 64 cores).
+  Rng rng(7);
+  const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, 32, 3.0e9);
+  std::printf("Mix: %zu applications, %d threads max\n",
+              mix.applications.size(), mix.totalMaxThreads());
+  for (const Application& app : mix.applications)
+    std::printf("  - %-14s K=%d\n", app.name().c_str(), app.maxThreads());
+
+  // 3. The Hayat mapping for this epoch.
+  HayatPolicy hayat;
+  PolicyContext ctx;
+  ctx.chip = &chip;
+  ctx.thermal = &system.thermal();
+  ctx.leakage = &system.leakage();
+  ctx.mix = &mix;
+  ctx.minDarkFraction = 0.5;
+  const Mapping mapping = hayat.map(ctx);
+  std::printf("\nDark Core Map chosen by Hayat ('#' = powered):\n%s",
+              renderBoolMap(chip.grid(),
+                            mapping.toDarkCoreMap(chip.grid()).flags())
+                  .c_str());
+
+  // 4. Fine-grained window: transient thermals + DTM + leakage coupling.
+  EpochSimulator epochSim(chip, system.thermal(), system.leakage(),
+                          config.epoch);
+  const EpochResult window = epochSim.run(mapping, mix);
+  std::printf("\nWindow: peak %.1f K, mean %.1f K, DTM events %ld\n",
+              window.chipPeak, window.chipTimeAverage, window.dtm.events());
+  std::printf("Steady-state core temperatures [K]:\n%s",
+              renderHeatmap(chip.grid(), window.averageTemperature, 1)
+                  .c_str());
+
+  // 5. Upscale the window to a 3-month epoch and age the chip.
+  for (int i = 0; i < chip.coreCount(); ++i) {
+    chip.health().advance(
+        i, chip.agingTable(),
+        window.peakTemperature[static_cast<std::size_t>(i)],
+        window.duty[static_cast<std::size_t>(i)], /*duration=*/0.25);
+  }
+  std::printf("\nHealth after one 3-month epoch (1.0 = un-aged):\n%s",
+              renderHeatmap(chip.grid(), chip.health().healthAll(), 4)
+                  .c_str());
+  std::printf("Chip fmax %.3f GHz, average fmax %.3f GHz\n",
+              toGigahertz(chip.chipFmax()),
+              toGigahertz(chip.averageFmax()));
+  return 0;
+}

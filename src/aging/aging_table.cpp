@@ -1,0 +1,87 @@
+#include "aging/aging_table.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+
+/// Age axis with dense sampling at small ages where y^(1/6) is steep.
+Axis makeAgeAxis(Years maxAge) {
+  std::vector<double> pts = {0.0,  0.05, 0.125, 0.25, 0.5, 1.0, 2.0,
+                             3.0,  5.0,  7.5,   10.0, 15.0};
+  std::vector<double> axis;
+  for (double p : pts)
+    if (p < maxAge) axis.push_back(p);
+  axis.push_back(maxAge * 0.5 > axis.back() ? maxAge * 0.5 : axis.back() + 1.0);
+  axis.push_back(maxAge);
+  // Deduplicate / enforce monotonicity defensively.
+  std::vector<double> clean;
+  for (double p : axis)
+    if (clean.empty() || p > clean.back()) clean.push_back(p);
+  return Axis(std::move(clean));
+}
+
+/// Duty axis with quadratic spacing: d^(1/6) is steep near zero, so a
+/// linear grid interpolates poorly there; squares of a uniform grid put
+/// the sample density where the curvature is.
+Axis makeDutyAxis(int points) {
+  HAYAT_REQUIRE(points >= 2, "need >= 2 duty points");
+  std::vector<double> pts(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double u = static_cast<double>(i) / (points - 1);
+    pts[static_cast<std::size_t>(i)] = u * u;
+  }
+  pts.back() = 1.0;
+  return Axis(std::move(pts));
+}
+
+}  // namespace
+
+AgingTable::AgingTable(const NbtiModel& nbti, const CorePathSet& paths,
+                       const AgingTableConfig& config)
+    : config_(config),
+      table_(Axis::linspace(config.temperatureMin, config.temperatureMax,
+                            config.temperaturePoints),
+             makeDutyAxis(config.dutyPoints),
+             makeAgeAxis(config.maxAge)) {
+  HAYAT_REQUIRE(config.temperatureMax > config.temperatureMin,
+                "empty temperature range");
+  HAYAT_REQUIRE(config.maxAge > 0.0, "maxAge must be positive");
+  table_.fill([&](double t, double d, double y) {
+    return paths.delayFactor(nbti, t, d, y);
+  });
+}
+
+double AgingTable::delayFactor(Kelvin temperature, double duty,
+                               Years age) const {
+  HAYAT_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty cycle must be in [0, 1]");
+  HAYAT_REQUIRE(age >= 0.0, "age must be non-negative");
+  return table_.interpolate(temperature, duty, age);
+}
+
+Years AgingTable::equivalentAge(Kelvin temperature, double duty,
+                                double targetDelayFactor) const {
+  HAYAT_REQUIRE(duty > 0.0, "equivalent age undefined for zero duty");
+  HAYAT_REQUIRE(targetDelayFactor >= 1.0, "delay factor must be >= 1");
+  if (delayFactor(temperature, duty, 0.0) >= targetDelayFactor) return 0.0;
+  if (delayFactor(temperature, duty, config_.maxAge) <= targetDelayFactor)
+    return config_.maxAge;
+  // The delay factor is strictly increasing in age for duty > 0, so
+  // bisection converges unconditionally.
+  Years lo = 0.0;
+  Years hi = config_.maxAge;
+  for (int iter = 0; iter < 60; ++iter) {
+    const Years mid = 0.5 * (lo + hi);
+    if (delayFactor(temperature, duty, mid) < targetDelayFactor)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace hayat

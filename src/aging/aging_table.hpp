@@ -1,0 +1,61 @@
+// Offline-generated 3D aging tables (Section IV-B, step 1).
+//
+// "We generate 3D-aging tables using different temperature and duty cycle
+// values for all cores. Note that this is only a start-up time effort for
+// a given chip."  The table maps (temperature, duty cycle, age) to the
+// core's relative delay factor, evaluated once from the gate-level path
+// model; at run time the health estimator performs trilinear lookups
+// instead of aging simulations — the lightweight scheme that makes Hayat's
+// candidate evaluation feasible online.
+//
+// The inverse lookup equivalentAge() finds the "current estimated
+// position/index in the 3D-aging tables" for a core's measured
+// degradation, the anchor from which the estimator follows "a new 3D-path
+// inside the table" for the next epoch (Section IV-B, step 3).
+#pragma once
+
+#include "aging/delay_model.hpp"
+#include "aging/nbti_model.hpp"
+#include "common/interp.hpp"
+
+namespace hayat {
+
+/// Grid layout of the aging table.
+struct AgingTableConfig {
+  Kelvin temperatureMin = 300.0;
+  Kelvin temperatureMax = 420.0;
+  int temperaturePoints = 13;
+  int dutyPoints = 11;        ///< duty axis spans [0, 1]
+  Years maxAge = 40.0;        ///< headroom beyond the 10-year evaluation
+};
+
+/// The 3D table with forward (delay factor) and inverse (equivalent age)
+/// lookups.
+class AgingTable {
+ public:
+  /// Populates the table from the gate-level model.  This is the
+  /// "start-up time effort": ~13 x 11 x 14 full path-set evaluations.
+  AgingTable(const NbtiModel& nbti, const CorePathSet& paths,
+             const AgingTableConfig& config = {});
+
+  /// Trilinear-interpolated relative delay factor (>= 1) at the given
+  /// temperature [K], duty cycle [0,1], and age [years].
+  double delayFactor(Kelvin temperature, double duty, Years age) const;
+
+  /// Inverse lookup: the age under constant (T, d) at which the table
+  /// reaches `targetDelayFactor`.  Returns 0 if the target is below the
+  /// year-0 value and clamps to the table's maxAge if beyond it.
+  /// Requires duty > 0 (a zero-stress condition never ages).
+  Years equivalentAge(Kelvin temperature, double duty,
+                      double targetDelayFactor) const;
+
+  Years maxAge() const { return config_.maxAge; }
+  const AgingTableConfig& configuration() const { return config_; }
+  const Table3& raw() const { return table_; }
+
+ private:
+  AgingTableConfig config_;
+  Table3 table_;
+};
+
+}  // namespace hayat

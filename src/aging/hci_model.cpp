@@ -1,0 +1,73 @@
+#include "aging/hci_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+HciModel::HciModel(HciConfig config) : config_(config) {
+  HAYAT_REQUIRE(config.vdd > 0.0, "vdd must be positive");
+  HAYAT_REQUIRE(config.techScale > 0.0, "techScale must be positive");
+  HAYAT_REQUIRE(config.activationB > 0.0, "activation slope must be positive");
+  HAYAT_REQUIRE(config.timeExponent > 0.0 && config.timeExponent < 1.0,
+                "time exponent must be in (0, 1)");
+  HAYAT_REQUIRE(config.referenceFrequency > 0.0,
+                "reference frequency must be positive");
+}
+
+double HciModel::stressPrefactor(Kelvin temperature, double activity,
+                                 Hertz frequency) const {
+  HAYAT_REQUIRE(temperature > 0.0, "temperature must be positive kelvin");
+  HAYAT_REQUIRE(activity >= 0.0 && activity <= 1.0,
+                "activity must be in [0, 1]");
+  HAYAT_REQUIRE(frequency >= 0.0, "negative frequency");
+  return config_.techScale * 0.05 * activity *
+         (frequency / config_.referenceFrequency) *
+         std::exp(-config_.activationB / temperature) *
+         std::pow(config_.vdd, 3.0);
+}
+
+Volts HciModel::deltaVth(Kelvin temperature, double activity, Hertz frequency,
+                         Years age) const {
+  HAYAT_REQUIRE(age >= 0.0, "age must be non-negative");
+  return stressPrefactor(temperature, activity, frequency) *
+         std::pow(age, config_.timeExponent);
+}
+
+Years HciModel::equivalentAge(Kelvin temperature, double activity,
+                              Hertz frequency, Volts dVth) const {
+  HAYAT_REQUIRE(dVth >= 0.0, "negative threshold shift");
+  if (dVth == 0.0) return 0.0;
+  const double k = stressPrefactor(temperature, activity, frequency);
+  HAYAT_REQUIRE(k > 0.0,
+                "equivalent age undefined under zero HCI stress");
+  return std::pow(dVth / k, 1.0 / config_.timeExponent);
+}
+
+CombinedAgingModel::CombinedAgingModel(NbtiConfig nbti, HciConfig hci)
+    : nbti_(nbti), hci_(hci) {}
+
+Volts CombinedAgingModel::deltaVth(Kelvin temperature, double duty,
+                                   double activity, Hertz frequency,
+                                   Years age) const {
+  return nbti_.deltaVth(temperature, duty, age) +
+         hci_.deltaVth(temperature, activity, frequency, age);
+}
+
+double CombinedAgingModel::delayFactor(Kelvin temperature, double duty,
+                                       double activity, Hertz frequency,
+                                       Years age) const {
+  return nbti_.delayFactorFromDeltaVth(
+      deltaVth(temperature, duty, activity, frequency, age));
+}
+
+double CombinedAgingModel::hciShare(Kelvin temperature, double duty,
+                                    double activity, Hertz frequency,
+                                    Years age) const {
+  const Volts total = deltaVth(temperature, duty, activity, frequency, age);
+  if (total <= 0.0) return 0.0;
+  return hci_.deltaVth(temperature, activity, frequency, age) / total;
+}
+
+}  // namespace hayat

@@ -1,0 +1,91 @@
+// Hot-Carrier Injection (HCI) aging — the second wear-out mechanism.
+//
+// The paper optimizes NBTI, but its cited sensor work ("an all-in-one
+// silicon odometer for separately monitoring HCI, BTI, and TDDB" [9])
+// measures HCI too, and any deployment of Hayat on real silicon inherits
+// both.  This extension models HCI with the standard empirical form
+//
+//     dVth_HCI = k * a * (f / f_ref) * exp(-B / T) * t^n
+//
+// where `a` is the switching-activity factor and f the operating
+// frequency: HCI stress happens on *transitions*, so unlike NBTI (duty,
+// i.e. static stress time) it scales with how often the device switches.
+// In scaled nodes HCI worsens with temperature (self-heating regime),
+// captured by the exp(-B/T) factor with a weaker slope than NBTI's
+// (B ~ 600 K vs. 1500 K), and accumulates faster in time (n ~ 0.45 vs.
+// 1/6) — so HCI is negligible early and catches up late, exactly why
+// long-lifetime parts care about it.
+//
+// CombinedAgingModel sums both mechanisms' threshold shifts and maps the
+// total through the same alpha-power delay law, giving a drop-in
+// replacement for NbtiModel in offline analyses.  Calibrated so that at
+// (350 K, activity 0.5, nominal frequency, 10 years) HCI contributes
+// roughly a quarter of the NBTI shift — the commonly reported balance
+// for logic at high-k nodes.
+#pragma once
+
+#include "aging/nbti_model.hpp"
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// Parameters of the HCI model.
+struct HciConfig {
+  Volts vdd = 1.13;
+  double techScale = 1.35;   ///< calibrated magnitude constant (see above)
+  double activationB = 600.0;   ///< exp(-B/T) temperature slope [K]
+  double timeExponent = 0.45;   ///< t^n accumulation
+  Hertz referenceFrequency = 3.0e9;
+};
+
+/// HCI threshold-shift model with closed-form effective-age inversion.
+class HciModel {
+ public:
+  explicit HciModel(HciConfig config = {});
+
+  /// Threshold shift [V] after `age` years at temperature T, switching
+  /// activity `activity` in [0, 1], and operating frequency `frequency`.
+  Volts deltaVth(Kelvin temperature, double activity, Hertz frequency,
+                 Years age) const;
+
+  /// The (T, a, f)-dependent prefactor K with dVth = K * t^n.
+  double stressPrefactor(Kelvin temperature, double activity,
+                         Hertz frequency) const;
+
+  /// Inverts the model: the age at which the given conditions produce
+  /// `dVth`.  Requires activity > 0 and frequency > 0.
+  Years equivalentAge(Kelvin temperature, double activity, Hertz frequency,
+                      Volts dVth) const;
+
+  const HciConfig& config() const { return config_; }
+
+ private:
+  HciConfig config_;
+};
+
+/// NBTI + HCI, mapped through the shared alpha-power delay law.
+class CombinedAgingModel {
+ public:
+  CombinedAgingModel(NbtiConfig nbti = {}, HciConfig hci = {});
+
+  /// Total threshold shift [V]: NBTI(duty) + HCI(activity, frequency).
+  Volts deltaVth(Kelvin temperature, double duty, double activity,
+                 Hertz frequency, Years age) const;
+
+  /// Relative delay factor (>= 1) from the combined shift.
+  double delayFactor(Kelvin temperature, double duty, double activity,
+                     Hertz frequency, Years age) const;
+
+  /// Fraction of the total shift contributed by HCI, in [0, 1).
+  double hciShare(Kelvin temperature, double duty, double activity,
+                  Hertz frequency, Years age) const;
+
+  const NbtiModel& nbti() const { return nbti_; }
+  const HciModel& hci() const { return hci_; }
+
+ private:
+  NbtiModel nbti_;
+  HciModel hci_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,85 @@
+#include "aging/health.hpp"
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+/// Below this duty a core is considered unstressed for the epoch.
+constexpr double kDutyEpsilon = 1e-9;
+}  // namespace
+
+void CoreAgingState::advance(const AgingTable& table, Kelvin temperature,
+                             double duty, Years duration) {
+  HAYAT_REQUIRE(duration >= 0.0, "negative aging duration");
+  HAYAT_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty cycle must be in [0, 1]");
+  if (duration == 0.0 || duty < kDutyEpsilon) return;
+  const Years equivalent =
+      table.equivalentAge(temperature, duty, delayFactor_);
+  const double next =
+      table.delayFactor(temperature, duty, equivalent + duration);
+  // Guard against interpolation wiggle: long-term aging never improves.
+  if (next > delayFactor_) delayFactor_ = next;
+}
+
+CoreAgingState CoreAgingState::fromDelayFactor(double delayFactor) {
+  HAYAT_REQUIRE(delayFactor >= 1.0, "delay factor must be >= 1");
+  CoreAgingState s;
+  s.delayFactor_ = delayFactor;
+  return s;
+}
+
+HealthMap::HealthMap(std::vector<Hertz> initialFmax)
+    : initial_(std::move(initialFmax)),
+      states_(initial_.size()) {
+  HAYAT_REQUIRE(!initial_.empty(), "health map needs >= 1 core");
+  for (Hertz f : initial_)
+    HAYAT_REQUIRE(f > 0.0, "initial fmax must be positive");
+}
+
+Hertz HealthMap::initialFmax(int core) const {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  return initial_[static_cast<std::size_t>(core)];
+}
+
+Hertz HealthMap::currentFmax(int core) const {
+  return initialFmax(core) * health(core);
+}
+
+double HealthMap::health(int core) const {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  return states_[static_cast<std::size_t>(core)].health();
+}
+
+void HealthMap::advance(int core, const AgingTable& table, Kelvin temperature,
+                        double duty, Years duration) {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  states_[static_cast<std::size_t>(core)].advance(table, temperature, duty,
+                                                  duration);
+}
+
+std::vector<Hertz> HealthMap::currentFmaxAll() const {
+  std::vector<Hertz> out(initial_.size());
+  for (int i = 0; i < coreCount(); ++i)
+    out[static_cast<std::size_t>(i)] = currentFmax(i);
+  return out;
+}
+
+std::vector<double> HealthMap::healthAll() const {
+  std::vector<double> out(initial_.size());
+  for (int i = 0; i < coreCount(); ++i)
+    out[static_cast<std::size_t>(i)] = health(i);
+  return out;
+}
+
+CoreAgingState& HealthMap::state(int core) {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  return states_[static_cast<std::size_t>(core)];
+}
+
+const CoreAgingState& HealthMap::state(int core) const {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  return states_[static_cast<std::size_t>(core)];
+}
+
+}  // namespace hayat

@@ -1,0 +1,84 @@
+// Core health state and chip health map (Section I-A definitions).
+//
+// "Health of a Core i at time t > 0 is defined as its maximum
+// safe-operating frequency normalized to the initial variation-dependent
+// maximum frequency: fmax,i,t / fmax,i,init."
+//
+// Delay and frequency are reciprocal, so health == 1 / delayFactor where
+// delayFactor is the core's relative critical-path delay.  Aging
+// accumulates across epochs through the effective-age mechanism: advance()
+// looks up the equivalent age for the current degradation under the
+// epoch's (T, d) conditions and steps it by the epoch length — exactly the
+// "follow a new 3D-path inside the table" procedure of Section IV-B (3).
+#pragma once
+
+#include <vector>
+
+#include "aging/aging_table.hpp"
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// Aging state of one core, tracked as its relative delay factor.
+class CoreAgingState {
+ public:
+  CoreAgingState() = default;
+
+  /// Current relative critical-path delay, >= 1.
+  double delayFactor() const { return delayFactor_; }
+
+  /// Health = fmax,t / fmax,init = 1 / delayFactor, in (0, 1].
+  double health() const { return 1.0 / delayFactor_; }
+
+  /// Ages the core by `duration` years at constant temperature and duty.
+  /// Zero duty (a dark core) adds no stress; NBTI recovery beyond the
+  /// duty-cycle averaging in Eq. (7) is not modeled (long-term aging is
+  /// irreversible, Fig. 1(a)).
+  void advance(const AgingTable& table, Kelvin temperature, double duty,
+               Years duration);
+
+  /// Restores a state from a measured delay factor (health sensors D_i).
+  static CoreAgingState fromDelayFactor(double delayFactor);
+
+ private:
+  double delayFactor_ = 1.0;
+};
+
+/// The chip-wide health map: per-core aging state plus the year-0
+/// variation-dependent frequencies, exposing current fmax per core.
+class HealthMap {
+ public:
+  /// Initializes an un-aged chip with the given year-0 frequencies.
+  explicit HealthMap(std::vector<Hertz> initialFmax);
+
+  int coreCount() const { return static_cast<int>(initial_.size()); }
+
+  /// Year-0 fmax of core i (process variation only).
+  Hertz initialFmax(int core) const;
+
+  /// Present fmax of core i: initialFmax * health.
+  Hertz currentFmax(int core) const;
+
+  /// Health of core i in (0, 1].
+  double health(int core) const;
+
+  /// Ages core i by `duration` years at the epoch's (T, duty).
+  void advance(int core, const AgingTable& table, Kelvin temperature,
+               double duty, Years duration);
+
+  /// All current frequencies (convenience for maps and metrics).
+  std::vector<Hertz> currentFmaxAll() const;
+
+  /// All health values (convenience).
+  std::vector<double> healthAll() const;
+
+  /// Direct access to a core's aging state (e.g. for sensor restore).
+  CoreAgingState& state(int core);
+  const CoreAgingState& state(int core) const;
+
+ private:
+  std::vector<Hertz> initial_;
+  std::vector<CoreAgingState> states_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,65 @@
+#include "aging/mttf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+constexpr double kBoltzmannEv = 8.617333262e-5;  // [eV/K]
+}
+
+MttfModel::MttfModel(MttfConfig config) : config_(config) {
+  HAYAT_REQUIRE(config.activationEnergyEv > 0.0,
+                "activation energy must be positive");
+  HAYAT_REQUIRE(config.referenceMttfYears > 0.0,
+                "reference MTTF must be positive");
+  HAYAT_REQUIRE(config.referenceTemperature > 0.0,
+                "reference temperature must be positive kelvin");
+}
+
+Years MttfModel::mttf(Kelvin temperature) const {
+  HAYAT_REQUIRE(temperature > 0.0, "temperature must be positive kelvin");
+  const double exponent =
+      config_.activationEnergyEv / kBoltzmannEv *
+      (1.0 / temperature - 1.0 / config_.referenceTemperature);
+  return config_.referenceMttfYears * std::exp(exponent);
+}
+
+double MttfModel::damageRate(Kelvin temperature) const {
+  return 1.0 / mttf(temperature);
+}
+
+void DamageAccumulator::accumulate(const MttfModel& model, Kelvin temperature,
+                                   Years duration) {
+  HAYAT_REQUIRE(duration >= 0.0, "negative damage duration");
+  damage_ += duration * model.damageRate(temperature);
+}
+
+DamageAccumulator DamageAccumulator::fromDamage(double damage) {
+  HAYAT_REQUIRE(damage >= 0.0, "negative damage");
+  DamageAccumulator a;
+  a.damage_ = damage;
+  return a;
+}
+
+ChipReliability summarizeReliability(const std::vector<double>& coreDamage,
+                                     Years elapsed) {
+  HAYAT_REQUIRE(!coreDamage.empty(), "no cores to summarize");
+  HAYAT_REQUIRE(elapsed >= 0.0, "negative elapsed time");
+  ChipReliability out;
+  double sum = 0.0;
+  for (double d : coreDamage) {
+    HAYAT_REQUIRE(d >= 0.0, "negative core damage");
+    out.worstDamage = std::max(out.worstDamage, d);
+    sum += d;
+  }
+  out.averageDamage = sum / static_cast<double>(coreDamage.size());
+  out.projectedMttf =
+      out.worstDamage > 0.0 ? elapsed / out.worstDamage : 0.0;
+  return out;
+}
+
+}  // namespace hayat

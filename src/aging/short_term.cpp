@@ -1,0 +1,52 @@
+#include "aging/short_term.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+ShortTermNbti::ShortTermNbti(ShortTermNbtiConfig config)
+    : config_(config), model_(config.longTerm) {
+  HAYAT_REQUIRE(config.permanentFraction > 0.0 &&
+                    config.permanentFraction <= 1.0,
+                "permanent fraction must be in (0, 1]");
+  HAYAT_REQUIRE(config.recoveryTau > 0.0,
+                "recovery time constant must be positive");
+}
+
+void ShortTermNbti::stress(Kelvin temperature, Seconds duration) {
+  HAYAT_REQUIRE(duration >= 0.0, "negative stress duration");
+  if (duration == 0.0) return;
+  // Advance along the full-stress (duty 1) trajectory from the current
+  // accumulated stressed age — the same effective-age composition the
+  // long-term model uses.
+  const Seconds newAge = stressAge_ + duration;
+  const Volts before =
+      model_.deltaVth(temperature, 1.0, secondsToYears(stressAge_));
+  const Volts after =
+      model_.deltaVth(temperature, 1.0, secondsToYears(newAge));
+  const Volts growth = std::max(0.0, after - before);
+  permanent_ += config_.permanentFraction * growth;
+  recoverable_ += (1.0 - config_.permanentFraction) * growth;
+  stressAge_ = newAge;
+}
+
+void ShortTermNbti::recover(Seconds duration) {
+  HAYAT_REQUIRE(duration >= 0.0, "negative recovery duration");
+  recoverable_ *= std::exp(-duration / config_.recoveryTau);
+}
+
+Volts ShortTermNbti::runCycles(Kelvin temperature, Seconds period,
+                               double duty, long cycles) {
+  HAYAT_REQUIRE(period > 0.0, "period must be positive");
+  HAYAT_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty must be in [0, 1]");
+  HAYAT_REQUIRE(cycles >= 0, "negative cycle count");
+  for (long c = 0; c < cycles; ++c) {
+    stress(temperature, duty * period);
+    recover((1.0 - duty) * period);
+  }
+  return deltaVth();
+}
+
+}  // namespace hayat

@@ -1,0 +1,50 @@
+#include "arch/chip.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+
+std::vector<Hertz> initialFrequencies(const VariationMap& variation) {
+  std::vector<Hertz> f(static_cast<std::size_t>(variation.coreCount()));
+  for (int i = 0; i < variation.coreCount(); ++i)
+    f[static_cast<std::size_t>(i)] = variation.coreInitialFmax(i);
+  return f;
+}
+
+CorePathSet synthesizePaths(const ChipConfig& config, std::uint64_t seed) {
+  Rng rng(seed ^ 0xA5A5A5A5DEADBEEFull);
+  return CorePathSet::synthesize(rng, config.pathsPerCore,
+                                 config.elementsPerPath);
+}
+
+}  // namespace
+
+Chip::Chip(ChipConfig config, VariationMap variation, std::uint64_t seed)
+    : floorplan_(config.floorplan),
+      variation_(std::move(variation)),
+      nbti_(config.nbti),
+      paths_(synthesizePaths(config, seed)),
+      agingTable_(nbti_, paths_, config.agingTable),
+      health_(initialFrequencies(variation_)) {
+  HAYAT_REQUIRE(variation_.coreGrid().rows() == floorplan_.shape().rows() &&
+                    variation_.coreGrid().cols() == floorplan_.shape().cols(),
+                "variation map grid must match the floorplan");
+}
+
+Hertz Chip::chipFmax() const {
+  Hertz best = 0.0;
+  for (int i = 0; i < coreCount(); ++i) best = std::max(best, currentFmax(i));
+  return best;
+}
+
+Hertz Chip::averageFmax() const {
+  Hertz acc = 0.0;
+  for (int i = 0; i < coreCount(); ++i) acc += currentFmax(i);
+  return acc / coreCount();
+}
+
+}  // namespace hayat

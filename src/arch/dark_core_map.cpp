@@ -1,0 +1,85 @@
+#include "arch/dark_core_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+DarkCoreMap::DarkCoreMap(const GridShape& grid)
+    : grid_(grid), on_(static_cast<std::size_t>(grid.count()), false) {}
+
+DarkCoreMap::DarkCoreMap(const GridShape& grid, std::vector<bool> poweredOn)
+    : grid_(grid), on_(std::move(poweredOn)) {
+  HAYAT_REQUIRE(static_cast<int>(on_.size()) == grid.count(),
+                "power-state vector size must match the grid");
+}
+
+DarkCoreMap DarkCoreMap::allOn(const GridShape& grid) {
+  DarkCoreMap dcm(grid);
+  std::fill(dcm.on_.begin(), dcm.on_.end(), true);
+  return dcm;
+}
+
+DarkCoreMap DarkCoreMap::contiguous(const GridShape& grid, int onCount) {
+  HAYAT_REQUIRE(onCount >= 0 && onCount <= grid.count(),
+                "onCount out of range");
+  DarkCoreMap dcm(grid);
+  for (int i = 0; i < onCount; ++i) dcm.on_[static_cast<std::size_t>(i)] = true;
+  return dcm;
+}
+
+DarkCoreMap DarkCoreMap::spread(const GridShape& grid, int onCount) {
+  HAYAT_REQUIRE(onCount >= 0 && onCount <= grid.count(),
+                "onCount out of range");
+  DarkCoreMap dcm(grid);
+  // First pass: cores whose (row + col) is even (checkerboard), then fill
+  // the remaining odd cells — keeps lit cores maximally separated until
+  // the map is more than half full.
+  int placed = 0;
+  for (int pass = 0; pass < 2 && placed < onCount; ++pass) {
+    for (int i = 0; i < grid.count() && placed < onCount; ++i) {
+      const TilePos p = grid.posOf(i);
+      const bool even = (p.row + p.col) % 2 == 0;
+      if ((pass == 0) == even && !dcm.on_[static_cast<std::size_t>(i)]) {
+        dcm.on_[static_cast<std::size_t>(i)] = true;
+        ++placed;
+      }
+    }
+  }
+  return dcm;
+}
+
+bool DarkCoreMap::isOn(int core) const {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  return on_[static_cast<std::size_t>(core)];
+}
+
+void DarkCoreMap::setOn(int core, bool on) {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  on_[static_cast<std::size_t>(core)] = on;
+}
+
+int DarkCoreMap::onCount() const {
+  return static_cast<int>(std::count(on_.begin(), on_.end(), true));
+}
+
+double DarkCoreMap::darkFraction() const {
+  return static_cast<double>(offCount()) / coreCount();
+}
+
+bool DarkCoreMap::meetsDarkBudget(double minDarkFraction) const {
+  HAYAT_REQUIRE(minDarkFraction >= 0.0 && minDarkFraction <= 1.0,
+                "dark fraction must be in [0, 1]");
+  return darkFraction() >= minDarkFraction - 1e-12;
+}
+
+int DarkCoreMap::litNeighbours(int core) const {
+  int lit = 0;
+  for (int n : grid_.neighbors4(core))
+    if (on_[static_cast<std::size_t>(n)]) ++lit;
+  return lit;
+}
+
+}  // namespace hayat

@@ -1,0 +1,72 @@
+// Dark Core Maps (Section I-A).
+//
+// "Dark Core Map (DCM) is defined as the core power state map with a
+// sub-set of cores being kept 'dark' such that Tpeak < Tsafe."
+//
+// A DarkCoreMap is a per-core power-state vector ps_i (1 = on, 0 = dark)
+// with the budget accounting N_on / N_off of Section III and factory
+// helpers for the shapes studied in Section II: the dense contiguous map
+// of Fig. 2(a) and variation/temperature-optimized maps built by the
+// policies.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace hayat {
+
+/// Per-core power-state map.
+class DarkCoreMap {
+ public:
+  /// All cores dark.
+  explicit DarkCoreMap(const GridShape& grid);
+
+  /// From an explicit power-state vector.
+  DarkCoreMap(const GridShape& grid, std::vector<bool> poweredOn);
+
+  /// All cores powered on.
+  static DarkCoreMap allOn(const GridShape& grid);
+
+  /// Dense contiguous block of `onCount` cores filling the grid row by
+  /// row from the top-left corner — the Fig. 2(a) layout whose thermal
+  /// problems Section II analyzes.
+  static DarkCoreMap contiguous(const GridShape& grid, int onCount);
+
+  /// Checkerboard-style spread of `onCount` cores maximizing dark
+  /// neighbours (a simple thermal-friendly reference shape).
+  static DarkCoreMap spread(const GridShape& grid, int onCount);
+
+  const GridShape& grid() const { return grid_; }
+  int coreCount() const { return grid_.count(); }
+
+  bool isOn(int core) const;
+  void setOn(int core, bool on);
+
+  /// N_on = sum(ps_i).
+  int onCount() const;
+
+  /// N_off = N - N_on.
+  int offCount() const { return coreCount() - onCount(); }
+
+  /// Fraction of cores that are dark, in [0, 1].
+  double darkFraction() const;
+
+  /// True if at least `minDarkFraction` of the chip is dark.
+  bool meetsDarkBudget(double minDarkFraction) const;
+
+  /// Number of powered-on 4-neighbours of a core — a local thermal
+  /// density measure used by DCM heuristics.
+  int litNeighbours(int core) const;
+
+  /// Underlying flags (row-major over the grid).
+  const std::vector<bool>& flags() const { return on_; }
+
+  friend bool operator==(const DarkCoreMap&, const DarkCoreMap&) = default;
+
+ private:
+  GridShape grid_;
+  std::vector<bool> on_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,54 @@
+#include "arch/dvfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+FrequencyLadder::FrequencyLadder(std::vector<Hertz> levels)
+    : levels_(std::move(levels)) {
+  HAYAT_REQUIRE(!levels_.empty(), "ladder needs at least one level");
+  for (Hertz f : levels_)
+    HAYAT_REQUIRE(f > 0.0, "ladder levels must be positive");
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+}
+
+FrequencyLadder FrequencyLadder::uniform(Hertz lowest, Hertz highest,
+                                         int steps) {
+  HAYAT_REQUIRE(steps >= 2, "uniform ladder needs >= 2 levels");
+  HAYAT_REQUIRE(highest > lowest && lowest > 0.0,
+                "uniform ladder needs 0 < lowest < highest");
+  std::vector<Hertz> levels(static_cast<std::size_t>(steps));
+  const Hertz step = (highest - lowest) / (steps - 1);
+  for (int i = 0; i < steps; ++i)
+    levels[static_cast<std::size_t>(i)] = lowest + step * i;
+  levels.back() = highest;
+  return FrequencyLadder(std::move(levels));
+}
+
+Hertz FrequencyLadder::level(int i) const {
+  HAYAT_REQUIRE(i >= 0 && i < levelCount(), "level index out of range");
+  return levels_[static_cast<std::size_t>(i)];
+}
+
+Hertz FrequencyLadder::snapUp(Hertz f) const {
+  const auto it = std::lower_bound(levels_.begin(), levels_.end(), f);
+  return it == levels_.end() ? levels_.back() : *it;
+}
+
+Hertz FrequencyLadder::snapDown(Hertz f) const {
+  const auto it = std::upper_bound(levels_.begin(), levels_.end(), f);
+  return it == levels_.begin() ? levels_.front() : *(it - 1);
+}
+
+Hertz FrequencyLadder::operatingLevel(Hertz required, Hertz fmax) const {
+  HAYAT_REQUIRE(required >= 0.0 && fmax > 0.0,
+                "invalid frequency arguments");
+  const Hertz candidate = snapUp(required);
+  if (candidate <= fmax) return candidate;
+  return snapDown(fmax);
+}
+
+}  // namespace hayat

@@ -1,0 +1,49 @@
+// Discrete DVFS frequency ladder.
+//
+// The paper assumes "core-level dynamic frequency scaling support"
+// (Section I, choice (2)) and treats the operating frequency as
+// continuous.  Real parts expose a discrete ladder of P-states; this
+// class models one, and policies snap thread frequencies to it when the
+// PolicyContext carries a ladder: the smallest level that meets f_min
+// (Section VI semantics — "threads only run at their required frequency
+// and not faster" becomes "at the cheapest level satisfying it"), capped
+// by the core's aged fmax.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// A sorted set of selectable operating frequencies.
+class FrequencyLadder {
+ public:
+  /// Levels must be positive; they are sorted and deduplicated.
+  explicit FrequencyLadder(std::vector<Hertz> levels);
+
+  /// `steps` uniformly spaced levels covering [lowest, highest].
+  static FrequencyLadder uniform(Hertz lowest, Hertz highest, int steps);
+
+  int levelCount() const { return static_cast<int>(levels_.size()); }
+  Hertz level(int i) const;
+  Hertz lowest() const { return levels_.front(); }
+  Hertz highest() const { return levels_.back(); }
+
+  /// Smallest level >= f; the highest level if f exceeds all levels.
+  Hertz snapUp(Hertz f) const;
+
+  /// Largest level <= f; the lowest level if f is below all levels.
+  Hertz snapDown(Hertz f) const;
+
+  /// The level a thread with requirement `required` runs at on a core
+  /// whose (aged) limit is `fmax`: the cheapest level meeting the
+  /// requirement if it fits under fmax, otherwise the fastest level the
+  /// core supports (a throughput shortfall the caller may record).
+  Hertz operatingLevel(Hertz required, Hertz fmax) const;
+
+ private:
+  std::vector<Hertz> levels_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,43 @@
+#include "arch/sensors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+
+double applyNoise(double truth, const SensorNoise& noise, Rng& rng) {
+  double value = truth;
+  if (noise.gaussianSigma > 0.0)
+    value += rng.gaussian(0.0, noise.gaussianSigma);
+  if (noise.quantization > 0.0)
+    value = std::round(value / noise.quantization) * noise.quantization;
+  return value;
+}
+
+}  // namespace
+
+ThermalSensor::ThermalSensor(SensorNoise noise) : noise_(noise) {
+  HAYAT_REQUIRE(noise.gaussianSigma >= 0.0 && noise.quantization >= 0.0,
+                "sensor noise parameters must be non-negative");
+}
+
+Kelvin ThermalSensor::read(Kelvin truth, Rng& rng) const {
+  HAYAT_REQUIRE(truth > 0.0, "true temperature must be positive kelvin");
+  return std::max(1.0, applyNoise(truth, noise_, rng));
+}
+
+AgingSensor::AgingSensor(SensorNoise noise) : noise_(noise) {
+  HAYAT_REQUIRE(noise.gaussianSigma >= 0.0 && noise.quantization >= 0.0,
+                "sensor noise parameters must be non-negative");
+}
+
+double AgingSensor::read(double trueDelayFactor, Rng& rng) const {
+  HAYAT_REQUIRE(trueDelayFactor >= 1.0, "delay factor must be >= 1");
+  return std::max(1.0, applyNoise(trueDelayFactor, noise_, rng));
+}
+
+}  // namespace hayat

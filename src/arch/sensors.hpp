@@ -1,0 +1,47 @@
+// On-chip sensors (Section III): "Each core Ci has at least one (soft)
+// thermal sensor Ti and aging sensor Di (like [9, 10]) to monitor its
+// current temperature and health level (i.e., age in terms of delay)."
+//
+// Sensors read a ground-truth value supplied by the simulator and add
+// configurable quantization and Gaussian noise — the run-time policies
+// only ever see sensor readings, never the simulator's exact state, which
+// keeps the evaluation honest about measurement error.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// Measurement error model shared by both sensor kinds.
+struct SensorNoise {
+  double gaussianSigma = 0.0;  ///< additive Gaussian noise (sensor units)
+  double quantization = 0.0;   ///< reading granularity (0 = continuous)
+};
+
+/// Per-core thermal sensor T_i.
+class ThermalSensor {
+ public:
+  explicit ThermalSensor(SensorNoise noise = {});
+
+  /// Produces a reading of the true temperature [K].
+  Kelvin read(Kelvin truth, Rng& rng) const;
+
+ private:
+  SensorNoise noise_;
+};
+
+/// Per-core aging/delay sensor D_i (silicon odometer style [9]):
+/// measures the core's relative critical-path delay factor.
+class AgingSensor {
+ public:
+  explicit AgingSensor(SensorNoise noise = {});
+
+  /// Produces a reading of the true delay factor (>= 1).
+  double read(double trueDelayFactor, Rng& rng) const;
+
+ private:
+  SensorNoise noise_;
+};
+
+}  // namespace hayat

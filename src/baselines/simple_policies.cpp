@@ -1,0 +1,110 @@
+#include "baselines/simple_policies.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+int onCoreBudget(const PolicyContext& context) {
+  HAYAT_REQUIRE(context.chip != nullptr, "incomplete policy context");
+  const int n = context.chip->coreCount();
+  return std::max(1,
+                  static_cast<int>(n * (1.0 - context.minDarkFraction) + 1e-9));
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+Mapping RandomPolicy::map(const PolicyContext& context) {
+  HAYAT_REQUIRE(context.chip && context.mix, "incomplete policy context");
+  const Chip& chip = *context.chip;
+  const int n = chip.coreCount();
+  const std::vector<int> parallelism =
+      chooseParallelism(*context.mix, onCoreBudget(context));
+  const std::vector<RunnableThread> threads =
+      runnableThreads(*context.mix, parallelism);
+
+  Mapping mapping(n);
+  for (const RunnableThread& t : threads) {
+    // Collect feasible idle cores; fall back to all idle cores if none
+    // meets the requirement.
+    std::vector<int> feasible;
+    std::vector<int> idle;
+    for (int c = 0; c < n; ++c) {
+      if (mapping.coreBusy(c)) continue;
+      idle.push_back(c);
+      if (context.observedFmax(c) >= t.minFrequency) feasible.push_back(c);
+    }
+    HAYAT_REQUIRE(!idle.empty(), "no idle core left");
+    const std::vector<int>& pool = feasible.empty() ? idle : feasible;
+    const int core =
+        pool[static_cast<std::size_t>(rng_.uniformInt(static_cast<int>(pool.size())))];
+    mapping.assign(t.ref, core,
+                   operatingFrequency(context, core, t.minFrequency),
+                   t.minFrequency);
+  }
+  return mapping;
+}
+
+Mapping CoolestFirstPolicy::map(const PolicyContext& context) {
+  HAYAT_REQUIRE(context.chip && context.mix && context.thermal &&
+                    context.leakage,
+                "incomplete policy context");
+  const Chip& chip = *context.chip;
+  const int n = chip.coreCount();
+  const std::vector<int> parallelism =
+      chooseParallelism(*context.mix, onCoreBudget(context));
+  std::vector<RunnableThread> threads =
+      runnableThreads(*context.mix, parallelism);
+
+  // Hottest (highest-power) threads place first so they take the coldest
+  // spots.
+  std::sort(threads.begin(), threads.end(),
+            [](const RunnableThread& a, const RunnableThread& b) {
+              return a.averagePower > b.averagePower;
+            });
+
+  const ThermalPredictor predictor(*context.thermal, *context.leakage);
+  Mapping mapping(n);
+  Vector dynPower(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> on(static_cast<std::size_t>(n), false);
+  ThermalPredictor::Baseline baseline = predictor.makeBaseline(dynPower, on);
+
+  for (const RunnableThread& t : threads) {
+    int best = -1;
+    double bestTemp = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (mapping.coreBusy(c)) continue;
+      if (context.observedFmax(c) < t.minFrequency) continue;
+      const double temp = baseline.temperatures[static_cast<std::size_t>(c)];
+      if (best < 0 || temp < bestTemp) {
+        best = c;
+        bestTemp = temp;
+      }
+    }
+    if (best < 0) {
+      // Requirement infeasible everywhere: fall back to the coldest idle
+      // core regardless of frequency.
+      for (int c = 0; c < n; ++c) {
+        if (mapping.coreBusy(c)) continue;
+        const double temp = baseline.temperatures[static_cast<std::size_t>(c)];
+        if (best < 0 || temp < bestTemp) {
+          best = c;
+          bestTemp = temp;
+        }
+      }
+    }
+    HAYAT_REQUIRE(best >= 0, "no idle core left");
+    const Hertz freq = operatingFrequency(context, best, t.minFrequency);
+    mapping.assign(t.ref, best, freq, t.minFrequency);
+
+    // Update the predictor baseline with the placed load.
+    dynPower[static_cast<std::size_t>(best)] =
+        t.averagePower * (freq / context.nominalFrequency);
+    on[static_cast<std::size_t>(best)] = true;
+    baseline = predictor.makeBaseline(dynPower, on);
+  }
+  return mapping;
+}
+
+}  // namespace hayat

@@ -1,0 +1,46 @@
+// Ablation baselines.
+//
+// These two mappers bracket the design space between VAA and Hayat and
+// back the DESIGN.md ablation benches:
+//
+//  * RandomPolicy      — frequency-feasible but otherwise uniformly random
+//                        placement; no thermal or aging reasoning at all.
+//  * CoolestFirstPolicy — temperature-aware but aging/variation-blind:
+//                        threads greedily take the coldest predicted core
+//                        (the classic DTM-style heuristic, and the
+//                        Section II "migrating to cores selected only by
+//                        temperature" pitfall that degrades fast cores).
+#pragma once
+
+#include "common/rng.hpp"
+#include "runtime/mapping.hpp"
+#include "runtime/thermal_predictor.hpp"
+
+namespace hayat {
+
+/// Frequency-feasible random placement.
+class RandomPolicy : public MappingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 7);
+
+  std::string name() const override { return "Random"; }
+  Mapping map(const PolicyContext& context) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Greedy coldest-core placement using the online thermal predictor.
+class CoolestFirstPolicy : public MappingPolicy {
+ public:
+  CoolestFirstPolicy() = default;
+
+  std::string name() const override { return "CoolestFirst"; }
+  Mapping map(const PolicyContext& context) override;
+};
+
+/// Shared helper: on-core budget for a context (floor of the dark-silicon
+/// constraint).
+int onCoreBudget(const PolicyContext& context);
+
+}  // namespace hayat

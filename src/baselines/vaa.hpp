@@ -1,0 +1,61 @@
+// VAA — the state-of-the-art comparison partner (Section VI).
+//
+// "We compare our approach to state-of-the-art mapping approach as used
+// in [28] (Fattah et al., smart hill climbing). For fairness of
+// comparison, we extended the approach of [28] towards being variability-
+// and aging-aware for maximum throughput mapping, to support epoch
+// knowledge, DTM, core-level frequency scaling support, temperature
+// dependent leakage increase, etc. For brevity, we call it VAA."
+//
+// The mapper follows Fattah's SHiC structure: per application, a *first
+// node* is selected by hill climbing on a region-availability score, then
+// the application's threads grow a contiguous region around it (BFS over
+// idle cores).  The variability/aging extension filters target cores by
+// the thread's frequency requirement against *current aged* frequencies
+// and runs threads at exactly their required frequency.  What VAA does
+// NOT do — by design, this is the paper's point — is reason about dark
+// silicon placement, spatial temperature, or future health: its regions
+// are dense, which Section II shows leads to hot DCMs and faster aging.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/mapping.hpp"
+
+namespace hayat {
+
+/// Tuning of the VAA mapper.
+struct VaaConfig {
+  /// Radius (in Manhattan distance) of the availability neighbourhood the
+  /// hill climbing scores first-node candidates with.
+  int availabilityRadius = 2;
+  /// Seed for the randomized hill-climb starts.
+  std::uint64_t seed = 1;
+};
+
+/// The extended Fattah [28] baseline.
+class VaaPolicy : public MappingPolicy {
+ public:
+  explicit VaaPolicy(VaaConfig config = {});
+
+  std::string name() const override { return "VAA"; }
+
+  Mapping map(const PolicyContext& context) override;
+
+  /// Incremental arrival: grows one new contiguous region for the
+  /// arriving application around the existing assignment (the same SHiC
+  /// first-node + BFS procedure, with already-busy cores excluded).
+  Mapping placeApplication(const PolicyContext& context,
+                           const Mapping& existing, int appIndex,
+                           int activeThreads = -1) override;
+
+ private:
+  void placeOneApplication(const PolicyContext& context, Mapping& mapping,
+                           std::vector<bool>& busy, int appIndex, int k);
+
+  VaaConfig config_;
+  Rng rng_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,43 @@
+// Error handling primitives shared by all Hayat libraries.
+//
+// The library reports precondition violations and numerical failures by
+// throwing `hayat::Error` (derived from std::runtime_error).  Hot inner
+// loops use plain asserts via HAYAT_DCHECK which compile away in release
+// builds; API boundaries use HAYAT_REQUIRE which always checks.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hayat {
+
+/// Exception type thrown on precondition violations and solver failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwError(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hayat
+
+/// Always-on precondition check for public API boundaries.
+#define HAYAT_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hayat::detail::throwError(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths (compiles away with NDEBUG).
+#define HAYAT_DCHECK(cond) assert(cond)

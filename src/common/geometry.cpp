@@ -1,0 +1,74 @@
+#include "common/geometry.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+GridShape::GridShape(int rows, int cols) : rows_(rows), cols_(cols) {
+  HAYAT_REQUIRE(rows > 0 && cols > 0, "grid dimensions must be positive");
+}
+
+int GridShape::indexOf(TilePos p) const {
+  HAYAT_REQUIRE(contains(p), "tile position out of grid");
+  return p.row * cols_ + p.col;
+}
+
+TilePos GridShape::posOf(int index) const {
+  HAYAT_REQUIRE(index >= 0 && index < count(), "tile index out of grid");
+  return {index / cols_, index % cols_};
+}
+
+bool GridShape::contains(TilePos p) const {
+  return p.row >= 0 && p.row < rows_ && p.col >= 0 && p.col < cols_;
+}
+
+std::vector<int> GridShape::neighbors4(int index) const {
+  const TilePos p = posOf(index);
+  std::vector<int> out;
+  out.reserve(4);
+  const TilePos candidates[4] = {{p.row - 1, p.col},
+                                 {p.row + 1, p.col},
+                                 {p.row, p.col - 1},
+                                 {p.row, p.col + 1}};
+  for (const TilePos& c : candidates)
+    if (contains(c)) out.push_back(indexOf(c));
+  return out;
+}
+
+int GridShape::manhattan(int a, int b) const {
+  const TilePos pa = posOf(a);
+  const TilePos pb = posOf(b);
+  return std::abs(pa.row - pb.row) + std::abs(pa.col - pb.col);
+}
+
+double GridShape::euclid(int a, int b) const {
+  const TilePos pa = posOf(a);
+  const TilePos pb = posOf(b);
+  const double dr = pa.row - pb.row;
+  const double dc = pa.col - pb.col;
+  return std::sqrt(dr * dr + dc * dc);
+}
+
+FloorPlan::FloorPlan(GridShape shape, Meters tileWidth, Meters tileHeight)
+    : shape_(shape), tileWidth_(tileWidth), tileHeight_(tileHeight) {
+  HAYAT_REQUIRE(tileWidth > 0.0 && tileHeight > 0.0,
+                "tile dimensions must be positive");
+}
+
+FloorPlan::Point FloorPlan::tileCenter(int index) const {
+  const TilePos p = shape_.posOf(index);
+  return {(p.col + 0.5) * tileWidth_, (p.row + 0.5) * tileHeight_};
+}
+
+Meters FloorPlan::centerDistance(int a, int b) const {
+  const Point pa = tileCenter(a);
+  const Point pb = tileCenter(b);
+  const double dx = pa.x - pb.x;
+  const double dy = pa.y - pb.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace hayat

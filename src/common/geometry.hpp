@@ -1,0 +1,91 @@
+// Chip geometry: the regular grid of core tiles used by the floorplan,
+// the thermal network builder, and the spatial-correlation model.
+//
+// The paper's platform is an 8x8 tile array of identical Alpha-like cores
+// (1.70 x 1.75 mm^2 each, Fig. 2 caption); GridShape captures the tiling
+// and FloorPlan adds physical dimensions.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// Row/column position of a tile in the grid.
+struct TilePos {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const TilePos&, const TilePos&) = default;
+};
+
+/// A rows x cols tiling with flat-index <-> (row, col) conversion.
+class GridShape {
+ public:
+  GridShape() = default;
+  GridShape(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int count() const { return rows_ * cols_; }
+
+  int indexOf(TilePos p) const;
+  TilePos posOf(int index) const;
+  bool contains(TilePos p) const;
+
+  /// 4-connected neighbors (N/S/E/W) of a tile, as flat indices.
+  std::vector<int> neighbors4(int index) const;
+
+  /// Manhattan distance between two tiles.
+  int manhattan(int a, int b) const;
+
+  /// Euclidean distance between tile centers in tile units.
+  double euclid(int a, int b) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+/// Physical floorplan: a GridShape of identical core tiles with physical
+/// dimensions, giving tile centers in meters for the thermal and
+/// variation models.
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+
+  /// Grid of tiles, each tileWidth x tileHeight meters.
+  FloorPlan(GridShape shape, Meters tileWidth, Meters tileHeight);
+
+  const GridShape& shape() const { return shape_; }
+  int coreCount() const { return shape_.count(); }
+
+  Meters tileWidth() const { return tileWidth_; }
+  Meters tileHeight() const { return tileHeight_; }
+  Meters chipWidth() const { return tileWidth_ * shape_.cols(); }
+  Meters chipHeight() const { return tileHeight_ * shape_.rows(); }
+
+  /// Area of one core tile [m^2].
+  double tileArea() const { return tileWidth_ * tileHeight_; }
+
+  /// Total die area [m^2].
+  double chipArea() const { return chipWidth() * chipHeight(); }
+
+  /// Physical center of tile i, chip origin at the top-left corner.
+  struct Point {
+    Meters x = 0.0;
+    Meters y = 0.0;
+  };
+  Point tileCenter(int index) const;
+
+  /// Euclidean center-to-center distance between tiles [m].
+  Meters centerDistance(int a, int b) const;
+
+ private:
+  GridShape shape_;
+  Meters tileWidth_ = 0.0;
+  Meters tileHeight_ = 0.0;
+};
+
+}  // namespace hayat

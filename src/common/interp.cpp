@@ -1,0 +1,95 @@
+#include "common/interp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+Axis::Axis(std::vector<double> points) : points_(std::move(points)) {
+  HAYAT_REQUIRE(points_.size() >= 2, "axis needs at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    HAYAT_REQUIRE(points_[i] > points_[i - 1], "axis must be strictly increasing");
+}
+
+Axis Axis::linspace(double lo, double hi, int n) {
+  HAYAT_REQUIRE(n >= 2, "linspace needs at least two points");
+  HAYAT_REQUIRE(hi > lo, "linspace needs hi > lo");
+  std::vector<double> pts(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) pts[static_cast<std::size_t>(i)] = lo + step * i;
+  pts.back() = hi;  // avoid accumulated rounding at the end point
+  return Axis(std::move(pts));
+}
+
+Axis::Bracket Axis::locate(double x) const {
+  if (x <= points_.front()) return {0, 0.0};
+  if (x >= points_.back()) return {static_cast<int>(points_.size()) - 2, 1.0};
+  const auto it = std::upper_bound(points_.begin(), points_.end(), x);
+  const int hi = static_cast<int>(it - points_.begin());
+  const int lo = hi - 1;
+  const double p0 = points_[static_cast<std::size_t>(lo)];
+  const double p1 = points_[static_cast<std::size_t>(hi)];
+  return {lo, (x - p0) / (p1 - p0)};
+}
+
+Table3::Table3(Axis a0, Axis a1, Axis a2)
+    : a0_(std::move(a0)),
+      a1_(std::move(a1)),
+      a2_(std::move(a2)),
+      values_(static_cast<std::size_t>(a0_.size()) *
+                  static_cast<std::size_t>(a1_.size()) *
+                  static_cast<std::size_t>(a2_.size()),
+              0.0) {}
+
+std::size_t Table3::flat(int i, int j, int k) const {
+  HAYAT_DCHECK(i >= 0 && i < a0_.size());
+  HAYAT_DCHECK(j >= 0 && j < a1_.size());
+  HAYAT_DCHECK(k >= 0 && k < a2_.size());
+  return (static_cast<std::size_t>(i) * static_cast<std::size_t>(a1_.size()) +
+          static_cast<std::size_t>(j)) *
+             static_cast<std::size_t>(a2_.size()) +
+         static_cast<std::size_t>(k);
+}
+
+double& Table3::at(int i, int j, int k) { return values_[flat(i, j, k)]; }
+double Table3::at(int i, int j, int k) const { return values_[flat(i, j, k)]; }
+
+double Table3::interpolate(double x0, double x1, double x2) const {
+  HAYAT_REQUIRE(!values_.empty(), "interpolating an empty table");
+  const auto b0 = a0_.locate(x0);
+  const auto b1 = a1_.locate(x1);
+  const auto b2 = a2_.locate(x2);
+
+  double acc = 0.0;
+  for (int di = 0; di <= 1; ++di) {
+    const double w0 = di ? b0.frac : 1.0 - b0.frac;
+    if (w0 == 0.0) continue;
+    for (int dj = 0; dj <= 1; ++dj) {
+      const double w1 = dj ? b1.frac : 1.0 - b1.frac;
+      if (w1 == 0.0) continue;
+      for (int dk = 0; dk <= 1; ++dk) {
+        const double w2 = dk ? b2.frac : 1.0 - b2.frac;
+        if (w2 == 0.0) continue;
+        acc += w0 * w1 * w2 * at(b0.index + di, b1.index + dj, b2.index + dk);
+      }
+    }
+  }
+  return acc;
+}
+
+Table1::Table1(Axis axis, std::vector<double> values)
+    : axis_(std::move(axis)), values_(std::move(values)) {
+  HAYAT_REQUIRE(static_cast<int>(values_.size()) == axis_.size(),
+                "value count must match axis size");
+}
+
+double Table1::interpolate(double x) const {
+  HAYAT_REQUIRE(!values_.empty(), "interpolating an empty table");
+  const auto b = axis_.locate(x);
+  const double v0 = values_[static_cast<std::size_t>(b.index)];
+  const double v1 = values_[static_cast<std::size_t>(b.index) + 1];
+  return (1.0 - b.frac) * v0 + b.frac * v1;
+}
+
+}  // namespace hayat

@@ -1,0 +1,97 @@
+// Interpolation tables.
+//
+// The Hayat health estimator replaces online aging simulation with lookups
+// into offline-generated 3D tables over (temperature, duty cycle, age)
+// — Section IV-B step (1).  Table3 provides the trilinear interpolation /
+// clamping semantics those lookups need; Axis is a monotone sample grid.
+#pragma once
+
+#include <vector>
+
+namespace hayat {
+
+/// A strictly increasing 1-D sample grid with interpolation helpers.
+class Axis {
+ public:
+  Axis() = default;
+
+  /// Takes ownership of strictly increasing sample points (>= 2).
+  explicit Axis(std::vector<double> points);
+
+  /// Uniformly spaced axis with n >= 2 points covering [lo, hi].
+  static Axis linspace(double lo, double hi, int n);
+
+  int size() const { return static_cast<int>(points_.size()); }
+  double operator[](int i) const { return points_[static_cast<std::size_t>(i)]; }
+  double front() const { return points_.front(); }
+  double back() const { return points_.back(); }
+  const std::vector<double>& points() const { return points_; }
+
+  /// Locates x on the axis: returns the left bracket index i and the
+  /// interpolation fraction t in [0,1] such that x ~ (1-t)*p[i] + t*p[i+1].
+  /// Values outside the axis range clamp to the nearest end.
+  struct Bracket {
+    int index;
+    double frac;
+  };
+  Bracket locate(double x) const;
+
+ private:
+  std::vector<double> points_;
+};
+
+/// Dense 3-D table with trilinear interpolation, used for the offline
+/// aging tables: value(T, d, y) -> delay-degradation factor.
+class Table3 {
+ public:
+  Table3() = default;
+
+  /// Axes define the grid; values are initialized to zero.
+  Table3(Axis a0, Axis a1, Axis a2);
+
+  double& at(int i, int j, int k);
+  double at(int i, int j, int k) const;
+
+  const Axis& axis0() const { return a0_; }
+  const Axis& axis1() const { return a1_; }
+  const Axis& axis2() const { return a2_; }
+
+  /// Trilinear interpolation; coordinates outside the grid clamp to the
+  /// boundary (the physically meaningful behaviour for temperatures or
+  /// ages beyond the tabulated range).
+  double interpolate(double x0, double x1, double x2) const;
+
+  /// Fills every entry from a callable f(x0, x1, x2) evaluated at the grid
+  /// points.  This is how the offline aging-table generator populates the
+  /// table from the SPICE-equivalent model.
+  template <typename F>
+  void fill(F&& f) {
+    for (int i = 0; i < a0_.size(); ++i)
+      for (int j = 0; j < a1_.size(); ++j)
+        for (int k = 0; k < a2_.size(); ++k)
+          at(i, j, k) = f(a0_[i], a1_[j], a2_[k]);
+  }
+
+ private:
+  std::size_t flat(int i, int j, int k) const;
+
+  Axis a0_, a1_, a2_;
+  std::vector<double> values_;
+};
+
+/// Linear interpolation over a 1-D table (axis + values).
+class Table1 {
+ public:
+  Table1() = default;
+  Table1(Axis axis, std::vector<double> values);
+
+  double interpolate(double x) const;
+  const Axis& axis() const { return axis_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  Axis axis_;
+  std::vector<double> values_;
+};
+
+}  // namespace hayat

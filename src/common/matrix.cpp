@@ -1,0 +1,178 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0.0) {
+  HAYAT_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dimensions");
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  HAYAT_REQUIRE(static_cast<int>(x.size()) == cols_,
+                "matrix-vector dimension mismatch");
+  Vector y(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[static_cast<std::size_t>(r) *
+                               static_cast<std::size_t>(cols_)];
+    for (int c = 0; c < cols_; ++c) acc += row[c] * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::add(const Matrix& other) const {
+  HAYAT_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                "matrix addition shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+LuFactorization::LuFactorization(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(static_cast<std::size_t>(a.rows())) {
+  HAYAT_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  for (int i = 0; i < n_; ++i) perm_[static_cast<std::size_t>(i)] = i;
+
+  for (int k = 0; k < n_; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    int pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (int r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    HAYAT_REQUIRE(best > 1e-300, "singular matrix in LU factorization");
+    if (pivot != k) {
+      for (int c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[static_cast<std::size_t>(k)],
+                perm_[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (int r = k + 1; r < n_; ++r) {
+      const double factor = lu_(r, k) * inv;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (int c = k + 1; c < n_; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  HAYAT_REQUIRE(static_cast<int>(b.size()) == n_, "rhs size mismatch");
+  Vector x(static_cast<std::size_t>(n_));
+  // Apply permutation, forward substitution (unit lower triangle).
+  for (int i = 0; i < n_; ++i) {
+    double acc = b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+    for (int j = 0; j < i; ++j) acc -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back substitution.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n_; ++j)
+      acc -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+CholeskyFactorization::CholeskyFactorization(const Matrix& a)
+    : n_(a.rows()), l_(a.rows(), a.cols()) {
+  HAYAT_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  // Small diagonal jitter makes near-singular covariance matrices (long
+  // correlation ranges) factor robustly without visibly changing samples.
+  double maxDiag = 0.0;
+  for (int i = 0; i < n_; ++i) maxDiag = std::max(maxDiag, std::fabs(a(i, i)));
+  const double jitter = 1e-10 * (maxDiag > 0.0 ? maxDiag : 1.0);
+
+  for (int j = 0; j < n_; ++j) {
+    double diag = a(j, j) + jitter;
+    for (int k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    HAYAT_REQUIRE(diag > 0.0, "matrix not positive definite in Cholesky");
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < n_; ++i) {
+      double acc = a(i, j);
+      for (int k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc * inv;
+    }
+  }
+}
+
+Vector CholeskyFactorization::applyL(const Vector& z) const {
+  HAYAT_REQUIRE(static_cast<int>(z.size()) == n_, "vector size mismatch");
+  Vector out(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j <= i; ++j) acc += l_(i, j) * z[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+Vector CholeskyFactorization::solve(const Vector& b) const {
+  HAYAT_REQUIRE(static_cast<int>(b.size()) == n_, "rhs size mismatch");
+  Vector y(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    double acc = b[static_cast<std::size_t>(i)];
+    for (int j = 0; j < i; ++j) acc -= l_(i, j) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc / l_(i, i);
+  }
+  Vector x(static_cast<std::size_t>(n_));
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n_; ++j)
+      acc -= l_(j, i) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / l_(i, i);
+  }
+  return x;
+}
+
+double norm2(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double maxAbsDiff(const Vector& a, const Vector& b) {
+  HAYAT_REQUIRE(a.size() == b.size(), "vector size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace hayat

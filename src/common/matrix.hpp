@@ -1,0 +1,114 @@
+// Small dense linear algebra used by the thermal solver and the
+// spatially-correlated variation generator.
+//
+// The problem sizes here are modest (a few hundred nodes for the RC
+// thermal network, a few hundred grid points for the variation field), so
+// a straightforward dense row-major implementation with partial-pivoting
+// LU and Cholesky is both simple and fast enough: one 260x260 LU factors
+// in well under a millisecond.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hayat {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int rows, int cols);
+
+  /// Square n x n matrix, zero-initialized.
+  static Matrix zero(int n) { return Matrix(n, n); }
+
+  /// n x n identity.
+  static Matrix identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  /// Matrix-vector product y = A x.  Requires x.size() == cols().
+  Vector multiply(const Vector& x) const;
+
+  /// A + B (same shape).
+  Matrix add(const Matrix& other) const;
+
+  /// A scaled by s.
+  Matrix scaled(double s) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Raw storage (row-major), e.g. for tests.
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting.  Factor once, then solve for
+/// many right-hand sides — the transient thermal solver back-substitutes
+/// thousands of times per factorization.
+class LuFactorization {
+ public:
+  /// Factors a square matrix.  Throws hayat::Error if singular.
+  explicit LuFactorization(const Matrix& a);
+
+  /// Solves A x = b for the factored A.
+  Vector solve(const Vector& b) const;
+
+  int size() const { return n_; }
+
+ private:
+  int n_ = 0;
+  Matrix lu_;
+  std::vector<int> perm_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix.  Used to sample correlated Gaussian fields: x = L z with
+/// z ~ N(0, I) has covariance A.
+class CholeskyFactorization {
+ public:
+  /// Factors a symmetric positive-definite matrix.  Throws hayat::Error
+  /// if the matrix is not positive definite (within a small tolerance
+  /// jitter added to the diagonal for near-singular covariance matrices).
+  explicit CholeskyFactorization(const Matrix& a);
+
+  /// Returns L z (lower-triangular times vector).
+  Vector applyL(const Vector& z) const;
+
+  /// Solves A x = b via forward/back substitution.
+  Vector solve(const Vector& b) const;
+
+  int size() const { return n_; }
+  const Matrix& lower() const { return l_; }
+
+ private:
+  int n_ = 0;
+  Matrix l_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(const Vector& v);
+
+/// Maximum absolute difference between two equal-length vectors.
+double maxAbsDiff(const Vector& a, const Vector& b);
+
+}  // namespace hayat

@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+
+// SplitMix64: used only to expand the seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Guard against the all-zero state (never produced by splitmix64 from
+  // distinct increments in practice, but cheap to ensure).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::nextU64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HAYAT_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniformInt(int n) {
+  HAYAT_REQUIRE(n > 0, "uniformInt(n) requires n > 0");
+  // Modulo bias is negligible for n << 2^64.
+  return static_cast<int>(nextU64() % static_cast<std::uint64_t>(n));
+}
+
+double Rng::gaussian() {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  hasSpare_ = true;
+  return u * mul;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  HAYAT_REQUIRE(stddev >= 0.0, "negative standard deviation");
+  return mean + stddev * gaussian();
+}
+
+std::vector<double> Rng::gaussianVector(int n) {
+  HAYAT_REQUIRE(n >= 0, "negative vector size");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto& x : out) x = gaussian();
+  return out;
+}
+
+Rng Rng::split() { return Rng(nextU64() ^ 0xD1B54A32D192ED03ull); }
+
+}  // namespace hayat

@@ -1,0 +1,54 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components (process-variation fields, workload phase
+// generators, chip populations) draw from hayat::Rng so a single seed
+// reproduces an entire experiment.  The generator is xoshiro256** — fast,
+// high-quality, and stable across platforms (unlike std::mt19937's
+// distribution implementations, which vary between standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hayat {
+
+/// Deterministic PRNG (xoshiro256**) with portable Gaussian sampling.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams on all
+  /// platforms.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t nextU64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int uniformInt(int n);
+
+  /// Standard normal sample (Marsaglia polar method — portable, unlike
+  /// std::normal_distribution).
+  double gaussian();
+
+  /// Normal sample with given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Vector of n independent standard normal samples.
+  std::vector<double> gaussianVector(int n);
+
+  /// Derives an independent child generator (for per-chip / per-thread
+  /// sub-streams) without correlating with the parent stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool hasSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace hayat

@@ -1,0 +1,75 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+double mean(const std::vector<double>& v) {
+  HAYAT_REQUIRE(!v.empty(), "mean of empty vector");
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  HAYAT_REQUIRE(v.size() >= 2, "stddev needs at least two samples");
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double minOf(const std::vector<double>& v) {
+  HAYAT_REQUIRE(!v.empty(), "min of empty vector");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double maxOf(const std::vector<double>& v) {
+  HAYAT_REQUIRE(!v.empty(), "max of empty vector");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double percentile(std::vector<double> v, double p) {
+  HAYAT_REQUIRE(!v.empty(), "percentile of empty vector");
+  HAYAT_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v.front();
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  HAYAT_REQUIRE(a.size() == b.size(), "correlation needs equal lengths");
+  HAYAT_REQUIRE(a.size() >= 2, "correlation needs at least two samples");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  HAYAT_REQUIRE(va > 0.0 && vb > 0.0, "correlation of constant series");
+  return cov / std::sqrt(va * vb);
+}
+
+Summary summarize(const std::vector<double>& v) {
+  HAYAT_REQUIRE(!v.empty(), "summary of empty vector");
+  Summary s;
+  s.mean = mean(v);
+  s.stddev = v.size() >= 2 ? stddev(v) : 0.0;
+  s.min = minOf(v);
+  s.max = maxOf(v);
+  s.median = percentile(v, 50.0);
+  return s;
+}
+
+}  // namespace hayat

@@ -1,0 +1,39 @@
+// Descriptive statistics used by the experiment harnesses (chip-population
+// sweeps, normalized bar charts) and by the variation-model tests.
+#pragma once
+
+#include <vector>
+
+namespace hayat {
+
+/// Arithmetic mean. Requires a non-empty input.
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator). Requires >= 2 samples.
+double stddev(const std::vector<double>& v);
+
+/// Smallest element. Requires a non-empty input.
+double minOf(const std::vector<double>& v);
+
+/// Largest element. Requires a non-empty input.
+double maxOf(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> v, double p);
+
+/// Pearson correlation coefficient of two equal-length series (>= 2).
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Summary bundle for experiment reporting.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes all Summary fields in one pass over the data.
+Summary summarize(const std::vector<double>& v);
+
+}  // namespace hayat

@@ -1,0 +1,97 @@
+#include "common/text_table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HAYAT_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  HAYAT_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::addRow(const std::string& label,
+                       const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(formatDouble(v, precision));
+  addRow(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  renderRow(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) renderRow(row);
+  return os.str();
+}
+
+std::string formatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string renderHeatmap(const GridShape& shape,
+                          const std::vector<double>& values, int precision) {
+  HAYAT_REQUIRE(static_cast<int>(values.size()) == shape.count(),
+                "value count must match grid size");
+  std::size_t width = 0;
+  std::vector<std::string> cells(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cells[i] = formatDouble(values[i], precision);
+    width = std::max(width, cells[i].size());
+  }
+  std::ostringstream os;
+  for (int r = 0; r < shape.rows(); ++r) {
+    for (int c = 0; c < shape.cols(); ++c) {
+      const auto idx = static_cast<std::size_t>(shape.indexOf({r, c}));
+      os << (c == 0 ? "" : "  ") << std::right
+         << std::setw(static_cast<int>(width)) << cells[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string renderBoolMap(const GridShape& shape, const std::vector<bool>& on) {
+  HAYAT_REQUIRE(static_cast<int>(on.size()) == shape.count(),
+                "flag count must match grid size");
+  std::ostringstream os;
+  for (int r = 0; r < shape.rows(); ++r) {
+    for (int c = 0; c < shape.cols(); ++c) {
+      const auto idx = static_cast<std::size_t>(shape.indexOf({r, c}));
+      os << (c == 0 ? "" : " ") << (on[idx] ? '#' : '.');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hayat

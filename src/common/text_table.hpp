@@ -1,0 +1,51 @@
+// Console table/series rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces a paper table or figure as text: TextTable
+// prints aligned columns; renderHeatmap prints a per-tile value map (the
+// textual analogue of the paper's color maps in Fig. 2 / Fig. 11); and
+// renderSeries prints an x/y series as rows suitable for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace hayat {
+
+/// Builds and renders an aligned, pipe-separated text table.
+class TextTable {
+ public:
+  /// Column headers fix the column count for all subsequent rows.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void addRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table with padded columns.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string formatDouble(double v, int precision = 3);
+
+/// Renders a per-tile map of values over the grid (row-major), one grid
+/// row per line — the textual analogue of the paper's heat/frequency maps.
+std::string renderHeatmap(const GridShape& shape,
+                          const std::vector<double>& values,
+                          int precision = 2);
+
+/// Renders an on/off map (e.g. a Dark Core Map): '#' for true, '.' for
+/// false.
+std::string renderBoolMap(const GridShape& shape,
+                          const std::vector<bool>& on);
+
+}  // namespace hayat

@@ -1,0 +1,134 @@
+#include "core/exhaustive_policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "runtime/thermal_predictor.hpp"
+
+namespace hayat {
+
+namespace {
+
+/// Shared scoring: predicted temperatures + per-core next-health sum.
+double scoreMapping(const PolicyContext& ctx, const Mapping& mapping,
+                    const ThermalPredictor& predictor,
+                    const HealthEstimator& estimator) {
+  const Chip& chip = *ctx.chip;
+  const int n = chip.coreCount();
+  const Vector dyn = mapping.averageDynamicPower(*ctx.mix,
+                                                 ctx.nominalFrequency);
+  std::vector<bool> on(static_cast<std::size_t>(n));
+  std::vector<double> duty(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    on[s] = mapping.coreBusy(i);
+    if (const auto& slot = mapping.onCore(i); slot.has_value()) {
+      duty[s] = ctx.mix->applications[static_cast<std::size_t>(slot->ref.app)]
+                    .thread(slot->ref.thread)
+                    .averageDuty();
+    }
+  }
+  const Vector temps = predictor.predict(dyn, on);
+  for (double t : temps)
+    if (t >= ctx.tsafe) return -1.0;  // Eq. (4) violated
+
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    sum += estimator.estimateNextHealth(ctx.health().state(i), temps[s],
+                                        duty[s], ctx.epochYears);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ExhaustivePolicy::ExhaustivePolicy(ExhaustiveConfig config)
+    : config_(config) {
+  HAYAT_REQUIRE(config.maxAssignments >= 1, "assignment cap must be >= 1");
+}
+
+std::uint64_t ExhaustivePolicy::assignmentCount(int cores, int threads) {
+  HAYAT_REQUIRE(cores >= 0 && threads >= 0, "negative sizes");
+  if (threads > cores) return 0;
+  std::uint64_t count = 1;
+  for (int t = 0; t < threads; ++t) {
+    const auto factor = static_cast<std::uint64_t>(cores - t);
+    // Saturating multiply keeps absurd instances from overflowing.
+    if (count > UINT64_MAX / factor) return UINT64_MAX;
+    count *= factor;
+  }
+  return count;
+}
+
+double ExhaustivePolicy::objective(const PolicyContext& ctx,
+                                   const Mapping& mapping) {
+  HAYAT_REQUIRE(ctx.chip && ctx.mix && ctx.thermal && ctx.leakage,
+                "incomplete policy context");
+  const ThermalPredictor predictor(*ctx.thermal, *ctx.leakage);
+  const HealthEstimator estimator(ctx.chip->agingTable(), DutyPolicy::Known);
+  return scoreMapping(ctx, mapping, predictor, estimator);
+}
+
+Mapping ExhaustivePolicy::map(const PolicyContext& ctx) {
+  HAYAT_REQUIRE(ctx.chip && ctx.mix && ctx.thermal && ctx.leakage,
+                "incomplete policy context");
+  const Chip& chip = *ctx.chip;
+  const int n = chip.coreCount();
+  const int budget = std::max(
+      1, static_cast<int>(n * (1.0 - ctx.minDarkFraction) + 1e-9));
+  const std::vector<int> parallelism = chooseParallelism(*ctx.mix, budget);
+  const std::vector<RunnableThread> threads =
+      runnableThreads(*ctx.mix, parallelism);
+  const int t = static_cast<int>(threads.size());
+
+  const std::uint64_t total = assignmentCount(n, t);
+  HAYAT_REQUIRE(total > 0, "more threads than cores");
+  HAYAT_REQUIRE(total <= config_.maxAssignments,
+                "instance too large for exhaustive enumeration — this is "
+                "exactly the Section IV-A infeasibility argument");
+
+  const ThermalPredictor predictor(*ctx.thermal, *ctx.leakage);
+  const HealthEstimator estimator(chip.agingTable(), config_.dutyPolicy);
+
+  // Depth-first enumeration of injective thread->core assignments.
+  Mapping best(n);
+  double bestScore = -2.0;
+  std::vector<int> assignment(static_cast<std::size_t>(t), -1);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+
+  // Recursive lambda via explicit stack-free recursion helper.
+  auto place = [&](auto&& self, int depth) -> void {
+    if (depth == t) {
+      Mapping candidate(n);
+      for (int k = 0; k < t; ++k) {
+        const RunnableThread& th = threads[static_cast<std::size_t>(k)];
+        const int core = assignment[static_cast<std::size_t>(k)];
+        candidate.assign(th.ref, core,
+                         operatingFrequency(ctx, core, th.minFrequency),
+                         th.minFrequency);
+      }
+      const double score =
+          scoreMapping(ctx, candidate, predictor, estimator);
+      if (score > bestScore) {
+        bestScore = score;
+        best = candidate;
+      }
+      return;
+    }
+    for (int core = 0; core < n; ++core) {
+      if (used[static_cast<std::size_t>(core)]) continue;
+      used[static_cast<std::size_t>(core)] = true;
+      assignment[static_cast<std::size_t>(depth)] = core;
+      self(self, depth + 1);
+      used[static_cast<std::size_t>(core)] = false;
+    }
+  };
+  place(place, 0);
+
+  HAYAT_REQUIRE(best.assignedCount() == t,
+                "exhaustive search found no assignment");
+  return best;
+}
+
+}  // namespace hayat

@@ -1,0 +1,55 @@
+// Exhaustive (optimal) aging-aware mapper for small instances.
+//
+// Section IV-A formulates the joint patterning/mapping problem as an ILP
+// maximizing the sum of predicted next healths (Eq. 6) subject to Tsafe
+// (Eq. 4) and one-thread-per-core (Eq. 5), and notes that it "is not
+// feasible to be evaluated at run time in polynomial time complexity".
+//
+// This policy solves that formulation *exactly* by enumerating every
+// thread-to-core assignment — practical only for small chips and thread
+// counts, which is precisely its purpose here: an offline optimality
+// reference that (a) quantifies how close Algorithm 1's heuristic gets
+// (tests + bench_ablation_optimal) and (b) demonstrates why the
+// exhaustive approach cannot run online (its cost explodes factorially;
+// the overhead bench shows the contrast).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/health_estimator.hpp"
+#include "runtime/mapping.hpp"
+
+namespace hayat {
+
+/// Configuration of the exhaustive search.
+struct ExhaustiveConfig {
+  /// Hard cap on enumerated assignments; instances above it throw, which
+  /// keeps accidental use on full-size chips from hanging the caller.
+  std::uint64_t maxAssignments = 2'000'000;
+  DutyPolicy dutyPolicy = DutyPolicy::Known;
+};
+
+/// The Eq. (3)-(6) optimum by enumeration.
+class ExhaustivePolicy : public MappingPolicy {
+ public:
+  explicit ExhaustivePolicy(ExhaustiveConfig config = {});
+
+  std::string name() const override { return "Exhaustive"; }
+
+  Mapping map(const PolicyContext& context) override;
+
+  /// The Eq. (6) objective of an arbitrary mapping under a context: sum
+  /// of estimated end-of-epoch healths over all cores, or -1 if the
+  /// mapping's predicted temperatures violate Tsafe (Eq. 4).  Exposed so
+  /// tests and benches can score heuristic mappings on the same scale.
+  static double objective(const PolicyContext& context, const Mapping& mapping);
+
+  /// Number of assignments the search would enumerate for the context
+  /// (threads placed one per core): N * (N-1) * ... * (N-T+1).
+  static std::uint64_t assignmentCount(int cores, int threads);
+
+ private:
+  ExhaustiveConfig config_;
+};
+
+}  // namespace hayat

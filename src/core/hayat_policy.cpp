@@ -1,0 +1,212 @@
+#include "core/hayat_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+HayatPolicy::HayatPolicy(HayatConfig config) : config_(config) {
+  HAYAT_REQUIRE(config.wmax > 0.0, "wmax must be positive");
+  HAYAT_REQUIRE(config.earlyAlphaGHz > 0.0 && config.lateAlphaGHz > 0.0,
+                "alpha coefficients must be positive");
+  HAYAT_REQUIRE(config.earlyBeta >= 0.0 && config.lateBeta >= 0.0,
+                "beta coefficients must be non-negative");
+  HAYAT_REQUIRE(config.lateAgingOnset >= 0.0, "negative late-aging onset");
+}
+
+double HayatPolicy::weightOf(double slackGHz, double healthRatio,
+                             Years elapsed, double wear) const {
+  const bool late = elapsed >= config_.lateAgingOnset;
+  const double alpha = late ? config_.lateAlphaGHz : config_.earlyAlphaGHz;
+  const double beta = late ? config_.lateBeta : config_.earlyBeta;
+  // Frequency-matching term, capped at wmax ("limited to a certain
+  // maximum weight"); zero/negative slack is a perfect match -> wmax.
+  const double matching =
+      slackGHz <= 0.0 ? config_.wmax
+                      : std::min(config_.wmax, alpha / slackGHz);
+  return matching + beta * healthRatio - config_.wearGamma * wear;
+}
+
+Mapping HayatPolicy::map(const PolicyContext& context) {
+  HAYAT_REQUIRE(context.chip && context.mix && context.thermal &&
+                    context.leakage,
+                "incomplete policy context");
+  const int n = context.chip->coreCount();
+  const int maxOn = std::max(
+      1, static_cast<int>(n * (1.0 - context.minDarkFraction) + 1e-9));
+  const std::vector<int> parallelism =
+      chooseParallelism(*context.mix, maxOn);
+
+  Mapping mapping(n);
+  placeThreads(context, runnableThreads(*context.mix, parallelism), mapping);
+  return mapping;
+}
+
+Mapping HayatPolicy::placeApplication(const PolicyContext& context,
+                                      const Mapping& existing, int appIndex,
+                                      int activeThreads) {
+  HAYAT_REQUIRE(context.chip && context.mix && context.thermal &&
+                    context.leakage,
+                "incomplete policy context");
+  HAYAT_REQUIRE(appIndex >= 0 &&
+                    appIndex < static_cast<int>(context.mix->applications.size()),
+                "application index out of range");
+  const Application& app =
+      context.mix->applications[static_cast<std::size_t>(appIndex)];
+  const int k = activeThreads > 0 ? activeThreads : app.maxThreads();
+  HAYAT_REQUIRE(k >= app.minThreads() && k <= app.maxThreads(),
+                "active thread count outside the malleable range");
+
+  const int n = context.chip->coreCount();
+  const int maxOn = std::max(
+      1, static_cast<int>(n * (1.0 - context.minDarkFraction) + 1e-9));
+  HAYAT_REQUIRE(existing.assignedCount() + k <= maxOn,
+                "arriving application would violate the dark-silicon "
+                "budget");
+
+  std::vector<RunnableThread> arriving;
+  for (int t = 0; t < k; ++t) {
+    RunnableThread rt;
+    rt.ref = {appIndex, t};
+    rt.minFrequency = app.minFrequencyAt(t, k);
+    rt.averagePower = app.thread(t).averagePower();
+    rt.peakPower = app.thread(t).peakPower();
+    rt.averageDuty = app.thread(t).averageDuty();
+    arriving.push_back(rt);
+  }
+
+  Mapping mapping = existing;
+  placeThreads(context, std::move(arriving), mapping);
+  return mapping;
+}
+
+void HayatPolicy::placeThreads(const PolicyContext& context,
+                               std::vector<RunnableThread> threads,
+                               Mapping& mapping) const {
+  const Chip& chip = *context.chip;
+  const int n = chip.coreCount();
+
+  // Work-list order: most demanding threads first — they have the fewest
+  // feasible cores, so they choose before the pool thins out.
+  std::sort(threads.begin(), threads.end(),
+            [](const RunnableThread& a, const RunnableThread& b) {
+              return a.minFrequency > b.minFrequency;
+            });
+
+  const ThermalPredictor predictor(*context.thermal, *context.leakage,
+                                   config_.leakageIterations);
+  const HealthEstimator estimator(chip.agingTable(), config_.dutyPolicy);
+
+  // Baseline reflects whatever is already running in the mapping.
+  Vector dynPower =
+      mapping.averageDynamicPower(*context.mix, context.nominalFrequency);
+  std::vector<bool> on(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i)
+    on[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
+  ThermalPredictor::Baseline baseline = predictor.makeBaseline(dynPower, on);
+
+  for (const RunnableThread& t : threads) {
+    // Candidate cores: idle and fast enough at their current age; if the
+    // requirement is infeasible everywhere, fall back to all idle cores
+    // (best effort — the shortfall surfaces as a throughput violation).
+    std::vector<int> candidates;
+    for (int c = 0; c < n; ++c) {
+      if (mapping.coreBusy(c)) continue;
+      if (context.observedFmax(c) >= t.minFrequency) candidates.push_back(c);
+    }
+    if (candidates.empty()) {
+      for (int c = 0; c < n; ++c)
+        if (!mapping.coreBusy(c)) candidates.push_back(c);
+    }
+    HAYAT_REQUIRE(!candidates.empty(), "no idle core left");
+
+    // --- Evaluate candidates (Algorithm 1 lines 5-20). ---
+    std::vector<HayatCandidate> s;
+    s.reserve(candidates.size());
+    for (int cand : candidates) {
+      const Hertz freq = operatingFrequency(context, cand, t.minFrequency);
+      const Watts addedPower =
+          t.averagePower * (freq / context.nominalFrequency);
+      const Vector tNext =
+          predictor.predictWithCandidate(baseline, cand, addedPower);
+
+      // Lines 9-13: Tmax bookkeeping and the Tsafe guard.  The guard is
+      // evaluated at the thread's *worst-case phase power* (the paper's
+      // estimator supports worst-case settings, Section IV-C): an
+      // average-power check would admit placements whose phase peaks trip
+      // the DTM all epoch long.
+      const Watts peakPower =
+          std::max(t.peakPower, t.averagePower) *
+          (freq / context.nominalFrequency);
+      const Vector tPeak =
+          predictor.predictWithCandidate(baseline, cand, peakPower);
+      double tMax = 0.0;
+      double tSum = 0.0;
+      for (double temp : tNext) tSum += temp;
+      for (double temp : tPeak) tMax = std::max(tMax, temp);
+      if (tMax >= context.tsafe) continue;  // line 12-13
+
+      // Line 15: candidate's estimated end-of-epoch health.
+      const auto cs = static_cast<std::size_t>(cand);
+      const double hNext = estimator.estimateNextHealth(
+          context.health().state(cand), tNext[cs], t.averageDuty,
+          context.epochYears);
+      const double hNow = context.health().health(cand);
+
+      HayatCandidate record;
+      record.core = cand;
+      record.candidateNextHealth = hNext;
+      record.averageNextTemperature = tSum / n;
+      record.maxNextTemperature = tMax;
+      const double slackGHz =
+          (context.observedFmax(cand) - t.minFrequency) / 1e9;
+      record.weight =
+          weightOf(slackGHz, hNext / hNow, context.elapsedYears,
+                   context.observedWearOf(cand));
+      s.push_back(record);
+    }
+
+    if (s.empty()) {
+      // Every candidate trips Tsafe: take the thermally least-bad idle
+      // core; the DTM will police the consequence.  (The paper's
+      // algorithm cannot leave a runnable thread unmapped.)
+      int coolest = candidates.front();
+      double bestT = 1e300;
+      for (int cand : candidates) {
+        const Vector tNext = predictor.predictWithCandidate(
+            baseline, cand,
+            t.averagePower *
+                (operatingFrequency(context, cand, t.minFrequency) /
+                 context.nominalFrequency));
+        const double tMax = *std::max_element(tNext.begin(), tNext.end());
+        if (tMax < bestT) {
+          bestT = tMax;
+          coolest = cand;
+        }
+      }
+      s.push_back(HayatCandidate{coolest, 0.0, 0.0, bestT});
+    }
+
+    // Lines 22-23: sort by weight (ties: cooler average first) and take
+    // the front.
+    std::sort(s.begin(), s.end(),
+              [](const HayatCandidate& a, const HayatCandidate& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.averageNextTemperature < b.averageNextTemperature;
+              });
+    const int chosen = s.front().core;
+    const Hertz freq = operatingFrequency(context, chosen, t.minFrequency);
+    mapping.assign(t.ref, chosen, freq, t.minFrequency);
+
+    // Fold the placement into the predictor baseline (incremental
+    // superposition) so subsequent threads see it.
+    dynPower[static_cast<std::size_t>(chosen)] =
+        t.averagePower * (freq / context.nominalFrequency);
+    on[static_cast<std::size_t>(chosen)] = true;
+    baseline = predictor.makeBaseline(dynPower, on);
+  }
+}
+
+}  // namespace hayat

@@ -1,0 +1,110 @@
+// The Hayat run-time aging-management policy (Section IV, Algorithm 1).
+//
+// For every runnable thread, Hayat evaluates each candidate core:
+//
+//   line  8:  predictTemperature  — incremental superposition prediction
+//             of the chip thermal profile with the candidate placed,
+//   line 12:  discard candidates that would violate T_i < Tsafe,
+//   line 15:  estimateNextHealth  — 3D-aging-table lookup of the
+//             candidate's end-of-epoch health under the predicted
+//             temperature and the thread's duty cycle,
+//   line 17-19: aggregate Tavg/Tmax/Havg for the candidate record,
+//   line 22:  sort candidates by the weighting function (Eq. 9) and
+//   line 23:  assign the thread to the best candidate.
+//
+// Weighting (Eq. 9):
+//
+//   w = cap(wmax, alpha / (fmax_i,t - freq)) + beta * H_next / H_t
+//
+// The first term implements frequency matching: cores whose aged fmax
+// barely exceeds the thread's requirement score high, so fast cores are
+// *preserved* — kept dark for later life or for deadline-critical
+// single-threaded work (Section II's "secondary effect").  The second
+// term prefers placements that degrade the candidate least — cool,
+// thermally isolated cores.  The paper prints `max(wmax, ...)` but
+// describes the term as "limited to a certain maximum weight wmax"; we
+// implement the cap the prose describes.  Early-aging runs balance-heavy
+// coefficients (alpha 0.6, beta 1.0) and late-aging runs matching-heavy
+// ones (alpha 4, beta 0.3), switching at `lateAgingOnset` (Section V).
+//
+// The Dark Core Map falls out of the assignment: cores Hayat leaves
+// without threads are power-gated, and because every candidate passed the
+// Tsafe check, the resulting DCM keeps Tpeak < Tsafe by construction.
+#pragma once
+
+#include "runtime/health_estimator.hpp"
+#include "runtime/mapping.hpp"
+#include "runtime/thermal_predictor.hpp"
+
+namespace hayat {
+
+/// Eq. (9) coefficients and mode switching.
+struct HayatConfig {
+  double earlyAlphaGHz = 0.6;  ///< alpha, in GHz units (Section V: ">1.0 weight at 600 MHz")
+  double earlyBeta = 1.0;
+  double lateAlphaGHz = 4.0;
+  double lateBeta = 0.3;
+  double wmax = 10.0;
+  /// Elapsed lifetime at which the weighting switches from the
+  /// duty-cycle-critical early-aging regime to the temperature-critical
+  /// late-aging regime (Fig. 1 discussion).
+  Years lateAgingOnset = 3.0;
+  DutyPolicy dutyPolicy = DutyPolicy::Known;
+  int leakageIterations = 2;  ///< predictor correction sweeps
+  /// Optional wear-balancing extension (OFF by default — not part of the
+  /// paper's Eq. 9): subtracts wearGamma * consumedLife(candidate) from
+  /// the weight, steering work away from cores whose hard-failure budget
+  /// is most spent.  Motivated by bench_ablation_mttf, which shows pure
+  /// frequency matching concentrates usage on the same tight-match cores.
+  double wearGamma = 0.0;
+};
+
+/// One evaluated candidate (the struct pushed into list S, line 19).
+struct HayatCandidate {
+  int core = -1;
+  double weight = 0.0;
+  double candidateNextHealth = 0.0;
+  double averageNextTemperature = 0.0;
+  double maxNextTemperature = 0.0;
+};
+
+/// Algorithm 1.
+class HayatPolicy : public MappingPolicy {
+ public:
+  explicit HayatPolicy(HayatConfig config = {});
+
+  std::string name() const override { return "Hayat"; }
+
+  Mapping map(const PolicyContext& context) override;
+
+  /// The mid-epoch path (Section VI overhead discussion): "In case a new
+  /// application starts within an aging epoch (typically in intervals of
+  /// several minutes after the previous decision)" only the arriving
+  /// application's threads are placed; already-running threads stay where
+  /// they are.  `appIndex` selects the arriving application within the
+  /// context's mix; `activeThreads` its malleable parallelism (<= its
+  /// maxThreads; <= 0 keeps maximum parallelism).  Throws if the addition
+  /// would violate the dark-silicon budget.
+  Mapping placeApplication(const PolicyContext& context,
+                           const Mapping& existing, int appIndex,
+                           int activeThreads = -1) override;
+
+  /// Eq. (9) for one candidate (exposed for unit tests): `slackGHz` is
+  /// fmax_i,t - freq in GHz, `healthRatio` is H_next / H_t, `wear` the
+  /// candidate's consumed-life fraction (0 disables the extension term).
+  double weightOf(double slackGHz, double healthRatio, Years elapsed,
+                  double wear = 0.0) const;
+
+  const HayatConfig& config() const { return config_; }
+
+ private:
+  /// Shared Algorithm-1 core: places `threads` into `mapping` (which may
+  /// already hold running threads).
+  void placeThreads(const PolicyContext& context,
+                    std::vector<RunnableThread> threads,
+                    Mapping& mapping) const;
+
+  HayatConfig config_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,309 @@
+#include "core/lifetime.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace hayat {
+
+ChipReliability LifetimeResult::reliability() const {
+  return summarizeReliability(coreDamage, horizon);
+}
+
+long LifetimeResult::totalDtmEvents() const {
+  long acc = 0;
+  for (const EpochRecord& e : epochs) acc += e.dtmEvents;
+  return acc;
+}
+
+long LifetimeResult::totalMigrations() const {
+  long acc = 0;
+  for (const EpochRecord& e : epochs) acc += e.migrations;
+  return acc;
+}
+
+double LifetimeResult::averageTemperatureOverAmbient(Kelvin ambient) const {
+  HAYAT_REQUIRE(!epochs.empty(), "empty lifetime result");
+  double acc = 0.0;
+  for (const EpochRecord& e : epochs) acc += e.chipTimeAverage - ambient;
+  return acc / static_cast<double>(epochs.size());
+}
+
+namespace {
+
+/// One epoch's mix evolution under churn: surviving applications keep
+/// their objects (and, in incremental mode, their placements); departures
+/// free budget that fresh arrivals fill.
+struct MixEvolution {
+  WorkloadMix mix;
+  std::vector<int> newIndexOfOld;             ///< -1 = departed
+  std::vector<std::pair<int, int>> arrivals;  ///< (new index, parallelism)
+};
+
+MixEvolution evolveMix(const WorkloadMix& previous,
+                       const Mapping& previousMapping, double churn,
+                       int budget, Hertz nominalFrequency, Rng& rng) {
+  MixEvolution out;
+  out.newIndexOfOld.assign(previous.applications.size(), -1);
+
+  // Count each old application's currently mapped threads.
+  std::vector<int> mappedThreads(previous.applications.size(), 0);
+  for (const MappedThread& t : previousMapping.threads())
+    ++mappedThreads[static_cast<std::size_t>(t.ref.app)];
+
+  int usedBudget = 0;
+  for (std::size_t j = 0; j < previous.applications.size(); ++j) {
+    if (rng.uniform() < churn) continue;  // finished
+    out.newIndexOfOld[j] = static_cast<int>(out.mix.applications.size());
+    out.mix.applications.push_back(previous.applications[j]);
+    usedBudget += mappedThreads[j] > 0
+                      ? mappedThreads[j]
+                      : previous.applications[j].maxThreads();
+  }
+
+  // Fill the freed budget with arrivals (bounded rejected-draw loop, as
+  // in ParsecLikeSuite::makeMix).
+  const auto& specs = ParsecLikeSuite::specs();
+  int rejected = 0;
+  while (usedBudget < budget && rejected < 200) {
+    const BenchmarkSpec& spec = specs[static_cast<std::size_t>(
+        rng.uniformInt(static_cast<int>(specs.size())))];
+    const int remaining = budget - usedBudget;
+    if (spec.minParallelism > remaining) {
+      ++rejected;
+      continue;
+    }
+    const int maxK = std::min(spec.maxParallelism, remaining);
+    const int k =
+        spec.minParallelism + rng.uniformInt(maxK - spec.minParallelism + 1);
+    const int newIdx = static_cast<int>(out.mix.applications.size());
+    out.mix.applications.push_back(
+        ParsecLikeSuite::instantiate(spec, rng, nominalFrequency, k));
+    out.arrivals.emplace_back(newIdx, k);
+    usedBudget += k;
+  }
+  HAYAT_REQUIRE(!out.mix.applications.empty(),
+                "mix evolution produced an empty workload");
+  return out;
+}
+
+Hertz metricAt(const LifetimeResult& r, Years year,
+               Hertz initialValue, Hertz (*pick)(const EpochRecord&)) {
+  if (year <= 0.0 || r.epochs.empty()) return initialValue;
+  Hertz value = initialValue;
+  for (const EpochRecord& e : r.epochs) {
+    if (e.startYear >= year) break;
+    value = pick(e);
+  }
+  return value;
+}
+
+}  // namespace
+
+Hertz LifetimeResult::chipFmaxAt(Years year) const {
+  return metricAt(*this, year, maxOf(initialFmax),
+                  [](const EpochRecord& e) { return e.chipFmax; });
+}
+
+Hertz LifetimeResult::averageFmaxAt(Years year) const {
+  return metricAt(*this, year, mean(initialFmax),
+                  [](const EpochRecord& e) { return e.averageFmax; });
+}
+
+double LifetimeResult::chipFmaxAgingRate() const {
+  HAYAT_REQUIRE(!epochs.empty(), "empty lifetime result");
+  return (maxOf(initialFmax) - epochs.back().chipFmax) /
+         std::max(horizon, 1e-9);
+}
+
+double LifetimeResult::averageFmaxAgingRate() const {
+  HAYAT_REQUIRE(!epochs.empty(), "empty lifetime result");
+  return (mean(initialFmax) - epochs.back().averageFmax) /
+         std::max(horizon, 1e-9);
+}
+
+Years LifetimeResult::yearsUntilAverageFmaxBelow(Hertz threshold) const {
+  HAYAT_REQUIRE(!epochs.empty(), "empty lifetime result");
+  Hertz prev = mean(initialFmax);
+  Years prevYear = 0.0;
+  const Years epochLen =
+      epochs.size() > 1 ? epochs[1].startYear - epochs[0].startYear
+                        : epochs[0].startYear;
+  for (const EpochRecord& e : epochs) {
+    const Years endYear = e.startYear + epochLen;
+    if (e.averageFmax < threshold) {
+      if (prev <= threshold) return prevYear;
+      const double frac = (prev - threshold) / (prev - e.averageFmax);
+      return prevYear + frac * (endYear - prevYear);
+    }
+    prev = e.averageFmax;
+    prevYear = endYear;
+  }
+  return prevYear;  // never dropped below within the horizon
+}
+
+LifetimeSimulator::LifetimeSimulator(LifetimeConfig config)
+    : config_(config) {
+  HAYAT_REQUIRE(config.mixChurn >= 0.0 && config.mixChurn <= 1.0,
+                "mix churn must be in [0, 1]");
+  HAYAT_REQUIRE(!config.incrementalRemap || config.mixChurn > 0.0,
+                "incremental remap requires mix churn");
+  HAYAT_REQUIRE(config.horizon > 0.0, "horizon must be positive");
+  HAYAT_REQUIRE(config.epochLength > 0.0 &&
+                    config.epochLength <= config.horizon,
+                "epoch length must be positive and within the horizon");
+  HAYAT_REQUIRE(config.minDarkFraction >= 0.0 && config.minDarkFraction < 1.0,
+                "dark fraction must be in [0, 1)");
+}
+
+LifetimeResult LifetimeSimulator::run(System& system,
+                                      MappingPolicy& policy) const {
+  Chip& chip = system.chip();
+  const int n = chip.coreCount();
+
+  EpochConfig epochConfig = system.config().epoch;
+  epochConfig.nominalFrequency = config_.nominalFrequency;
+  epochConfig.dtm.tsafe = config_.tsafe;
+  EpochSimulator epochSim(chip, system.thermal(), system.leakage(),
+                          epochConfig);
+
+  const int budget = std::max(
+      1, static_cast<int>(n * (1.0 - config_.minDarkFraction) + 1e-9));
+
+  LifetimeResult result;
+  result.horizon = config_.horizon;
+  result.coreDamage.assign(static_cast<std::size_t>(n), 0.0);
+  result.initialFmax.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    result.initialFmax[static_cast<std::size_t>(i)] = chip.initialFmax(i);
+
+  const MttfModel mttf;
+  std::vector<DamageAccumulator> damage(static_cast<std::size_t>(n));
+  const int epochCount = static_cast<int>(
+      std::llround(config_.horizon / config_.epochLength));
+  Rng workloadRng(config_.workloadSeed);
+  Rng sensorRng(config_.sensorSeed);
+  const bool noisySensors = config_.healthSensorNoise.gaussianSigma > 0.0 ||
+                            config_.healthSensorNoise.quantization > 0.0;
+  const AgingSensor agingSensor(config_.healthSensorNoise);
+  WorkloadMix mix =
+      config_.fixedMix.has_value()
+          ? *config_.fixedMix
+          : ParsecLikeSuite::makeMix(workloadRng, budget,
+                                     config_.nominalFrequency);
+  if (config_.fixedMix.has_value()) {
+    HAYAT_REQUIRE(mix.totalMinThreads() <= budget,
+                  "fixed workload mix does not fit the on-core budget");
+  }
+  // Carry-over state for churn/incremental mode.
+  std::optional<Mapping> carriedMapping;
+  std::vector<std::pair<int, int>> pendingArrivals;
+
+  for (int e = 0; e < epochCount; ++e) {
+    const Years startYear = e * config_.epochLength;
+    if (!config_.fixedMix.has_value() && e > 0) {
+      if (config_.mixChurn > 0.0) {
+        HAYAT_REQUIRE(carriedMapping.has_value(),
+                      "churn mode lost the previous mapping");
+        MixEvolution evo =
+            evolveMix(mix, *carriedMapping, config_.mixChurn, budget,
+                      config_.nominalFrequency, workloadRng);
+        if (config_.incrementalRemap) {
+          // Rebuild the carried mapping against the new mix: surviving
+          // threads stay on their cores at their (restored) required
+          // frequency; departed applications free their cores.
+          Mapping rebased(n);
+          for (const MappedThread& t : carriedMapping->threads()) {
+            const int newApp =
+                evo.newIndexOfOld[static_cast<std::size_t>(t.ref.app)];
+            if (newApp < 0) continue;
+            rebased.assign(ThreadRef{newApp, t.ref.thread}, t.core,
+                           t.requiredFrequency, t.requiredFrequency);
+          }
+          carriedMapping = std::move(rebased);
+          pendingArrivals = std::move(evo.arrivals);
+        }
+        mix = std::move(evo.mix);
+      } else if (config_.freshMixEachEpoch) {
+        mix = ParsecLikeSuite::makeMix(workloadRng, budget,
+                                       config_.nominalFrequency);
+      }
+    }
+
+    // Sensor view of the health map: ideal sensors pass the truth
+    // through; noisy sensors re-read every core's delay factor.
+    std::optional<HealthMap> observed;
+    if (noisySensors) {
+      observed.emplace(result.initialFmax);
+      for (int i = 0; i < n; ++i) {
+        observed->state(i) = CoreAgingState::fromDelayFactor(
+            agingSensor.read(chip.health().state(i).delayFactor(),
+                             sensorRng));
+      }
+    }
+
+    PolicyContext ctx;
+    ctx.chip = &chip;
+    ctx.thermal = &system.thermal();
+    ctx.leakage = &system.leakage();
+    ctx.mix = &mix;
+    ctx.observedHealth = observed.has_value() ? &*observed : nullptr;
+    ctx.dvfs = config_.dvfs.has_value() ? &*config_.dvfs : nullptr;
+    ctx.observedWear = &result.coreDamage;
+    ctx.minDarkFraction = config_.minDarkFraction;
+    ctx.nominalFrequency = config_.nominalFrequency;
+    ctx.tsafe = config_.tsafe;
+    ctx.epochYears = config_.epochLength;
+    ctx.elapsedYears = startYear;
+
+    Mapping mapping(n);
+    if (config_.incrementalRemap && e > 0) {
+      // The Section VI mid-epoch regime: only arrivals are (re)placed.
+      mapping = *carriedMapping;
+      for (const auto& [appIndex, k] : pendingArrivals)
+        mapping = policy.placeApplication(ctx, mapping, appIndex, k);
+      pendingArrivals.clear();
+    } else {
+      mapping = policy.map(ctx);
+    }
+    const EpochResult window = epochSim.run(mapping, mix);
+    if (config_.mixChurn > 0.0) carriedMapping = window.finalMapping;
+
+    // Upscale the window's worst-case conditions to the epoch length
+    // (Section IV-B: "We record the worst-case temperature over time and
+    // the duty cycle for each core").
+    for (int i = 0; i < n; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      chip.health().advance(i, chip.agingTable(), window.peakTemperature[si],
+                            window.duty[si], config_.epochLength);
+      damage[si].accumulate(mttf, window.averageTemperature[si],
+                            config_.epochLength);
+      result.coreDamage[si] = damage[si].damage();
+    }
+
+    EpochRecord record;
+    record.startYear = startYear;
+    record.dtmEvents = window.dtm.events();
+    record.migrations = window.dtm.migrations;
+    record.throttles = window.dtm.throttles;
+    record.chipPeak = window.chipPeak;
+    record.chipTimeAverage = window.chipTimeAverage;
+    record.throttledSteps = window.throttledSteps;
+    record.totalSteps = window.totalSteps;
+    record.throughputRatio = window.throughputRatio();
+    record.chipFmax = chip.chipFmax();
+    record.averageFmax = chip.averageFmax();
+    const std::vector<double> healths = chip.health().healthAll();
+    record.minHealth = minOf(healths);
+    record.averageHealth = mean(healths);
+    result.epochs.push_back(record);
+  }
+
+  result.finalFmax = chip.health().currentFmaxAll();
+  return result;
+}
+
+}  // namespace hayat

@@ -1,0 +1,131 @@
+// Multi-year accelerated-aging lifetime simulation (Fig. 4, Section VI).
+//
+// Drives the epoch loop the paper evaluates with: each aging epoch, the
+// policy under test produces a mapping from the chip's *current* health
+// map, the fine-grained EpochSimulator measures the window (temperatures,
+// duty cycles, DTM events), and the measured worst-case conditions are
+// upscaled to the epoch length to advance every core's NBTI state.  The
+// workload sequence is derived from a seed, so comparison partners see
+// identical mixes on identical silicon.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aging/mttf.hpp"
+#include "arch/sensors.hpp"
+#include "core/system.hpp"
+#include "runtime/mapping.hpp"
+#include "workload/generator.hpp"
+
+namespace hayat {
+
+/// Lifetime experiment parameters.
+struct LifetimeConfig {
+  Years horizon = 10.0;          ///< simulated lifetime
+  Years epochLength = 0.25;      ///< aging epoch (3 months, Section VI)
+  double minDarkFraction = 0.5;  ///< dark-silicon constraint
+  Kelvin tsafe = 368.15;
+  Hertz nominalFrequency = 3.0e9;
+  std::uint64_t workloadSeed = 99;
+  /// "the next epoch starts considering the same set of workloads (or
+  /// potentially a different one, given multiple sets of workloads)" —
+  /// true draws a fresh mix per epoch from the seed stream.
+  bool freshMixEachEpoch = true;
+  /// Fraction of applications that finish (and are replaced by arrivals)
+  /// each epoch.  0 keeps the paper's whole-mix-per-epoch behaviour;
+  /// > 0 evolves the mix gradually, the regime where decisions happen
+  /// "in intervals of several minutes after the previous decision"
+  /// (Section VI).
+  double mixChurn = 0.0;
+  /// With churn: keep surviving applications pinned where the previous
+  /// epoch (including its DTM) left them and place only the arrivals via
+  /// MappingPolicy::placeApplication, instead of remapping everything.
+  bool incrementalRemap = false;
+  /// Optional discrete DVFS ladder the policies must respect (null =
+  /// continuous frequency scaling, the paper's assumption).
+  std::optional<FrequencyLadder> dvfs;
+  /// When set, every epoch runs this exact workload (e.g. an imported
+  /// Gem5/McPAT trace, workload/trace_io.hpp) instead of drawing
+  /// synthetic mixes from the seed stream.
+  std::optional<WorkloadMix> fixedMix;
+  /// Measurement error of the aging sensors D_i the policies decide
+  /// from: each epoch, the policy sees delay factors read through a
+  /// sensor with this noise instead of the true health map.  Default:
+  /// ideal sensors.
+  SensorNoise healthSensorNoise{};
+  std::uint64_t sensorSeed = 4242;
+};
+
+/// Metrics captured per epoch.
+struct EpochRecord {
+  Years startYear = 0.0;
+  long dtmEvents = 0;           ///< migrations + throttles in the window
+  long migrations = 0;
+  long throttles = 0;
+  Kelvin chipPeak = 0.0;        ///< max T over cores and window time
+  Kelvin chipTimeAverage = 0.0; ///< mean T over cores and window time
+  int throttledSteps = 0;
+  int totalSteps = 0;
+  Hertz chipFmax = 0.0;         ///< after this epoch's aging
+  Hertz averageFmax = 0.0;      ///< after this epoch's aging
+  double minHealth = 1.0;
+  double averageHealth = 1.0;
+  /// Achieved/required instruction throughput in the window (<= 1; DTM
+  /// throttling and unreachable f_min requirements lower it).
+  double throughputRatio = 1.0;
+};
+
+/// Full lifetime trace of one (chip, policy) run.
+struct LifetimeResult {
+  std::vector<EpochRecord> epochs;
+  std::vector<Hertz> initialFmax;  ///< per core, year 0
+  std::vector<Hertz> finalFmax;    ///< per core, horizon end
+  Years horizon = 0.0;             ///< simulated span (epochs * length)
+  /// Miner's-rule consumed-life fraction per core (Arrhenius wear-out,
+  /// accumulated from each epoch's time-average temperatures).
+  std::vector<double> coreDamage;
+
+  /// Chip-level hard-failure summary (series system over cores).
+  ChipReliability reliability() const;
+
+  long totalDtmEvents() const;
+  long totalMigrations() const;
+
+  /// Time-average of (chipTimeAverage - ambient) across epochs — the
+  /// Fig. 8 metric.
+  double averageTemperatureOverAmbient(Kelvin ambient) const;
+
+  /// Chip fmax / average fmax at a given year (stepwise over epochs;
+  /// year 0 returns the un-aged values).
+  Hertz chipFmaxAt(Years year) const;
+  Hertz averageFmaxAt(Years year) const;
+
+  /// Aging rate of a frequency metric over the horizon [Hz/year]:
+  /// (metric(0) - metric(end)) / horizon.
+  double chipFmaxAgingRate() const;
+  double averageFmaxAgingRate() const;
+
+  /// First year at which the average fmax drops below `threshold`
+  /// (linear interpolation between epochs; returns the horizon if it
+  /// never does) — the lifetime metric of Fig. 11's discussion.
+  Years yearsUntilAverageFmaxBelow(Hertz threshold) const;
+};
+
+/// The epoch-loop driver.
+class LifetimeSimulator {
+ public:
+  explicit LifetimeSimulator(LifetimeConfig config = {});
+
+  /// Runs `policy` on `system` from the system's current health state to
+  /// the horizon.  Call system.resetHealth() between policies to compare
+  /// them on identical silicon.
+  LifetimeResult run(System& system, MappingPolicy& policy) const;
+
+  const LifetimeConfig& config() const { return config_; }
+
+ private:
+  LifetimeConfig config_;
+};
+
+}  // namespace hayat

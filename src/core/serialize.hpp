@@ -1,0 +1,34 @@
+// Persistence for run-time state and experiment outputs.
+//
+// A deployed Hayat system must survive reboots: the paper's health map is
+// accumulated over *years*, so it has to be checkpointed (the aging
+// sensors only measure present degradation; the map also carries the
+// initial variation frequencies).  This module provides a small,
+// versioned, line-oriented text format for health maps plus CSV export of
+// lifetime results for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aging/health.hpp"
+#include "core/lifetime.hpp"
+
+namespace hayat {
+
+/// Writes a health map checkpoint (versioned text format).
+void saveHealthMap(std::ostream& out, const HealthMap& map);
+
+/// Reads a checkpoint written by saveHealthMap.  Throws hayat::Error on
+/// format or version mismatches.
+HealthMap loadHealthMap(std::istream& in);
+
+/// Convenience: file-path overloads.
+void saveHealthMapFile(const std::string& path, const HealthMap& map);
+HealthMap loadHealthMapFile(const std::string& path);
+
+/// Writes a LifetimeResult as CSV: one row per epoch with all recorded
+/// metrics (header row included).
+void writeLifetimeCsv(std::ostream& out, const LifetimeResult& result);
+
+}  // namespace hayat

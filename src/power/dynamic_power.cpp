@@ -1,0 +1,25 @@
+#include "power/dynamic_power.hpp"
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+DynamicPowerModel::DynamicPowerModel(DynamicPowerConfig config)
+    : config_(config) {
+  HAYAT_REQUIRE(config.vdd > 0.0, "vdd must be positive");
+  HAYAT_REQUIRE(config.nominalFrequency > 0.0,
+                "nominal frequency must be positive");
+}
+
+Watts DynamicPowerModel::threadPower(Watts tracePower, Hertz frequency) const {
+  HAYAT_REQUIRE(tracePower >= 0.0, "negative trace power");
+  HAYAT_REQUIRE(frequency >= 0.0, "negative frequency");
+  return tracePower * (frequency / config_.nominalFrequency);
+}
+
+double DynamicPowerModel::effectiveCapacitance(Watts tracePower) const {
+  HAYAT_REQUIRE(tracePower >= 0.0, "negative trace power");
+  return tracePower / (config_.vdd * config_.vdd * config_.nominalFrequency);
+}
+
+}  // namespace hayat

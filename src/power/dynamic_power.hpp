@@ -1,0 +1,38 @@
+// Dynamic power model.
+//
+// Threads carry a dynamic-power signature measured (in the paper: via
+// Gem5+McPAT traces; here: via the synthetic trace generator) at the
+// nominal frequency and chip Vdd.  Because the chip voltage is fixed
+// (core-level *frequency* scaling only, Section I choice (2)),
+// P_dyn = C_eff * Vdd^2 * f scales linearly in f at constant Vdd.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// Parameters of the dynamic power model.
+struct DynamicPowerConfig {
+  Volts vdd = 1.13;                 ///< fixed chip supply (Section V)
+  Hertz nominalFrequency = 3.0e9;   ///< frequency the traces were taken at
+};
+
+/// Scales trace power signatures to the operating frequency.
+class DynamicPowerModel {
+ public:
+  explicit DynamicPowerModel(DynamicPowerConfig config);
+
+  /// Dynamic power of a thread whose trace reports `tracePower` at the
+  /// nominal frequency, when run at `frequency` (same Vdd).
+  Watts threadPower(Watts tracePower, Hertz frequency) const;
+
+  /// Effective switched capacitance implied by a trace power [F].
+  double effectiveCapacitance(Watts tracePower) const;
+
+  const DynamicPowerConfig& config() const { return config_; }
+
+ private:
+  DynamicPowerConfig config_;
+};
+
+}  // namespace hayat

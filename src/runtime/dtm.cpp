@@ -1,0 +1,98 @@
+#include "runtime/dtm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+DtmManager::DtmManager(DtmConfig config) : config_(config) {
+  HAYAT_REQUIRE(config.tsafe > 0.0, "tsafe must be positive kelvin");
+  HAYAT_REQUIRE(config.coldMargin >= 0.0, "cold margin must be non-negative");
+  HAYAT_REQUIRE(config.throttleFactor > 0.0 && config.throttleFactor < 1.0,
+                "throttle factor must be in (0, 1)");
+  HAYAT_REQUIRE(config.minimumFrequency > 0.0,
+                "throttle floor must be positive");
+}
+
+int DtmManager::enforce(Mapping& mapping, const Vector& coreTemperatures,
+                        const HealthMap& health) {
+  const int n = mapping.coreCount();
+  HAYAT_REQUIRE(static_cast<int>(coreTemperatures.size()) == n,
+                "temperature vector size mismatch");
+  HAYAT_REQUIRE(health.coreCount() == n, "health map size mismatch");
+
+  ++tick_;
+  int actions = 0;
+
+  // Restore throttled threads whose cores have recovered.
+  for (int i = 0; i < n; ++i) {
+    const auto& slot = mapping.onCore(i);
+    if (!slot.has_value()) continue;
+    if (slot->frequency < slot->requiredFrequency &&
+        coreTemperatures[static_cast<std::size_t>(i)] <
+            config_.tsafe - config_.coldMargin) {
+      mapping.restoreFrequency(i);
+      ++stats_.restores;
+    }
+  }
+
+  // Hot cores, hottest first.
+  std::vector<int> hot;
+  for (int i = 0; i < n; ++i) {
+    if (!mapping.coreBusy(i)) continue;
+    if (coreTemperatures[static_cast<std::size_t>(i)] >= config_.tsafe)
+      hot.push_back(i);
+  }
+  std::sort(hot.begin(), hot.end(), [&](int a, int b) {
+    return coreTemperatures[static_cast<std::size_t>(a)] >
+           coreTemperatures[static_cast<std::size_t>(b)];
+  });
+
+  for (int hotCore : hot) {
+    const auto& slot = mapping.onCore(hotCore);
+    HAYAT_DCHECK(slot.has_value());
+    const Hertz required = slot->requiredFrequency;
+    const auto threadKey = std::make_pair(slot->ref.app, slot->ref.thread);
+    const auto last = lastMigration_.find(threadKey);
+    const bool inCooldown =
+        last != lastMigration_.end() &&
+        tick_ - last->second < config_.migrationCooldownChecks;
+
+    // Coldest idle core that is cold enough and fast enough.
+    int target = -1;
+    double targetTemp = 0.0;
+    if (!inCooldown) {
+      for (int i = 0; i < n; ++i) {
+        if (mapping.coreBusy(i)) continue;
+        const double t = coreTemperatures[static_cast<std::size_t>(i)];
+        if (t > config_.tsafe - config_.coldMargin) continue;
+        if (health.currentFmax(i) < required) continue;
+        if (target < 0 || t < targetTemp) {
+          target = i;
+          targetTemp = t;
+        }
+      }
+    }
+
+    if (target >= 0) {
+      mapping.migrate(hotCore, target);
+      lastMigration_[threadKey] = tick_;
+      ++stats_.migrations;
+      ++actions;
+    } else {
+      // No eligible target: throttle in place (never below the floor).
+      const Hertz throttled =
+          std::max(config_.minimumFrequency,
+                   slot->frequency * config_.throttleFactor);
+      if (throttled < slot->frequency) {
+        mapping.setFrequency(hotCore, throttled);
+        ++stats_.throttles;
+        ++actions;
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace hayat

@@ -1,0 +1,133 @@
+#include "runtime/epoch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "power/thermal_coupling.hpp"
+
+namespace hayat {
+
+EpochSimulator::EpochSimulator(const Chip& chip, const ThermalModel& thermal,
+                               const LeakageModel& leakage, EpochConfig config)
+    : chip_(&chip),
+      thermal_(&thermal),
+      leakage_(&leakage),
+      config_(config),
+      solver_(thermal, config.step) {
+  HAYAT_REQUIRE(config.window > 0.0, "window must be positive");
+  HAYAT_REQUIRE(config.step > 0.0 && config.step <= config.window,
+                "step must be positive and within the window");
+  HAYAT_REQUIRE(thermal.coreCount() == chip.coreCount(),
+                "thermal model size must match the chip");
+}
+
+EpochResult EpochSimulator::run(const Mapping& initialMapping,
+                                const WorkloadMix& mix) const {
+  const int n = chip_->coreCount();
+  HAYAT_REQUIRE(initialMapping.coreCount() == n, "mapping size mismatch");
+
+  Mapping mapping = initialMapping;
+  DtmManager dtm(config_.dtm);
+  const ThermalSensor thermalSensor(config_.thermalSensorNoise);
+  const bool noisySensors =
+      config_.thermalSensorNoise.gaussianSigma > 0.0 ||
+      config_.thermalSensorNoise.quantization > 0.0;
+  Rng sensorRng(config_.thermalSensorSeed);
+
+  // Warm start: the chip has been executing this workload, so begin from
+  // the coupled steady state of the mapping's average power.
+  Vector nodeTemps;
+  {
+    std::vector<bool> on(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      on[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
+    const CoupledOperatingPoint op = solveCoupledSteadyState(
+        *thermal_, *leakage_,
+        mapping.averageDynamicPower(mix, config_.nominalFrequency), on);
+    // Node temperatures: re-solve the full network at the converged power.
+    nodeTemps = thermal_->steadyState(op.corePower);
+  }
+
+  EpochResult result{Vector(static_cast<std::size_t>(n), 0.0),
+                     Vector(static_cast<std::size_t>(n), 0.0),
+                     std::vector<double>(static_cast<std::size_t>(n), 0.0),
+                     0.0,
+                     0.0,
+                     {},
+                     0,
+                     0,
+                     0.0,
+                     0.0,
+                     mapping};
+
+  const int steps = std::max(1, static_cast<int>(
+                                    std::llround(config_.window / config_.step)));
+  double tempTimeAccum = 0.0;
+
+  for (int s = 0; s < steps; ++s) {
+    const Seconds now = s * config_.step;
+
+    // Per-core power for this step: phased dynamic power plus leakage at
+    // the present temperatures (the 6.6 ms leakage update of Section V).
+    Vector corePower =
+        mapping.dynamicPowerAt(mix, now, config_.nominalFrequency);
+    const Vector coreTemps = thermal_->coreTemperatures(nodeTemps);
+    for (int i = 0; i < n; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      corePower[si] += leakage_->coreLeakage(i, coreTemps[si],
+                                             mapping.coreBusy(i));
+    }
+
+    nodeTemps = solver_.step(nodeTemps, corePower);
+    const Vector newTemps = thermal_->coreTemperatures(nodeTemps);
+
+    // DTM check at the sensor temperatures (noisy if configured; the
+    // accounting below always records the true temperatures).
+    if (noisySensors) {
+      Vector readings = newTemps;
+      for (double& r : readings) r = thermalSensor.read(r, sensorRng);
+      dtm.enforce(mapping, readings, chip_->health());
+    } else {
+      dtm.enforce(mapping, newTemps, chip_->health());
+    }
+
+    // Accounting.
+    bool throttled = false;
+    for (int i = 0; i < n; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      result.averageTemperature[si] += newTemps[si];
+      result.peakTemperature[si] =
+          std::max(result.peakTemperature[si], newTemps[si]);
+      result.chipPeak = std::max(result.chipPeak, newTemps[si]);
+      tempTimeAccum += newTemps[si];
+      const auto& slot = mapping.onCore(i);
+      if (slot.has_value()) {
+        const Application& app =
+            mix.applications[static_cast<std::size_t>(slot->ref.app)];
+        const ThreadPhase& phase =
+            app.thread(slot->ref.thread).phaseAt(now);
+        result.duty[si] += phase.dutyCycle;
+        result.achievedIps += phase.ipc * slot->frequency;
+        result.requiredIps += phase.ipc * slot->requiredFrequency;
+        if (slot->frequency < slot->requiredFrequency) throttled = true;
+      }
+    }
+    if (throttled) ++result.throttledSteps;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    result.averageTemperature[si] /= steps;
+    result.duty[si] /= steps;
+  }
+  result.chipTimeAverage = tempTimeAccum / (static_cast<double>(steps) * n);
+  result.achievedIps /= steps;
+  result.requiredIps /= steps;
+  result.dtm = dtm.stats();
+  result.totalSteps = steps;
+  result.finalMapping = mapping;
+  return result;
+}
+
+}  // namespace hayat

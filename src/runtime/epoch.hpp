@@ -1,0 +1,91 @@
+// Aging-epoch simulation (Section IV, Fig. 4).
+//
+// "We define coarse-grained aging epochs that determine the granularity
+// of our health monitoring and aging evaluation. Further, we use
+// fine-grained transient simulations during each epoch. ... After an
+// epoch is finished ... the data from the fine-grained simulation is
+// upscaled to the time range of the epoch."
+//
+// EpochSimulator is the ground-truth engine: it runs the fine-grained
+// transient window for a given mapping — phased thread powers,
+// temperature-dependent leakage updated every 6.6 ms (Section V), DTM
+// checks at the same period — and reports the per-core worst-case
+// temperature and duty cycle that the caller upscales into the epoch's
+// aging step.  Policies never see this engine's internals, only the
+// sensor-style summary in EpochResult.
+#pragma once
+
+#include "arch/chip.hpp"
+#include "arch/sensors.hpp"
+#include "power/leakage.hpp"
+#include "runtime/dtm.hpp"
+#include "runtime/mapping.hpp"
+#include "thermal/thermal_model.hpp"
+#include "thermal/transient.hpp"
+#include "workload/application.hpp"
+
+namespace hayat {
+
+/// Fine-grained window parameters.
+struct EpochConfig {
+  Seconds window = 2.0;       ///< simulated transient window length
+  Seconds step = 6.6e-3;      ///< leakage/DTM update period (Section V)
+  Hertz nominalFrequency = 3.0e9;  ///< trace reference frequency
+  DtmConfig dtm;
+  /// Measurement error of the thermal sensors T_i the DTM reacts to
+  /// (Section III assumes at least one per core).  Default: ideal.
+  SensorNoise thermalSensorNoise{};
+  std::uint64_t thermalSensorSeed = 515;
+};
+
+/// Summary of one fine-grained window, upscaled by the caller to the
+/// epoch duration.
+struct EpochResult {
+  Vector averageTemperature;  ///< per core, time-weighted [K]
+  Vector peakTemperature;     ///< per core, worst case over the window [K]
+  std::vector<double> duty;   ///< per-core PMOS stress duty over the window
+  Kelvin chipPeak = 0.0;      ///< max temperature over cores and time
+  Kelvin chipTimeAverage = 0.0;  ///< mean over cores and time
+  DtmStats dtm;               ///< DTM activity within the window
+  /// Steps during which at least one thread ran below its required
+  /// frequency (throttled) — the throughput-violation exposure.
+  int throttledSteps = 0;
+  int totalSteps = 0;
+  /// Aggregate achieved instruction throughput over the window
+  /// [instructions/s summed over threads], and the throughput the
+  /// threads' requirements call for.  achieved/required < 1 quantifies
+  /// the performance overhead of DTM throttling ("This also indicates
+  /// towards reduced performance overhead", Section VI).
+  double achievedIps = 0.0;
+  double requiredIps = 0.0;
+
+  /// achieved/required throughput, in (0, 1].
+  double throughputRatio() const {
+    return requiredIps > 0.0 ? achievedIps / requiredIps : 1.0;
+  }
+  Mapping finalMapping;       ///< post-DTM assignment at window end
+};
+
+/// Ground-truth fine-grained simulator.
+class EpochSimulator {
+ public:
+  /// All referenced objects must outlive the simulator.
+  EpochSimulator(const Chip& chip, const ThermalModel& thermal,
+                 const LeakageModel& leakage, EpochConfig config = {});
+
+  /// Runs one fine-grained window starting from the mapping a policy
+  /// chose.  The window starts from the coupled steady state of the
+  /// mapping's average power (the chip has been running this workload).
+  EpochResult run(const Mapping& initialMapping, const WorkloadMix& mix) const;
+
+  const EpochConfig& config() const { return config_; }
+
+ private:
+  const Chip* chip_;
+  const ThermalModel* thermal_;
+  const LeakageModel* leakage_;
+  EpochConfig config_;
+  TransientSolver solver_;
+};
+
+}  // namespace hayat

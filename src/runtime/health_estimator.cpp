@@ -1,0 +1,64 @@
+#include "runtime/health_estimator.hpp"
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+double resolveDuty(DutyPolicy policy, double knownDuty) {
+  HAYAT_REQUIRE(knownDuty >= 0.0 && knownDuty <= 1.0,
+                "duty cycle must be in [0, 1]");
+  switch (policy) {
+    case DutyPolicy::Generic:
+      return knownDuty > 0.0 ? 0.5 : 0.0;  // idle cores stay unstressed
+    case DutyPolicy::Known:
+      return knownDuty;
+    case DutyPolicy::WorstCase:
+      return knownDuty > 0.0 ? 0.925 : 0.0;
+  }
+  throw Error("unknown duty policy");
+}
+
+HealthEstimator::HealthEstimator(const AgingTable& table,
+                                 DutyPolicy dutyPolicy)
+    : table_(&table), dutyPolicy_(dutyPolicy) {}
+
+double HealthEstimator::estimateNextDelayFactor(const CoreAgingState& current,
+                                                Kelvin tNext, double knownDuty,
+                                                Years epochYears) const {
+  HAYAT_REQUIRE(epochYears >= 0.0, "negative epoch length");
+  const double duty = resolveDuty(dutyPolicy_, knownDuty);
+  if (duty <= 0.0 || epochYears == 0.0) return current.delayFactor();
+  // "find the current estimated position/index in the 3D-aging tables
+  // ... follow a new 3D-path inside the table": equivalent age under the
+  // predicted conditions, stepped by the epoch length.
+  const Years equivalent =
+      table_->equivalentAge(tNext, duty, current.delayFactor());
+  const double next = table_->delayFactor(tNext, duty, equivalent + epochYears);
+  return next > current.delayFactor() ? next : current.delayFactor();
+}
+
+double HealthEstimator::estimateNextHealth(const CoreAgingState& current,
+                                           Kelvin tNext, double knownDuty,
+                                           Years epochYears) const {
+  return 1.0 /
+         estimateNextDelayFactor(current, tNext, knownDuty, epochYears);
+}
+
+std::vector<double> HealthEstimator::estimateNextHealthMap(
+    const HealthMap& current, const std::vector<double>& tNext,
+    const std::vector<double>& knownDuty, Years epochYears) const {
+  const int n = current.coreCount();
+  HAYAT_REQUIRE(static_cast<int>(tNext.size()) == n,
+                "temperature vector size mismatch");
+  HAYAT_REQUIRE(static_cast<int>(knownDuty.size()) == n,
+                "duty vector size mismatch");
+  std::vector<double> health(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    health[s] = estimateNextHealth(current.state(i), tNext[s], knownDuty[s],
+                                   epochYears);
+  }
+  return health;
+}
+
+}  // namespace hayat

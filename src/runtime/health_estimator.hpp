@@ -1,0 +1,63 @@
+// Online health estimation (Section IV-B step 3, Fig. 5).
+//
+// Combines the chip's 3D aging tables, the cores' current measured
+// degradation (aging sensors), and a predicted temperature to estimate
+// each core's health at the end of the next aging epoch — the
+// estimateNextHealth primitive of Algorithm 1 (line 15).  The paper's
+// overhead analysis times this call at ~10 us; bench/bench_overhead
+// measures ours.
+//
+// "The duty cycle can be set with either a generic (i.e., 50%), known
+// (estimated from offline data by an available netlist), or worst-case
+// (85-100%)" — DutyPolicy selects among those three modes.
+#pragma once
+
+#include "aging/aging_table.hpp"
+#include "aging/health.hpp"
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// How the estimator chooses the duty cycle it ages candidates with.
+enum class DutyPolicy {
+  Generic,    ///< fixed 50%
+  Known,      ///< the thread's trace-derived duty (passed by caller)
+  WorstCase,  ///< pessimistic 92.5% (mid of the paper's 85-100% band)
+};
+
+/// Resolves the duty value a policy mode uses given the trace-known duty.
+double resolveDuty(DutyPolicy policy, double knownDuty);
+
+/// Table-lookup health estimator.
+class HealthEstimator {
+ public:
+  /// The table must outlive the estimator.
+  explicit HealthEstimator(const AgingTable& table,
+                           DutyPolicy dutyPolicy = DutyPolicy::Known);
+
+  DutyPolicy dutyPolicy() const { return dutyPolicy_; }
+
+  /// estimateNextHealth: predicted health of a core after one epoch of
+  /// `epochYears` at predicted temperature `tNext`, starting from the
+  /// core's current aging state.  `knownDuty` is the trace-derived duty
+  /// the core will see (used when the policy mode is Known; idle cores
+  /// pass 0).
+  double estimateNextHealth(const CoreAgingState& current, Kelvin tNext,
+                            double knownDuty, Years epochYears) const;
+
+  /// Same, but returns the predicted delay factor instead of health.
+  double estimateNextDelayFactor(const CoreAgingState& current, Kelvin tNext,
+                                 double knownDuty, Years epochYears) const;
+
+  /// Estimates a whole chip's next health map for a candidate solution:
+  /// per-core predicted temperatures and duties in, predicted healths out.
+  std::vector<double> estimateNextHealthMap(
+      const HealthMap& current, const std::vector<double>& tNext,
+      const std::vector<double>& knownDuty, Years epochYears) const;
+
+ private:
+  const AgingTable* table_;
+  DutyPolicy dutyPolicy_;
+};
+
+}  // namespace hayat

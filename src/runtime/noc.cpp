@@ -1,0 +1,74 @@
+#include "runtime/noc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+NocModel::NocModel(const GridShape& grid, NocConfig config)
+    : grid_(grid), config_(config) {
+  HAYAT_REQUIRE(config.energyPerFlitHop >= 0.0, "negative flit-hop energy");
+  HAYAT_REQUIRE(config.latencyPerHop >= 0.0, "negative hop latency");
+  HAYAT_REQUIRE(config.flitsPerSecond >= 0.0, "negative traffic scale");
+}
+
+double NocModel::pairIntensity(const ThreadProfile& a,
+                               const ThreadProfile& b) {
+  // Memory-boundness proxy: IPC 2.0 -> ~0 extra traffic, IPC 0.4 -> ~0.8.
+  auto memBound = [](const ThreadProfile& p) {
+    double ipcAcc = 0.0;
+    for (int i = 0; i < p.phaseCount(); ++i)
+      ipcAcc += p.phase(i).ipc * p.phase(i).duration;
+    const double ipc = ipcAcc / p.period();
+    return std::clamp(1.0 - ipc / 2.0, 0.0, 1.0);
+  };
+  return memBound(a) + memBound(b);
+}
+
+double NocModel::hopTraffic(const Mapping& mapping,
+                            const WorkloadMix& mix) const {
+  HAYAT_REQUIRE(mapping.coreCount() == grid_.count(),
+                "mapping size must match the NoC mesh");
+  const std::vector<MappedThread> threads = mapping.threads();
+  double total = 0.0;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    for (std::size_t j = i + 1; j < threads.size(); ++j) {
+      if (threads[i].ref.app != threads[j].ref.app) continue;
+      const Application& app =
+          mix.applications[static_cast<std::size_t>(threads[i].ref.app)];
+      const double intensity =
+          pairIntensity(app.thread(threads[i].ref.thread),
+                        app.thread(threads[j].ref.thread));
+      const int hops = grid_.manhattan(threads[i].core, threads[j].core);
+      total += intensity * config_.flitsPerSecond * hops;
+    }
+  }
+  return total;
+}
+
+Watts NocModel::communicationPower(const Mapping& mapping,
+                                   const WorkloadMix& mix) const {
+  return hopTraffic(mapping, mix) * config_.energyPerFlitHop;
+}
+
+double NocModel::averageHopDistance(const Mapping& mapping,
+                                    const WorkloadMix& mix) const {
+  HAYAT_REQUIRE(mapping.coreCount() == grid_.count(),
+                "mapping size must match the NoC mesh");
+  const std::vector<MappedThread> threads = mapping.threads();
+  long pairs = 0;
+  long hops = 0;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    for (std::size_t j = i + 1; j < threads.size(); ++j) {
+      if (threads[i].ref.app != threads[j].ref.app) continue;
+      ++pairs;
+      hops += grid_.manhattan(threads[i].core, threads[j].core);
+    }
+  }
+  (void)mix;
+  return pairs > 0 ? static_cast<double>(hops) / static_cast<double>(pairs)
+                   : 0.0;
+}
+
+}  // namespace hayat

@@ -1,0 +1,70 @@
+// Network-on-chip communication model.
+//
+// The paper's baseline [28] (Fattah's SHiC) exists to keep an
+// application's threads *contiguous* because threads of one application
+// communicate: scattering them across the die costs NoC hops (latency
+// and router energy).  The paper's evaluation ignores communication; this
+// extension restores it so the real trade-off behind Hayat's spreading —
+// thermal headroom vs. communication locality — can be measured
+// (bench_ablation_noc).
+//
+// The model is the standard 2D-mesh XY-routing abstraction: cores are
+// mesh nodes, a flit between cores a and b traverses manhattan(a, b)
+// links, and each application's threads exchange traffic all-to-all with
+// a per-thread intensity derived from its memory-boundness (low-IPC
+// threads communicate more per instruction).  Costs are reported as
+// hop-weighted traffic [flits*hops/s] and the corresponding router+link
+// energy.
+#pragma once
+
+#include "common/geometry.hpp"
+#include "common/units.hpp"
+#include "runtime/mapping.hpp"
+#include "workload/application.hpp"
+
+namespace hayat {
+
+/// Mesh NoC parameters.
+struct NocConfig {
+  /// Energy per flit per hop (router + link) [J] — ~0.1 nJ at 11 nm-class
+  /// meshes.
+  Joules energyPerFlitHop = 1.0e-10;
+  /// Per-hop latency [s] (router pipeline + link traversal).
+  Seconds latencyPerHop = 1.0e-9;
+  /// Traffic intensity scale: flits/s exchanged per thread pair at
+  /// intensity 1.0.
+  double flitsPerSecond = 1.0e8;
+};
+
+/// Communication-cost evaluation over a mapping.
+class NocModel {
+ public:
+  explicit NocModel(const GridShape& grid, NocConfig config = {});
+
+  const NocConfig& config() const { return config_; }
+
+  /// Pairwise traffic intensity between two threads of one application,
+  /// derived from their profiles: memory-bound (low-IPC) threads push
+  /// more coherence/data traffic.  Symmetric, in [0, ~2].
+  static double pairIntensity(const ThreadProfile& a, const ThreadProfile& b);
+
+  /// Total hop-weighted traffic of a mapping [flits*hops/s]: sums over
+  /// every same-application thread pair the pair's traffic times the
+  /// Manhattan distance between their cores.
+  double hopTraffic(const Mapping& mapping, const WorkloadMix& mix) const;
+
+  /// NoC power implied by the hop traffic [W].
+  Watts communicationPower(const Mapping& mapping,
+                           const WorkloadMix& mix) const;
+
+  /// Mean hops between communicating thread pairs (0 if no app has more
+  /// than one mapped thread) — the latency-side metric.
+  double averageHopDistance(const Mapping& mapping,
+                            const WorkloadMix& mix) const;
+
+ private:
+  GridShape grid_;
+  NocConfig config_;
+};
+
+}  // namespace hayat

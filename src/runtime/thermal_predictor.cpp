@@ -1,0 +1,83 @@
+#include "runtime/thermal_predictor.hpp"
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+ThermalPredictor::ThermalPredictor(const ThermalModel& thermal,
+                                   const LeakageModel& leakage,
+                                   int leakageIterations)
+    : thermal_(&thermal),
+      leakage_(&leakage),
+      leakageIterations_(leakageIterations),
+      kernel_(&thermal.coreInfluenceMatrix()) {
+  HAYAT_REQUIRE(leakageIterations >= 0, "negative leakage iteration count");
+}
+
+int ThermalPredictor::coreCount() const { return thermal_->coreCount(); }
+
+Vector ThermalPredictor::predict(const Vector& dynamicPower,
+                                 const std::vector<bool>& poweredOn) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(static_cast<int>(dynamicPower.size()) == n,
+                "dynamic power size mismatch");
+  HAYAT_REQUIRE(static_cast<int>(poweredOn.size()) == n,
+                "power state size mismatch");
+  const Kelvin ambient = thermal_->config().ambient;
+
+  Vector temps(static_cast<std::size_t>(n), ambient);
+  // Superposition of dynamic profiles, then leakage-correction sweeps.
+  for (int sweep = 0; sweep <= leakageIterations_; ++sweep) {
+    Vector total(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      total[s] = dynamicPower[s] +
+                 leakage_->coreLeakage(i, temps[s], poweredOn[s]);
+    }
+    for (int i = 0; i < n; ++i) {
+      double acc = ambient;
+      for (int j = 0; j < n; ++j)
+        acc += (*kernel_)(i, j) * total[static_cast<std::size_t>(j)];
+      temps[static_cast<std::size_t>(i)] = acc;
+    }
+  }
+  return temps;
+}
+
+ThermalPredictor::Baseline ThermalPredictor::makeBaseline(
+    const Vector& dynamicPower, const std::vector<bool>& poweredOn) const {
+  Baseline b;
+  b.dynamicPower = dynamicPower;
+  b.poweredOn = poweredOn;
+  b.temperatures = predict(dynamicPower, poweredOn);
+  return b;
+}
+
+Vector ThermalPredictor::predictWithCandidate(const Baseline& baseline,
+                                              int candidateCore,
+                                              Watts addedPower) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
+                "candidate core out of range");
+  HAYAT_REQUIRE(addedPower >= 0.0, "negative candidate power");
+  HAYAT_REQUIRE(static_cast<int>(baseline.temperatures.size()) == n,
+                "baseline size mismatch");
+
+  // Delta power on the candidate: its dynamic load plus the leakage jump
+  // from gated to active (evaluated at the baseline temperature — the
+  // superposition step; the fine leakage-temperature interaction is a
+  // second-order effect the predictor deliberately approximates).
+  const auto c = static_cast<std::size_t>(candidateCore);
+  double delta = addedPower;
+  if (!baseline.poweredOn[c]) {
+    delta += leakage_->coreLeakageOn(candidateCore, baseline.temperatures[c]) -
+             leakage_->coreLeakageGated();
+  }
+
+  Vector temps = baseline.temperatures;
+  for (int i = 0; i < n; ++i)
+    temps[static_cast<std::size_t>(i)] += (*kernel_)(i, candidateCore) * delta;
+  return temps;
+}
+
+}  // namespace hayat

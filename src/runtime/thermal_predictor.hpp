@@ -1,0 +1,63 @@
+// Online chip thermal-profile prediction (Section IV-B step 2, ref [27]).
+//
+// "Our technique operates in two main steps: (1) Offline learning of
+// spatial thermal profiles for different application threads, and
+// (2) Online prediction of chip thermal profile by super-positioning
+// offline-generated thermal profiles ... along with a correction for
+// temperature-dependent leakage."
+//
+// Because the package RC network is linear, a thread's learned spatial
+// profile is exactly the influence-matrix column of the core it runs on
+// scaled by its power; superposition over threads is then exact for the
+// dynamic component, and a few fixed-point sweeps add the
+// temperature-dependent leakage correction.  The predictor also offers the
+// incremental what-if query Algorithm 1 needs (predictTemperature, line 8):
+// adding one candidate thread updates the prediction with a single
+// matrix column, not a re-solve.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "power/leakage.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace hayat {
+
+/// Steady-state thermal prediction by superposition of learned profiles.
+class ThermalPredictor {
+ public:
+  /// Captures the chip's learned response kernel.  `leakageIterations`
+  /// controls the leakage-correction sweeps (2 suffices for < 0.5 K).
+  ThermalPredictor(const ThermalModel& thermal, const LeakageModel& leakage,
+                   int leakageIterations = 2);
+
+  int coreCount() const;
+
+  /// Full prediction: per-core temperatures for a per-core dynamic power
+  /// vector and power states (superposition + leakage correction).
+  Vector predict(const Vector& dynamicPower,
+                 const std::vector<bool>& poweredOn) const;
+
+  /// A reusable baseline for incremental what-if queries.
+  struct Baseline {
+    Vector dynamicPower;
+    std::vector<bool> poweredOn;
+    Vector temperatures;  ///< predicted core temperatures
+  };
+  Baseline makeBaseline(const Vector& dynamicPower,
+                        const std::vector<bool>& poweredOn) const;
+
+  /// Algorithm 1's predictTemperature: predicted temperatures after
+  /// placing an additional load of `addedPower` on `candidateCore`
+  /// (powering it on if dark).  One kernel column + a leakage touch-up —
+  /// the cheap path that makes per-candidate evaluation feasible online.
+  Vector predictWithCandidate(const Baseline& baseline, int candidateCore,
+                              Watts addedPower) const;
+
+ private:
+  const ThermalModel* thermal_;
+  const LeakageModel* leakage_;
+  int leakageIterations_;
+  const Matrix* kernel_;  ///< influence matrix (owned by the ThermalModel)
+};
+
+}  // namespace hayat

@@ -1,0 +1,77 @@
+// Grid-resolution thermal model (HotSpot "grid mode").
+//
+// The block model (thermal_model.hpp) resolves one node per core tile —
+// enough for the run-time policies, which read one thermal sensor per
+// core.  For validation and for intra-core analysis (hot functional units
+// age faster than the tile average suggests), this model subdivides each
+// core's die footprint into s x s sub-blocks with lateral conduction on
+// the fine grid, while the spreader and sink layers stay at tile
+// resolution exactly as in the block model.  With uniform per-core power
+// the two models agree on core temperatures (see tests), and with a
+// concentrated power-density map the grid model exposes the intra-core
+// gradient the block model averages away.
+#pragma once
+
+#include <memory>
+
+#include "common/geometry.hpp"
+#include "common/matrix.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace hayat {
+
+/// Block-model package parameters plus the die-layer subdivision factor.
+struct GridThermalConfig {
+  ThermalConfig base;
+  int subdivision = 2;  ///< each core becomes subdivision^2 die sub-blocks
+};
+
+/// The fine-die-layer RC network.
+class GridThermalModel {
+ public:
+  explicit GridThermalModel(GridThermalConfig config);
+
+  int coreCount() const { return cores_; }
+  int subdivision() const { return config_.subdivision; }
+  int subBlocksPerCore() const {
+    return config_.subdivision * config_.subdivision;
+  }
+  /// Die sub-blocks + per-tile spreader and sink nodes.
+  int nodeCount() const { return dieNodes_ + 2 * cores_; }
+  const GridShape& subGrid() const { return subGrid_; }
+  const GridThermalConfig& config() const { return config_; }
+
+  /// Steady state for per-core power distributed uniformly over each
+  /// core's sub-blocks.  Returns all node temperatures.
+  Vector steadyState(const Vector& corePower) const;
+
+  /// Steady state for an explicit per-sub-block power map (row-major over
+  /// the fine grid) — the intra-core power-density interface.
+  Vector steadyStateSubBlocks(const Vector& subBlockPower) const;
+
+  /// Per-core temperatures: the area average over each core's sub-blocks.
+  Vector coreTemperatures(const Vector& nodeTemperatures) const;
+
+  /// Hottest sub-block of each core — the intra-core peak the block model
+  /// cannot resolve.
+  Vector corePeakTemperatures(const Vector& nodeTemperatures) const;
+
+  /// Die-layer sub-block temperatures (row-major over the fine grid).
+  Vector subBlockTemperatures(const Vector& nodeTemperatures) const;
+
+  /// Fine-grid sub-block indices covered by a core.
+  std::vector<int> coreSubBlocks(int core) const;
+
+ private:
+  void build();
+
+  GridThermalConfig config_;
+  int cores_ = 0;
+  int dieNodes_ = 0;
+  GridShape subGrid_;
+  Matrix g_;
+  Vector ambientLoad_;
+  std::unique_ptr<LuFactorization> steadyLu_;
+};
+
+}  // namespace hayat

@@ -1,0 +1,161 @@
+#include "thermal/thermal_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+
+/// Series combination of two thermal conductances.
+double seriesG(double a, double b) {
+  HAYAT_DCHECK(a > 0.0 && b > 0.0);
+  return a * b / (a + b);
+}
+
+}  // namespace
+
+ThermalModel::ThermalModel(ThermalConfig config)
+    : config_(std::move(config)), cores_(config_.floorplan.coreCount()) {
+  HAYAT_REQUIRE(cores_ > 0, "thermal model needs at least one core");
+  HAYAT_REQUIRE(config_.convectionResistance > 0.0,
+                "convection resistance must be positive");
+  build();
+}
+
+void ThermalModel::build() {
+  const int n = nodeCount();
+  const FloorPlan& fp = config_.floorplan;
+  const GridShape& grid = fp.shape();
+  const double tileArea = fp.tileArea();
+
+  g_ = Matrix::zero(n);
+  cap_.assign(static_cast<std::size_t>(n), 0.0);
+  ambientLoad_.assign(static_cast<std::size_t>(n), 0.0);
+
+  auto addConductance = [&](int a, int b, double gval) {
+    HAYAT_DCHECK(gval > 0.0);
+    g_(a, a) += gval;
+    g_(b, b) += gval;
+    g_(a, b) -= gval;
+    g_(b, a) -= gval;
+  };
+
+  // Lateral conductance between adjacent tiles inside one layer:
+  // G = k * (thickness * crossWidth) / centerDistance.
+  auto lateralG = [&](double conductivity, double thickness, int a, int b) {
+    const TilePos pa = grid.posOf(a);
+    const TilePos pb = grid.posOf(b);
+    const bool horizontal = pa.row == pb.row;
+    const double crossWidth = horizontal ? fp.tileHeight() : fp.tileWidth();
+    const double dist = horizontal ? fp.tileWidth() : fp.tileHeight();
+    return conductivity * thickness * crossWidth / dist;
+  };
+
+  const int dieBase = 0;
+  const int sprBase = cores_;
+  const int sinkBase = 2 * cores_;
+
+  // Intra-layer lateral conduction (visit each undirected edge once).
+  for (int i = 0; i < cores_; ++i) {
+    for (int j : grid.neighbors4(i)) {
+      if (j <= i) continue;
+      addConductance(dieBase + i, dieBase + j,
+                     lateralG(config_.dieConductivity, config_.dieThickness,
+                              i, j));
+      addConductance(sprBase + i, sprBase + j,
+                     lateralG(config_.spreaderConductivity,
+                              config_.spreaderThickness, i, j));
+      addConductance(sinkBase + i, sinkBase + j,
+                     lateralG(config_.sinkConductivity, config_.sinkThickness,
+                              i, j));
+    }
+  }
+
+  // Vertical die -> spreader: half the die slab in series with the TIM and
+  // half the spreader slab.
+  const double gDieHalf =
+      config_.dieConductivity * tileArea / (0.5 * config_.dieThickness);
+  const double gTim = config_.timConductivity * tileArea / config_.timThickness;
+  const double gSprHalf = config_.spreaderConductivity * tileArea /
+                          (0.5 * config_.spreaderThickness);
+  const double gDieSpr = seriesG(seriesG(gDieHalf, gTim), gSprHalf);
+
+  // Vertical spreader -> sink: half spreader + mounting interface + half
+  // sink slab.
+  const double gMount = 1.0 / config_.spreaderSinkResistancePerTile;
+  const double gSinkHalf =
+      config_.sinkConductivity * tileArea / (0.5 * config_.sinkThickness);
+  const double gSprSink = seriesG(seriesG(gSprHalf, gMount), gSinkHalf);
+
+  // Sink -> ambient convection, package resistance shared by tile area.
+  const double gConvPerTile =
+      1.0 / (config_.convectionResistance * cores_);
+
+  for (int i = 0; i < cores_; ++i) {
+    addConductance(dieBase + i, sprBase + i, gDieSpr);
+    addConductance(sprBase + i, sinkBase + i, gSprSink);
+    // Convection is a conductance to the fixed ambient temperature: it
+    // contributes to the diagonal and to the constant load vector.
+    g_(sinkBase + i, sinkBase + i) += gConvPerTile;
+    ambientLoad_[static_cast<std::size_t>(sinkBase + i)] =
+        gConvPerTile * config_.ambient;
+
+    cap_[static_cast<std::size_t>(dieBase + i)] =
+        config_.dieVolumetricHeat * tileArea * config_.dieThickness;
+    cap_[static_cast<std::size_t>(sprBase + i)] =
+        config_.spreaderVolumetricHeat * tileArea * config_.spreaderThickness;
+    cap_[static_cast<std::size_t>(sinkBase + i)] =
+        config_.sinkVolumetricHeat * tileArea * config_.sinkThickness;
+  }
+
+  steadyLu_ = std::make_unique<LuFactorization>(g_);
+}
+
+Vector ThermalModel::expandPower(const Vector& corePower) const {
+  HAYAT_REQUIRE(static_cast<int>(corePower.size()) == cores_,
+                "power vector size must equal core count");
+  Vector nodePower(static_cast<std::size_t>(nodeCount()), 0.0);
+  for (int i = 0; i < cores_; ++i) {
+    HAYAT_REQUIRE(corePower[static_cast<std::size_t>(i)] >= 0.0,
+                  "negative core power");
+    nodePower[static_cast<std::size_t>(i)] =
+        corePower[static_cast<std::size_t>(i)];
+  }
+  return nodePower;
+}
+
+Vector ThermalModel::steadyState(const Vector& corePower) const {
+  Vector rhs = expandPower(corePower);
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += ambientLoad_[i];
+  return steadyLu_->solve(rhs);
+}
+
+Vector ThermalModel::coreTemperatures(const Vector& nodeTemperatures) const {
+  HAYAT_REQUIRE(static_cast<int>(nodeTemperatures.size()) == nodeCount(),
+                "node temperature vector size mismatch");
+  return Vector(nodeTemperatures.begin(), nodeTemperatures.begin() + cores_);
+}
+
+Vector ThermalModel::steadyStateCoreTemperatures(const Vector& corePower) const {
+  return coreTemperatures(steadyState(corePower));
+}
+
+const Matrix& ThermalModel::coreInfluenceMatrix() const {
+  if (!influence_) {
+    auto k = std::make_unique<Matrix>(cores_, cores_);
+    Vector unit(static_cast<std::size_t>(nodeCount()), 0.0);
+    for (int j = 0; j < cores_; ++j) {
+      unit[static_cast<std::size_t>(j)] = 1.0;
+      const Vector response = steadyLu_->solve(unit);
+      unit[static_cast<std::size_t>(j)] = 0.0;
+      for (int i = 0; i < cores_; ++i)
+        (*k)(i, j) = response[static_cast<std::size_t>(i)];
+    }
+    influence_ = std::move(k);
+  }
+  return *influence_;
+}
+
+}  // namespace hayat

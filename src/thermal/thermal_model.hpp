@@ -1,0 +1,116 @@
+// Compact RC thermal model of the chip package (HotSpot-style block model).
+//
+// The paper's evaluation couples its simulator with HotSpot [20] "as a
+// library"; this module is the equivalent substrate.  The package is
+// modeled as three stacked layers of per-tile nodes
+//
+//     die (silicon) --TIM--> heat spreader (copper) --> heat sink (Al)
+//
+// with lateral conduction inside each layer, vertical conduction between
+// layers, and a convective boundary from the sink layer to ambient.  This
+// is exactly the modeling approach of HotSpot's block mode: a thermal
+// RC network whose conductance matrix G and capacitance vector C give
+//
+//     steady state:  G * T = P + b_ambient
+//     transient:     C * dT/dt = P + b_ambient - G * T
+//
+// Dense LU at these sizes (3 nodes per core tile, 192 nodes for an 8x8
+// chip) factors in well under a millisecond, so no sparse machinery is
+// needed.  Package parameters default to HotSpot-like values calibrated so
+// that the paper's workloads produce the 325-345 K steady-state band of
+// Fig. 2 (see DESIGN.md §1).
+#pragma once
+
+#include <memory>
+
+#include "common/geometry.hpp"
+#include "common/matrix.hpp"
+#include "common/units.hpp"
+
+namespace hayat {
+
+/// Package geometry and material parameters of the RC network.
+struct ThermalConfig {
+  FloorPlan floorplan;          ///< die tiling (one power source per core)
+  Kelvin ambient = 318.15;      ///< 45 C ambient (HotSpot default)
+
+  // Die (silicon).
+  Meters dieThickness = 0.20e-3;
+  double dieConductivity = 100.0;        ///< W/(m K)
+  double dieVolumetricHeat = 1.75e6;     ///< J/(m^3 K)
+
+  // Thermal interface material between die and spreader.
+  Meters timThickness = 30e-6;
+  double timConductivity = 8.0;
+
+  // Copper heat spreader.
+  Meters spreaderThickness = 1.0e-3;
+  double spreaderConductivity = 400.0;
+  double spreaderVolumetricHeat = 3.45e6;
+
+  // Aluminium heat sink base.
+  Meters sinkThickness = 6.0e-3;
+  double sinkConductivity = 240.0;
+  double sinkVolumetricHeat = 2.42e6;
+
+  /// Vertical interface resistance between spreader and sink, per tile
+  /// [K/W] (lumps the sink mounting interface).
+  double spreaderSinkResistancePerTile = 0.5;
+
+  /// Whole-package convective resistance sink -> ambient [K/W].
+  double convectionResistance = 0.04;
+};
+
+/// The assembled RC network with cached factorizations.
+///
+/// Node layout: [0, N) die tiles, [N, 2N) spreader tiles, [2N, 3N) sink
+/// tiles, where N is the core count.  Power is injected at die nodes only.
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config);
+
+  int coreCount() const { return cores_; }
+  int nodeCount() const { return 3 * cores_; }
+  const ThermalConfig& config() const { return config_; }
+
+  /// Solves the steady-state temperatures for a per-core power vector
+  /// (size == coreCount()).  Returns all node temperatures.
+  Vector steadyState(const Vector& corePower) const;
+
+  /// Extracts the die (core) temperatures from a node-temperature vector.
+  Vector coreTemperatures(const Vector& nodeTemperatures) const;
+
+  /// Convenience: steady-state core temperatures directly.
+  Vector steadyStateCoreTemperatures(const Vector& corePower) const;
+
+  /// The steady-state thermal influence matrix K with
+  /// K(i, j) = dT_core_i / dP_core_j [K/W].  Because the RC network is
+  /// linear, T_core = ambient + K * P exactly; this is the kernel the
+  /// online thermal-profile predictor superposes (Section IV-B step 2).
+  const Matrix& coreInfluenceMatrix() const;
+
+  /// Conductance matrix (exposed for the transient solver and tests).
+  const Matrix& conductance() const { return g_; }
+
+  /// Per-node heat capacities [J/K].
+  const Vector& capacitance() const { return cap_; }
+
+  /// Ambient contribution vector b with steady state G T = P_nodes + b.
+  const Vector& ambientLoad() const { return ambientLoad_; }
+
+  /// Expands a per-core power vector to a per-node vector (die layer).
+  Vector expandPower(const Vector& corePower) const;
+
+ private:
+  void build();
+
+  ThermalConfig config_;
+  int cores_ = 0;
+  Matrix g_;
+  Vector cap_;
+  Vector ambientLoad_;
+  std::unique_ptr<LuFactorization> steadyLu_;
+  mutable std::unique_ptr<Matrix> influence_;  // lazily computed
+};
+
+}  // namespace hayat

@@ -1,0 +1,45 @@
+#include "thermal/transient.hpp"
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+TransientSolver::TransientSolver(const ThermalModel& model, Seconds dt)
+    : model_(&model), dt_(dt) {
+  HAYAT_REQUIRE(dt > 0.0, "transient step must be positive");
+  const int n = model.nodeCount();
+  capOverDt_.resize(static_cast<std::size_t>(n));
+  Matrix a = model.conductance();
+  for (int i = 0; i < n; ++i) {
+    const double c = model.capacitance()[static_cast<std::size_t>(i)] / dt;
+    capOverDt_[static_cast<std::size_t>(i)] = c;
+    a(i, i) += c;
+  }
+  lu_ = std::make_unique<LuFactorization>(a);
+}
+
+Vector TransientSolver::step(const Vector& nodeTemperatures,
+                             const Vector& corePower) const {
+  HAYAT_REQUIRE(static_cast<int>(nodeTemperatures.size()) ==
+                    model_->nodeCount(),
+                "node temperature vector size mismatch");
+  Vector rhs = model_->expandPower(corePower);
+  const Vector& b = model_->ambientLoad();
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    rhs[i] += b[i] + capOverDt_[i] * nodeTemperatures[i];
+  return lu_->solve(rhs);
+}
+
+Vector TransientSolver::run(Vector nodeTemperatures, const Vector& corePower,
+                            int steps) const {
+  HAYAT_REQUIRE(steps >= 0, "negative step count");
+  for (int s = 0; s < steps; ++s)
+    nodeTemperatures = step(nodeTemperatures, corePower);
+  return nodeTemperatures;
+}
+
+Vector TransientSolver::initialState(const Vector& corePower) const {
+  return model_->steadyState(corePower);
+}
+
+}  // namespace hayat

@@ -1,0 +1,48 @@
+// Transient thermal integration (implicit Euler).
+//
+// The epoch manager runs fine-grained transient windows (Fig. 4) during
+// which the DTM observes per-core temperatures every few milliseconds.
+// Implicit (backward) Euler is unconditionally stable, so one LU
+// factorization of (C/dt + G) supports millisecond steps across the whole
+// window regardless of the stiff sink/die time-constant spread.
+#pragma once
+
+#include <memory>
+
+#include "common/matrix.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace hayat {
+
+/// Fixed-step implicit-Euler integrator over a ThermalModel.
+///
+/// The system  C dT/dt = P + b - G T  is discretized as
+///     (C/dt + G) T_{n+1} = (C/dt) T_n + P + b
+/// and (C/dt + G) is factored once at construction.
+class TransientSolver {
+ public:
+  /// Prepares the integrator for a fixed step size [s].
+  TransientSolver(const ThermalModel& model, Seconds dt);
+
+  Seconds dt() const { return dt_; }
+  const ThermalModel& model() const { return *model_; }
+
+  /// Advances node temperatures by one step under the given per-core
+  /// power vector (held constant across the step).
+  Vector step(const Vector& nodeTemperatures, const Vector& corePower) const;
+
+  /// Advances by `steps` steps with constant power (convenience).
+  Vector run(Vector nodeTemperatures, const Vector& corePower,
+             int steps) const;
+
+  /// A good initial condition: the steady state of the given power.
+  Vector initialState(const Vector& corePower) const;
+
+ private:
+  const ThermalModel* model_;
+  Seconds dt_;
+  Vector capOverDt_;
+  std::unique_ptr<LuFactorization> lu_;
+};
+
+}  // namespace hayat

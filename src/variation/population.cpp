@@ -1,0 +1,93 @@
+#include "variation/population.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "variation/spatial_field.hpp"
+
+namespace hayat {
+
+namespace {
+
+SpatialFieldConfig fieldConfigFrom(const PopulationConfig& config) {
+  SpatialFieldConfig fc;
+  fc.grid = GridShape(config.coreGrid.rows() * config.pointsPerCoreEdge,
+                      config.coreGrid.cols() * config.pointsPerCoreEdge);
+  fc.pointSpacingX = config.coreWidth / config.pointsPerCoreEdge;
+  fc.pointSpacingY = config.coreHeight / config.pointsPerCoreEdge;
+  fc.mean = 1.0;
+  fc.sigma = config.sigmaFraction;
+  const Meters chipEdge =
+      std::max(config.coreWidth * config.coreGrid.cols(),
+               config.coreHeight * config.coreGrid.rows());
+  fc.correlationRange = config.correlationRangeFraction * chipEdge;
+  fc.globalFraction = config.globalFraction;
+  fc.nuggetFraction = config.nuggetFraction;
+  return fc;
+}
+
+VariationMapConfig mapConfigFrom(const PopulationConfig& config) {
+  VariationMapConfig mc;
+  mc.coreGrid = config.coreGrid;
+  mc.pointsPerCoreEdge = config.pointsPerCoreEdge;
+  mc.nominalFrequency = config.nominalFrequency;
+  mc.nominalVth = config.nominalVth;
+  mc.subthresholdSlopeFactor = config.subthresholdSlopeFactor;
+  mc.criticalPathPoints = config.criticalPathPoints;
+  return mc;
+}
+
+/// Resamples until every theta is positive (an sigma=13% field almost
+/// never produces non-positive values, but the guarantee keeps Eq. (1)
+/// well-defined for any configuration).
+std::vector<double> samplePositiveField(const SpatialFieldSampler& sampler,
+                                        Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Vector field = sampler.sample(rng);
+    if (std::all_of(field.begin(), field.end(),
+                    [](double t) { return t > 0.05; }))
+      return field;
+  }
+  throw Error("variation field keeps producing non-positive theta; "
+              "sigmaFraction is unphysically large");
+}
+
+}  // namespace
+
+std::vector<VariationMap> generateChipPopulation(const PopulationConfig& config,
+                                                 int count,
+                                                 std::uint64_t seed) {
+  HAYAT_REQUIRE(count >= 0, "negative population size");
+  const SpatialFieldSampler sampler(fieldConfigFrom(config));
+  const VariationMapConfig mapConfig = mapConfigFrom(config);
+  Rng root(seed);
+  std::vector<VariationMap> chips;
+  chips.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng chipRng = root.split();
+    std::vector<double> field = samplePositiveField(sampler, chipRng);
+    chips.emplace_back(mapConfig, std::move(field), chipRng);
+  }
+  return chips;
+}
+
+VariationMap generateChip(const PopulationConfig& config, std::uint64_t seed) {
+  auto chips = generateChipPopulation(config, 1, seed);
+  return std::move(chips.front());
+}
+
+double frequencySpread(const VariationMap& chip) {
+  double lo = chip.coreInitialFmax(0);
+  double hi = lo;
+  double sum = 0.0;
+  for (int i = 0; i < chip.coreCount(); ++i) {
+    const double f = chip.coreInitialFmax(i);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+    sum += f;
+  }
+  const double meanF = sum / chip.coreCount();
+  return (hi - lo) / meanF;
+}
+
+}  // namespace hayat

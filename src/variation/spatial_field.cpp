@@ -1,0 +1,68 @@
+#include "variation/spatial_field.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+SpatialFieldSampler::SpatialFieldSampler(const SpatialFieldConfig& config)
+    : config_(config), chol_(buildCovariance(config)) {}
+
+Matrix SpatialFieldSampler::buildCovariance(
+    const SpatialFieldConfig& config) const {
+  HAYAT_REQUIRE(config.sigma >= 0.0, "sigma must be non-negative");
+  HAYAT_REQUIRE(config.correlationRange > 0.0,
+                "correlation range must be positive");
+  HAYAT_REQUIRE(config.globalFraction >= 0.0 && config.nuggetFraction >= 0.0 &&
+                    config.globalFraction + config.nuggetFraction <= 1.0,
+                "variance fractions must be in [0,1] and sum to <= 1");
+  const int n = config.grid.count();
+  const double var = config.sigma * config.sigma;
+  const double varGlobal = var * config.globalFraction;
+  const double varNugget = var * config.nuggetFraction;
+  const double varSpatial = var - varGlobal - varNugget;
+
+  Matrix cov(n, n);
+  for (int a = 0; a < n; ++a) {
+    const TilePos pa = config.grid.posOf(a);
+    for (int b = a; b < n; ++b) {
+      const TilePos pb = config.grid.posOf(b);
+      const double dx = (pa.col - pb.col) * config.pointSpacingX;
+      const double dy = (pa.row - pb.row) * config.pointSpacingY;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      double c = varGlobal +
+                 varSpatial * std::exp(-dist / config.correlationRange);
+      if (a == b) c += varNugget;
+      cov(a, b) = c;
+      cov(b, a) = c;
+    }
+  }
+  return cov;
+}
+
+double SpatialFieldSampler::covariance(int a, int b) const {
+  // Recompute from the config (the factorization does not retain A).
+  const TilePos pa = config_.grid.posOf(a);
+  const TilePos pb = config_.grid.posOf(b);
+  const double var = config_.sigma * config_.sigma;
+  const double varGlobal = var * config_.globalFraction;
+  const double varNugget = var * config_.nuggetFraction;
+  const double varSpatial = var - varGlobal - varNugget;
+  const double dx = (pa.col - pb.col) * config_.pointSpacingX;
+  const double dy = (pa.row - pb.row) * config_.pointSpacingY;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  double c = varGlobal + varSpatial * std::exp(-dist / config_.correlationRange);
+  if (a == b) c += varNugget;
+  return c;
+}
+
+Vector SpatialFieldSampler::sample(Rng& rng) const {
+  const int n = config_.grid.count();
+  Vector z = rng.gaussianVector(n);
+  Vector field = chol_.applyL(z);
+  for (double& x : field) x += config_.mean;
+  return field;
+}
+
+}  // namespace hayat

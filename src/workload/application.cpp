@@ -1,0 +1,48 @@
+#include "workload/application.hpp"
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+Application::Application(std::string name, std::vector<ThreadProfile> threads,
+                         int minThreads)
+    : name_(std::move(name)),
+      threads_(std::move(threads)),
+      minThreads_(minThreads) {
+  HAYAT_REQUIRE(!threads_.empty(), "application needs >= 1 thread");
+  HAYAT_REQUIRE(minThreads >= 1 && minThreads <= maxThreads(),
+                "minThreads must be in [1, maxThreads]");
+}
+
+const ThreadProfile& Application::thread(int k) const {
+  HAYAT_REQUIRE(k >= 0 && k < maxThreads(), "thread index out of range");
+  return threads_[static_cast<std::size_t>(k)];
+}
+
+Hertz Application::minFrequencyAt(int threadIndex, int activeThreads) const {
+  HAYAT_REQUIRE(activeThreads >= minThreads_ && activeThreads <= maxThreads(),
+                "active thread count outside the malleable range");
+  const ThreadProfile& profile = thread(threadIndex);
+  return profile.minFrequency() *
+         (static_cast<double>(maxThreads()) / activeThreads);
+}
+
+Watts Application::totalAveragePower() const {
+  Watts acc = 0.0;
+  for (const ThreadProfile& t : threads_) acc += t.averagePower();
+  return acc;
+}
+
+int WorkloadMix::totalMaxThreads() const {
+  int acc = 0;
+  for (const Application& a : applications) acc += a.maxThreads();
+  return acc;
+}
+
+int WorkloadMix::totalMinThreads() const {
+  int acc = 0;
+  for (const Application& a : applications) acc += a.minThreads();
+  return acc;
+}
+
+}  // namespace hayat

@@ -1,0 +1,63 @@
+// Malleable multi-threaded applications (Section III application model).
+//
+// A_j = { tau_(j,1), ..., tau_(j,Kj) } where the thread count K_j "can
+// vary depending upon the value of N_on" (the malleable model of
+// [23, 24]).  An Application owns the per-thread profiles for its maximum
+// degree of parallelism; a Mapping policy may run it with any K in
+// [minThreads, maxThreads].  When K shrinks, the same total work spreads
+// over fewer threads, so each active thread's required minimum frequency
+// rises proportionally — captured by minFrequencyAt().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/thread_profile.hpp"
+
+namespace hayat {
+
+/// One malleable application instance.
+class Application {
+ public:
+  Application(std::string name, std::vector<ThreadProfile> threads,
+              int minThreads);
+
+  const std::string& name() const { return name_; }
+
+  /// Maximum degree of parallelism (number of owned thread profiles).
+  int maxThreads() const { return static_cast<int>(threads_.size()); }
+
+  /// Minimum degree of parallelism that still meets the deadline at
+  /// nominal frequency.
+  int minThreads() const { return minThreads_; }
+
+  const ThreadProfile& thread(int k) const;
+
+  /// Minimum per-thread frequency when running with k threads: the
+  /// profile f_min scaled by maxThreads / k (fewer threads -> each must
+  /// run faster to hold application throughput).
+  Hertz minFrequencyAt(int threadIndex, int activeThreads) const;
+
+  /// Sum of average thread powers at full parallelism (for mix sizing).
+  Watts totalAveragePower() const;
+
+ private:
+  std::string name_;
+  std::vector<ThreadProfile> threads_;
+  int minThreads_;
+};
+
+/// A set of concurrently executing applications — one evaluation
+/// scenario's workload (the paper's "mixes using the multithreaded
+/// applications from the Parsec benchmark suite").
+struct WorkloadMix {
+  std::vector<Application> applications;
+
+  /// Total thread count at maximum parallelism.
+  int totalMaxThreads() const;
+
+  /// Total thread count at minimum parallelism.
+  int totalMinThreads() const;
+};
+
+}  // namespace hayat

@@ -1,0 +1,128 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+const std::vector<BenchmarkSpec>& ParsecLikeSuite::specs() {
+  // Envelopes shaped after published Parsec characterizations: compute
+  // kernels (blackscholes, swaptions) are hot and steady; memory-bound
+  // codes (streamcluster, canneal) run cooler with low duty; x264 and
+  // bodytrack (the two apps named in Fig. 2's setup) are hot and strongly
+  // phased.
+  static const std::vector<BenchmarkSpec> kSpecs = {
+      {"blackscholes", 3.5, 4.5, 0.60, 0.80, 1.4, 2.0, 0.50, 0.70, 4, 16,
+       2, 3, 0.5, 1.5},
+      {"bodytrack", 4.0, 6.5, 0.50, 0.80, 1.0, 1.8, 0.60, 0.85, 4, 16,
+       3, 5, 0.2, 1.0},
+      {"x264", 2.5, 6.5, 0.40, 0.80, 0.9, 1.7, 0.55, 0.80, 4, 16,
+       4, 6, 0.2, 0.8},
+      {"streamcluster", 2.0, 3.5, 0.30, 0.50, 0.5, 0.9, 0.30, 0.50, 4, 16,
+       2, 4, 0.4, 1.2},
+      {"canneal", 1.8, 3.0, 0.25, 0.45, 0.4, 0.8, 0.25, 0.40, 2, 8,
+       2, 3, 0.5, 1.5},
+      {"ferret", 3.0, 5.0, 0.50, 0.70, 0.9, 1.5, 0.50, 0.70, 4, 12,
+       3, 5, 0.3, 1.0},
+      {"fluidanimate", 3.5, 5.5, 0.55, 0.75, 1.1, 1.7, 0.50, 0.70, 4, 16,
+       2, 4, 0.4, 1.2},
+      {"swaptions", 3.8, 5.0, 0.65, 0.85, 1.3, 1.9, 0.50, 0.75, 2, 12,
+       2, 3, 0.6, 1.5},
+      {"dedup", 2.2, 4.0, 0.35, 0.60, 0.7, 1.2, 0.35, 0.55, 4, 12,
+       3, 5, 0.2, 0.9},
+      {"vips", 3.0, 5.0, 0.50, 0.70, 0.9, 1.5, 0.45, 0.65, 4, 12,
+       3, 5, 0.3, 1.0},
+  };
+  return kSpecs;
+}
+
+std::optional<BenchmarkSpec> ParsecLikeSuite::find(const std::string& name) {
+  for (const BenchmarkSpec& s : specs())
+    if (s.name == name) return s;
+  return std::nullopt;
+}
+
+Application ParsecLikeSuite::instantiate(const BenchmarkSpec& spec, Rng& rng,
+                                         Hertz nominalFrequency,
+                                         int threads) {
+  HAYAT_REQUIRE(nominalFrequency > 0.0, "nominal frequency must be positive");
+  HAYAT_REQUIRE(spec.minParallelism >= 1 &&
+                    spec.maxParallelism >= spec.minParallelism,
+                "invalid parallelism range");
+  int k = threads;
+  if (k <= 0) {
+    k = spec.minParallelism +
+        rng.uniformInt(spec.maxParallelism - spec.minParallelism + 1);
+  }
+  HAYAT_REQUIRE(k >= spec.minParallelism && k <= spec.maxParallelism,
+                "requested thread count outside the spec's range");
+
+  // All threads of an application share one f_min (the throughput
+  // constraint is per application); per-thread traces differ in phases.
+  const Hertz fMin =
+      nominalFrequency * rng.uniform(spec.fMinFracLo, spec.fMinFracHi);
+
+  std::vector<ThreadProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    const int phaseCount =
+        spec.phasesLo + rng.uniformInt(spec.phasesHi - spec.phasesLo + 1);
+    std::vector<ThreadPhase> phases;
+    phases.reserve(static_cast<std::size_t>(phaseCount));
+    for (int p = 0; p < phaseCount; ++p) {
+      ThreadPhase phase;
+      phase.duration = rng.uniform(spec.phaseDurLo, spec.phaseDurHi);
+      phase.dynamicPower = rng.uniform(spec.powerLo, spec.powerHi);
+      phase.dutyCycle = rng.uniform(spec.dutyLo, spec.dutyHi);
+      phase.ipc = rng.uniform(spec.ipcLo, spec.ipcHi);
+      phases.push_back(phase);
+    }
+    profiles.emplace_back(std::move(phases), fMin);
+  }
+  return Application(spec.name, std::move(profiles), spec.minParallelism);
+}
+
+WorkloadMix ParsecLikeSuite::makeMix(Rng& rng, int targetThreads,
+                                     Hertz nominalFrequency) {
+  HAYAT_REQUIRE(targetThreads >= 1, "target thread budget must be >= 1");
+  const auto& all = specs();
+  int smallestMin = all.front().minParallelism;
+  for (const BenchmarkSpec& s : all)
+    smallestMin = std::min(smallestMin, s.minParallelism);
+
+  WorkloadMix mix;
+  int remaining = targetThreads;
+  // Keep drawing applications until no benchmark fits the leftover budget
+  // (rejected draws are bounded to keep the loop finite).
+  int rejectedDraws = 0;
+  while (remaining >= smallestMin && rejectedDraws < 1000) {
+    const BenchmarkSpec& spec =
+        all[static_cast<std::size_t>(rng.uniformInt(static_cast<int>(all.size())))];
+    if (spec.minParallelism > remaining) {
+      ++rejectedDraws;
+      continue;
+    }
+    const int maxK = std::min(spec.maxParallelism, remaining);
+    const int k = spec.minParallelism +
+                  rng.uniformInt(maxK - spec.minParallelism + 1);
+    mix.applications.push_back(
+        instantiate(spec, rng, nominalFrequency, k));
+    remaining -= k;
+    if (static_cast<int>(mix.applications.size()) >= targetThreads) break;
+  }
+  if (mix.applications.empty()) {
+    // Budget below every benchmark's minimum: run the smallest one anyway
+    // (a mix must contain at least one application).
+    for (const BenchmarkSpec& s : all) {
+      if (s.minParallelism == smallestMin) {
+        mix.applications.push_back(
+            instantiate(s, rng, nominalFrequency, smallestMin));
+        break;
+      }
+    }
+  }
+  return mix;
+}
+
+}  // namespace hayat

@@ -1,0 +1,62 @@
+// Synthetic Parsec-like workload generator.
+//
+// The paper generates "several mixes using the multithreaded applications
+// from the Parsec benchmark suite" via Gem5+McPAT traces.  Those traces
+// are not redistributable, so this generator synthesizes statistically
+// equivalent profiles: each named benchmark carries the power envelope,
+// duty-cycle band, IPC band, phase behaviour and malleable parallelism
+// range characteristic of its Parsec namesake (compute-bound vs.
+// memory-bound vs. strongly phased).  The run-time policies only consume
+// these distilled quantities, so the substitution preserves the
+// experiment (DESIGN.md §1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/application.hpp"
+
+namespace hayat {
+
+/// Statistical envelope of one synthetic benchmark.
+struct BenchmarkSpec {
+  std::string name;
+  Watts powerLo = 2.0;   ///< per-thread dynamic power band @ nominal f
+  Watts powerHi = 5.0;
+  double dutyLo = 0.4;   ///< PMOS stress duty band
+  double dutyHi = 0.7;
+  double ipcLo = 0.8;
+  double ipcHi = 1.6;
+  double fMinFracLo = 0.4;  ///< f_min band as fraction of nominal f
+  double fMinFracHi = 0.7;
+  int minParallelism = 4;
+  int maxParallelism = 16;
+  int phasesLo = 2;       ///< phases per thread trace period
+  int phasesHi = 5;
+  Seconds phaseDurLo = 0.2;
+  Seconds phaseDurHi = 1.5;
+};
+
+/// The synthetic Parsec-like suite and mix construction.
+class ParsecLikeSuite {
+ public:
+  /// All benchmark envelopes (10 Parsec-named entries).
+  static const std::vector<BenchmarkSpec>& specs();
+
+  /// Finds a spec by name (nullopt if unknown).
+  static std::optional<BenchmarkSpec> find(const std::string& name);
+
+  /// Instantiates an application from a spec.  `threads` <= 0 picks a
+  /// random parallelism within the spec's malleable range.
+  static Application instantiate(const BenchmarkSpec& spec, Rng& rng,
+                                 Hertz nominalFrequency, int threads = -1);
+
+  /// Builds a workload mix whose total maximum thread count approaches
+  /// (never exceeds) `targetThreads` — the N_on budget of the scenario.
+  static WorkloadMix makeMix(Rng& rng, int targetThreads,
+                             Hertz nominalFrequency);
+};
+
+}  // namespace hayat

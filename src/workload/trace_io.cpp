@@ -1,0 +1,147 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+namespace {
+
+struct Row {
+  std::string app;
+  int minThreads = 1;
+  Hertz fMin = 0.0;
+  int thread = 0;
+  ThreadPhase phase;
+};
+
+Row parseRow(const std::string& line, int lineNumber) {
+  std::istringstream ls(line);
+  std::string cell;
+  std::vector<std::string> cells;
+  while (std::getline(ls, cell, ',')) cells.push_back(cell);
+  HAYAT_REQUIRE(cells.size() == 8,
+                "workload CSV line " + std::to_string(lineNumber) +
+                    ": expected 8 columns, got " +
+                    std::to_string(cells.size()));
+  Row row;
+  try {
+    row.app = cells[0];
+    row.minThreads = std::stoi(cells[1]);
+    row.fMin = std::stod(cells[2]);
+    row.thread = std::stoi(cells[3]);
+    row.phase.duration = std::stod(cells[4]);
+    row.phase.dynamicPower = std::stod(cells[5]);
+    row.phase.dutyCycle = std::stod(cells[6]);
+    row.phase.ipc = std::stod(cells[7]);
+  } catch (const std::exception&) {
+    throw Error("workload CSV line " + std::to_string(lineNumber) +
+                ": malformed numeric field");
+  }
+  HAYAT_REQUIRE(!row.app.empty(),
+                "workload CSV line " + std::to_string(lineNumber) +
+                    ": empty application name");
+  return row;
+}
+
+}  // namespace
+
+WorkloadMix readWorkloadCsv(std::istream& in) {
+  WorkloadMix mix;
+
+  // Accumulation state for the application currently being read.
+  std::string currentApp;
+  int currentMinThreads = 1;
+  Hertz currentFmin = 0.0;
+  int currentThread = -1;
+  std::vector<ThreadPhase> phases;
+  std::vector<ThreadProfile> threads;
+
+  auto flushThread = [&]() {
+    if (phases.empty()) return;
+    threads.emplace_back(std::move(phases), currentFmin);
+    phases.clear();
+  };
+  auto flushApp = [&]() {
+    flushThread();
+    if (threads.empty()) return;
+    mix.applications.emplace_back(currentApp, std::move(threads),
+                                  currentMinThreads);
+    threads.clear();
+  };
+
+  std::string line;
+  int lineNumber = 0;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    // Trim trailing CR (Windows files) and skip comments/blanks.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const Row row = parseRow(line, lineNumber);
+
+    if (row.app != currentApp) {
+      flushApp();
+      currentApp = row.app;
+      currentMinThreads = row.minThreads;
+      currentFmin = row.fMin;
+      currentThread = row.thread;
+    } else if (row.thread != currentThread) {
+      HAYAT_REQUIRE(row.thread == currentThread + 1,
+                    "workload CSV line " + std::to_string(lineNumber) +
+                        ": thread indices must be contiguous");
+      flushThread();
+      currentThread = row.thread;
+    }
+    phases.push_back(row.phase);
+  }
+  flushApp();
+  HAYAT_REQUIRE(!mix.applications.empty(),
+                "workload CSV contained no applications");
+  return mix;
+}
+
+WorkloadMix readWorkloadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  HAYAT_REQUIRE(in.is_open(), "cannot open workload CSV '" + path + "'");
+  return readWorkloadCsv(in);
+}
+
+void writeWorkloadCsv(std::ostream& out, const WorkloadMix& mix) {
+  out << "# application,minThreads,fMinHz,thread,phaseDurationS,"
+         "dynamicPowerW,dutyCycle,ipc\n";
+  out << std::setprecision(12);
+  // The reader delimits applications by name changes, so repeated
+  // instances of the same benchmark get an "@k" instance suffix.
+  std::map<std::string, int> seen;
+  for (const Application& app : mix.applications) {
+    std::string name = app.name();
+    const int instance = seen[name]++;
+    if (instance > 0) name += "@" + std::to_string(instance);
+    for (int t = 0; t < app.maxThreads(); ++t) {
+      const ThreadProfile& profile = app.thread(t);
+      for (int p = 0; p < profile.phaseCount(); ++p) {
+        const ThreadPhase& phase = profile.phase(p);
+        out << name << ',' << app.minThreads() << ','
+            << profile.minFrequency() << ',' << t << ',' << phase.duration
+            << ',' << phase.dynamicPower << ',' << phase.dutyCycle << ','
+            << phase.ipc << '\n';
+      }
+    }
+  }
+  HAYAT_REQUIRE(out.good(), "workload CSV write failed");
+}
+
+void writeWorkloadCsvFile(const std::string& path, const WorkloadMix& mix) {
+  std::ofstream out(path);
+  HAYAT_REQUIRE(out.is_open(), "cannot open '" + path + "' for writing");
+  writeWorkloadCsv(out, mix);
+}
+
+}  // namespace hayat

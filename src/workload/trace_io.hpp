@@ -1,0 +1,41 @@
+// Workload trace import/export.
+//
+// The paper drives its evaluation from Gem5+McPAT traces.  This module
+// defines the on-disk format that lets downstream users feed their own
+// cycle-accurate traces to the run-time system instead of the synthetic
+// generator: a line-oriented CSV, one row per (application, thread,
+// phase), with application-level metadata repeated per row.
+//
+//   # application,minThreads,fMinHz,thread,phaseDurationS,dynamicPowerW,dutyCycle,ipc
+//   x264,4,1.8e9,0,0.25,5.1,0.62,1.4
+//   x264,4,1.8e9,0,0.40,3.0,0.41,0.9
+//   x264,4,1.8e9,1,0.33,4.8,0.58,1.3
+//   ...
+//
+// Threads of one application must appear contiguously, phases in order.
+// '#'-prefixed lines and blank lines are comments.  writeWorkloadCsv
+// produces this format from any WorkloadMix, so synthetic mixes can be
+// exported, hand-edited, and re-imported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/application.hpp"
+
+namespace hayat {
+
+/// Parses a workload CSV (throws hayat::Error with a line number on
+/// malformed input).
+WorkloadMix readWorkloadCsv(std::istream& in);
+
+/// File-path convenience overload.
+WorkloadMix readWorkloadCsvFile(const std::string& path);
+
+/// Serializes a mix in the format readWorkloadCsv accepts.
+void writeWorkloadCsv(std::ostream& out, const WorkloadMix& mix);
+
+/// File-path convenience overload.
+void writeWorkloadCsvFile(const std::string& path, const WorkloadMix& mix);
+
+}  // namespace hayat

@@ -1,0 +1,534 @@
+// Unit and property tests for the common substrate: RNG, linear algebra,
+// interpolation tables, geometry, statistics, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+#include "common/interp.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "common/units.hpp"
+
+namespace hayat {
+namespace {
+
+// --- Units ---------------------------------------------------------------
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsiusToKelvin(95.0), 368.15);
+  EXPECT_DOUBLE_EQ(kelvinToCelsius(celsiusToKelvin(45.0)), 45.0);
+}
+
+TEST(Units, YearConversionRoundTrip) {
+  EXPECT_NEAR(secondsToYears(yearsToSeconds(3.5)), 3.5, 1e-12);
+  EXPECT_GT(kSecondsPerYear, 365.0 * 24 * 3600);
+}
+
+TEST(Units, FrequencyHelpers) {
+  EXPECT_DOUBLE_EQ(gigahertz(3.0), 3.0e9);
+  EXPECT_DOUBLE_EQ(toGigahertz(gigahertz(2.5)), 2.5);
+}
+
+// --- Error handling ------------------------------------------------------
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    HAYAT_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(HAYAT_REQUIRE(true, "never"));
+}
+
+// --- RNG -----------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.nextU64() == b.nextU64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[static_cast<std::size_t>(rng.uniformInt(10))];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 each
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(42);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.split();
+  // The child stream must not mirror the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.nextU64() == child.nextU64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, RejectsInvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniformInt(0), Error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), Error);
+}
+
+// --- Matrix / LU / Cholesky ---------------------------------------------
+
+TEST(Matrix, IdentitySolve) {
+  const Matrix eye = Matrix::identity(5);
+  const LuFactorization lu(eye);
+  const Vector b = {1, 2, 3, 4, 5};
+  EXPECT_LT(maxAbsDiff(lu.solve(b), b), 1e-14);
+}
+
+TEST(Matrix, MultiplyMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector y = a.multiply({1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, AddAndScale) {
+  Matrix a = Matrix::identity(3);
+  const Matrix b = a.add(a.scaled(2.0));
+  EXPECT_DOUBLE_EQ(b(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(b(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(a.transposed()(2, 0), 7.0);
+  EXPECT_EQ(a.transposed().rows(), 3);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + rng.uniformInt(30);
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+    // Diagonal dominance guarantees non-singularity.
+    for (int i = 0; i < n; ++i) a(i, i) += n;
+    Vector x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = rng.gaussian();
+    const Vector b = a.multiply(x);
+    const LuFactorization lu(a);
+    EXPECT_LT(maxAbsDiff(lu.solve(b), x), 1e-9);
+  }
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the initial diagonal — only a pivoting LU survives this.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const LuFactorization lu(a);
+  const Vector x = lu.solve({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, Error);
+}
+
+TEST(Lu, ThrowsOnNonSquare) {
+  EXPECT_THROW(LuFactorization{Matrix(2, 3)}, Error);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  Rng rng(13);
+  const int n = 12;
+  // A = B B^T + n I is symmetric positive definite.
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b(i, j) = rng.gaussian();
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = i == j ? n : 0.0;
+      for (int k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+  const CholeskyFactorization chol(a);
+  const Matrix& l = chol.lower();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) acc += l(i, k) * l(j, k);
+      EXPECT_NEAR(acc, a(i, j), 1e-8);
+    }
+}
+
+TEST(Cholesky, SolveMatchesLu) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 5; a(1, 2) = 2;
+  a(2, 0) = 0; a(2, 1) = 2; a(2, 2) = 6;
+  const CholeskyFactorization chol(a);
+  const LuFactorization lu(a);
+  const Vector b = {1, 2, 3};
+  EXPECT_LT(maxAbsDiff(chol.solve(b), lu.solve(b)), 1e-10);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  Matrix a = Matrix::identity(2);
+  a(1, 1) = -1.0;
+  EXPECT_THROW(CholeskyFactorization{a}, Error);
+}
+
+TEST(Cholesky, ApplyLHasRequestedCovariance) {
+  // Sampling x = L z must reproduce Var(x_i) = A(i, i).
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 0.8;
+  a(1, 0) = 0.8; a(1, 1) = 1.0;
+  const CholeskyFactorization chol(a);
+  Rng rng(5);
+  const int n = 100000;
+  double v0 = 0.0, v1 = 0.0, cov = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Vector x = chol.applyL(rng.gaussianVector(2));
+    v0 += x[0] * x[0];
+    v1 += x[1] * x[1];
+    cov += x[0] * x[1];
+  }
+  EXPECT_NEAR(v0 / n, 2.0, 0.05);
+  EXPECT_NEAR(v1 / n, 1.0, 0.03);
+  EXPECT_NEAR(cov / n, 0.8, 0.03);
+}
+
+// --- Interpolation -------------------------------------------------------
+
+TEST(Axis, LocateInterior) {
+  const Axis axis = Axis::linspace(0.0, 10.0, 11);
+  const auto b = axis.locate(3.5);
+  EXPECT_EQ(b.index, 3);
+  EXPECT_NEAR(b.frac, 0.5, 1e-12);
+}
+
+TEST(Axis, LocateClampsOutside) {
+  const Axis axis = Axis::linspace(0.0, 10.0, 11);
+  EXPECT_EQ(axis.locate(-5.0).index, 0);
+  EXPECT_DOUBLE_EQ(axis.locate(-5.0).frac, 0.0);
+  EXPECT_EQ(axis.locate(25.0).index, 9);
+  EXPECT_DOUBLE_EQ(axis.locate(25.0).frac, 1.0);
+}
+
+TEST(Axis, RejectsNonMonotone) {
+  EXPECT_THROW(Axis({1.0, 1.0, 2.0}), Error);
+  EXPECT_THROW(Axis({2.0, 1.0}), Error);
+  EXPECT_THROW(Axis({1.0}), Error);
+}
+
+TEST(Table1, LinearFunctionExact) {
+  const Axis axis = Axis::linspace(0.0, 4.0, 5);
+  Table1 t(axis, {1.0, 3.0, 5.0, 7.0, 9.0});  // f(x) = 2x + 1
+  EXPECT_NEAR(t.interpolate(1.7), 4.4, 1e-12);
+  EXPECT_NEAR(t.interpolate(-1.0), 1.0, 1e-12);  // clamps
+}
+
+TEST(Table3, TrilinearReproducesLinearFunction) {
+  // Trilinear interpolation is exact for multilinear functions.
+  Table3 t(Axis::linspace(0, 1, 3), Axis::linspace(0, 2, 4),
+           Axis::linspace(-1, 1, 5));
+  auto f = [](double x, double y, double z) {
+    return 2.0 + 3.0 * x - 1.5 * y + 0.5 * z + 0.25 * x * y * z;
+  };
+  t.fill(f);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    const double y = rng.uniform(0.0, 2.0);
+    const double z = rng.uniform(-1.0, 1.0);
+    EXPECT_NEAR(t.interpolate(x, y, z), f(x, y, z), 1e-10);
+  }
+}
+
+TEST(Table3, ExactAtGridPoints) {
+  Table3 t(Axis::linspace(0, 1, 4), Axis::linspace(0, 1, 4),
+           Axis::linspace(0, 1, 4));
+  t.fill([](double x, double y, double z) { return x * x + y * y + z * z; });
+  const auto& a0 = t.axis0();
+  for (int i = 0; i < a0.size(); ++i) {
+    const double v = a0[i];
+    EXPECT_NEAR(t.interpolate(v, v, v), 3.0 * v * v, 1e-12);
+  }
+}
+
+TEST(Table3, ClampsBeyondBounds) {
+  Table3 t(Axis::linspace(0, 1, 2), Axis::linspace(0, 1, 2),
+           Axis::linspace(0, 1, 2));
+  t.fill([](double x, double, double) { return x; });
+  EXPECT_DOUBLE_EQ(t.interpolate(9.0, 0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.interpolate(-9.0, 0.5, 0.5), 0.0);
+}
+
+// --- Geometry ------------------------------------------------------------
+
+TEST(GridShape, IndexRoundTrip) {
+  const GridShape g(3, 5);
+  for (int i = 0; i < g.count(); ++i) EXPECT_EQ(g.indexOf(g.posOf(i)), i);
+}
+
+TEST(GridShape, NeighborCounts) {
+  const GridShape g(3, 3);
+  EXPECT_EQ(g.neighbors4(g.indexOf({1, 1})).size(), 4u);  // center
+  EXPECT_EQ(g.neighbors4(g.indexOf({0, 0})).size(), 2u);  // corner
+  EXPECT_EQ(g.neighbors4(g.indexOf({0, 1})).size(), 3u);  // edge
+}
+
+TEST(GridShape, ManhattanAndEuclid) {
+  const GridShape g(4, 4);
+  const int a = g.indexOf({0, 0});
+  const int b = g.indexOf({3, 3});
+  EXPECT_EQ(g.manhattan(a, b), 6);
+  EXPECT_NEAR(g.euclid(a, b), std::sqrt(18.0), 1e-12);
+}
+
+TEST(GridShape, RejectsInvalid) {
+  EXPECT_THROW(GridShape(0, 3), Error);
+  const GridShape g(2, 2);
+  EXPECT_THROW(g.posOf(4), Error);
+  EXPECT_THROW(g.indexOf({2, 0}), Error);
+}
+
+TEST(FloorPlan, GeometryMatchesPaperSetup) {
+  // 8x8 cores of 1.70 x 1.75 mm^2 (Fig. 2 caption).
+  const FloorPlan fp(GridShape(8, 8), 1.70e-3, 1.75e-3);
+  EXPECT_EQ(fp.coreCount(), 64);
+  EXPECT_NEAR(fp.chipWidth(), 13.6e-3, 1e-12);
+  EXPECT_NEAR(fp.chipHeight(), 14.0e-3, 1e-12);
+  EXPECT_NEAR(fp.tileArea(), 2.975e-6, 1e-12);
+}
+
+TEST(FloorPlan, TileCenters) {
+  const FloorPlan fp(GridShape(2, 2), 2e-3, 4e-3);
+  const auto c = fp.tileCenter(3);  // row 1, col 1
+  EXPECT_NEAR(c.x, 3e-3, 1e-12);
+  EXPECT_NEAR(c.y, 6e-3, 1e-12);
+  EXPECT_NEAR(fp.centerDistance(0, 3), std::sqrt(4e-6 + 16e-6), 1e-12);
+}
+
+// --- Statistics ----------------------------------------------------------
+
+TEST(Statistics, MeanStd) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Statistics, MinMaxMedian) {
+  const std::vector<double> v = {3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(minOf(v), 1.0);
+  EXPECT_DOUBLE_EQ(maxOf(v), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  const std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Statistics, SummaryBundle) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Statistics, EmptyInputsThrow) {
+  EXPECT_THROW(mean({}), Error);
+  EXPECT_THROW(minOf({}), Error);
+  EXPECT_THROW(stddev({1.0}), Error);
+  EXPECT_THROW(percentile({}, 50.0), Error);
+}
+
+// --- Text rendering ------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"beta-very-long", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta-very-long"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"label", "x", "y"});
+  t.addRow("row", {1.23456, 2.0}, 2);
+  EXPECT_NE(t.render().find("1.23"), std::string::npos);
+}
+
+TEST(Render, HeatmapShape) {
+  const GridShape g(2, 3);
+  const std::string out = renderHeatmap(g, {1, 2, 3, 4, 5, 6}, 0);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Render, BoolMap) {
+  const GridShape g(2, 2);
+  const std::string out = renderBoolMap(g, {true, false, false, true});
+  EXPECT_NE(out.find("# ."), std::string::npos);
+  EXPECT_NE(out.find(". #"), std::string::npos);
+}
+
+// --- FlagParser ------------------------------------------------------------
+
+TEST(FlagParser, ParsesKeyValueForms) {
+  FlagParser p("prog", "test");
+  p.addFlag("alpha", "a flag", "1");
+  p.addFlag("beta", "b flag", "x");
+  const char* argv[] = {"prog", "--alpha", "42", "--beta=hello"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(p.getInt("alpha"), 42);
+  EXPECT_EQ(p.getString("beta"), "hello");
+  EXPECT_TRUE(p.provided("alpha"));
+}
+
+TEST(FlagParser, DefaultsApplyWhenAbsent) {
+  FlagParser p("prog", "test");
+  p.addFlag("gamma", "g flag", "2.5");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_DOUBLE_EQ(p.getDouble("gamma"), 2.5);
+  EXPECT_FALSE(p.provided("gamma"));
+}
+
+TEST(FlagParser, BooleanFlagWithoutValue) {
+  FlagParser p("prog", "test");
+  p.addFlag("verbose", "v flag", "false");
+  p.addFlag("other", "o flag", "1");
+  const char* argv[] = {"prog", "--verbose", "--other", "3"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_TRUE(p.getBool("verbose"));
+  EXPECT_EQ(p.getInt("other"), 3);
+}
+
+TEST(FlagParser, PositionalArguments) {
+  FlagParser p("prog", "test");
+  p.addFlag("x", "x flag", "0");
+  const char* argv[] = {"prog", "subcmd", "--x", "1", "extra"};
+  ASSERT_TRUE(p.parse(5, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "subcmd");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(FlagParser, UnknownFlagThrows) {
+  FlagParser p("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(p.parse(3, argv), Error);
+}
+
+TEST(FlagParser, TypeErrorsThrow) {
+  FlagParser p("prog", "test");
+  p.addFlag("n", "number", "0");
+  const char* argv[] = {"prog", "--n", "abc"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_THROW(p.getInt("n"), Error);
+  EXPECT_THROW(p.getDouble("n"), Error);
+  EXPECT_THROW(p.getBool("n"), Error);
+}
+
+TEST(FlagParser, HelpShortCircuits) {
+  FlagParser p("prog", "test");
+  p.addFlag("x", "x flag", "0");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_NE(p.helpText().find("--x"), std::string::npos);
+}
+
+TEST(FlagParser, RejectsBadDeclarations) {
+  FlagParser p("prog", "test");
+  p.addFlag("dup", "first", "");
+  EXPECT_THROW(p.addFlag("dup", "second", ""), Error);
+  EXPECT_THROW(p.addFlag("--dashed", "bad", ""), Error);
+  EXPECT_THROW(p.getString("undeclared"), Error);
+}
+
+}  // namespace
+}  // namespace hayat

@@ -1,0 +1,448 @@
+// Cross-module integration tests: the System facade, the lifetime
+// simulator, and the paper's headline directional results on a reduced
+// (fast) configuration — Hayat ages slower than VAA, preserves the chip
+// fmax, and triggers no more DTM events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "baselines/vaa.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/serialize.hpp"
+#include "core/system.hpp"
+
+namespace hayat {
+namespace {
+
+SystemConfig fastConfig() {
+  SystemConfig sc;
+  sc.population.coreGrid = GridShape(4, 4);
+  sc.pathsPerCore = 3;
+  sc.elementsPerPath = 12;
+  sc.epoch.window = 0.3;  // short fine-grained window for test speed
+  return sc;
+}
+
+LifetimeConfig fastLifetime(double dark = 0.5) {
+  LifetimeConfig lc;
+  lc.horizon = 4.0;
+  lc.epochLength = 0.5;
+  lc.minDarkFraction = dark;
+  lc.workloadSeed = 77;
+  return lc;
+}
+
+// --- System facade ----------------------------------------------------------
+
+TEST(System, CreateIsDeterministic) {
+  const SystemConfig sc = fastConfig();
+  System a = System::create(sc, 5);
+  System b = System::create(sc, 5);
+  for (int i = 0; i < a.chip().coreCount(); ++i)
+    EXPECT_DOUBLE_EQ(a.chip().initialFmax(i), b.chip().initialFmax(i));
+}
+
+TEST(System, PopulationIndexSelectsDistinctChips) {
+  const SystemConfig sc = fastConfig();
+  System a = System::create(sc, 5, 0);
+  System b = System::create(sc, 5, 1);
+  int different = 0;
+  for (int i = 0; i < a.chip().coreCount(); ++i)
+    if (a.chip().initialFmax(i) != b.chip().initialFmax(i)) ++different;
+  EXPECT_GT(different, 8);
+}
+
+TEST(System, ResetHealthRestoresYearZero) {
+  System system = System::create(fastConfig(), 7);
+  const double f0 = system.chip().averageFmax();
+  for (int i = 0; i < system.chip().coreCount(); ++i)
+    system.chip().health().advance(i, system.chip().agingTable(), 370.0, 0.8,
+                                   2.0);
+  ASSERT_LT(system.chip().averageFmax(), f0);
+  system.resetHealth();
+  EXPECT_DOUBLE_EQ(system.chip().averageFmax(), f0);
+  // Same silicon: identical variation map and aging table.
+  EXPECT_DOUBLE_EQ(
+      system.chip().agingTable().delayFactor(350.0, 0.5, 5.0),
+      System::create(fastConfig(), 7).chip().agingTable().delayFactor(
+          350.0, 0.5, 5.0));
+}
+
+// --- LifetimeSimulator -------------------------------------------------------
+
+class LifetimeFixture : public ::testing::Test {
+ protected:
+  LifetimeFixture() : system_(System::create(fastConfig(), 2015)) {}
+
+  LifetimeResult runPolicy(MappingPolicy& policy, double dark) {
+    system_.resetHealth();
+    const LifetimeSimulator sim(fastLifetime(dark));
+    return sim.run(system_, policy);
+  }
+
+  System system_;
+};
+
+TEST_F(LifetimeFixture, EpochBookkeeping) {
+  HayatPolicy hayat;
+  const LifetimeResult r = runPolicy(hayat, 0.5);
+  ASSERT_EQ(r.epochs.size(), 8u);  // 4 years / 0.5
+  EXPECT_DOUBLE_EQ(r.epochs.front().startYear, 0.0);
+  EXPECT_DOUBLE_EQ(r.epochs.back().startYear, 3.5);
+  EXPECT_EQ(static_cast<int>(r.initialFmax.size()), 16);
+  EXPECT_EQ(static_cast<int>(r.finalFmax.size()), 16);
+}
+
+TEST_F(LifetimeFixture, FrequenciesDeclineMonotonically) {
+  HayatPolicy hayat;
+  const LifetimeResult r = runPolicy(hayat, 0.5);
+  double prevAvg = mean(r.initialFmax);
+  double prevMax = maxOf(r.initialFmax);
+  for (const EpochRecord& e : r.epochs) {
+    EXPECT_LE(e.averageFmax, prevAvg + 1.0);
+    EXPECT_LE(e.chipFmax, prevMax + 1.0);
+    prevAvg = e.averageFmax;
+    prevMax = e.chipFmax;
+  }
+  // Aging must actually happen.
+  EXPECT_LT(r.epochs.back().averageFmax, 0.97 * mean(r.initialFmax));
+}
+
+TEST_F(LifetimeFixture, HealthBoundsRespected) {
+  VaaPolicy vaa;
+  const LifetimeResult r = runPolicy(vaa, 0.5);
+  for (const EpochRecord& e : r.epochs) {
+    EXPECT_GT(e.minHealth, 0.0);
+    EXPECT_LE(e.minHealth, e.averageHealth);
+    EXPECT_LE(e.averageHealth, 1.0);
+  }
+}
+
+TEST_F(LifetimeFixture, TrajectoryAccessors) {
+  HayatPolicy hayat;
+  const LifetimeResult r = runPolicy(hayat, 0.5);
+  EXPECT_DOUBLE_EQ(r.averageFmaxAt(0.0), mean(r.initialFmax));
+  EXPECT_DOUBLE_EQ(r.chipFmaxAt(0.0), maxOf(r.initialFmax));
+  EXPECT_LE(r.averageFmaxAt(4.0), r.averageFmaxAt(1.0));
+  // Aging rates are positive (frequencies decline).
+  EXPECT_GT(r.averageFmaxAgingRate(), 0.0);
+  EXPECT_GE(r.chipFmaxAgingRate(), 0.0);
+}
+
+TEST_F(LifetimeFixture, LifetimeThresholdInterpolates) {
+  HayatPolicy hayat;
+  const LifetimeResult r = runPolicy(hayat, 0.5);
+  const double f0 = mean(r.initialFmax);
+  const double fEnd = r.epochs.back().averageFmax;
+  const double mid = 0.5 * (f0 + fEnd);
+  const Years t = r.yearsUntilAverageFmaxBelow(mid);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LE(t, 4.0);
+  // Thresholds never reached return the horizon.
+  EXPECT_DOUBLE_EQ(r.yearsUntilAverageFmaxBelow(0.1 * fEnd), 4.0);
+}
+
+TEST_F(LifetimeFixture, IdenticalWorkloadSequencesAcrossPolicies) {
+  // Determinism check: the same policy twice gives identical results
+  // (workload stream and silicon reset correctly).
+  HayatPolicy h1, h2;
+  const LifetimeResult a = runPolicy(h1, 0.5);
+  const LifetimeResult b = runPolicy(h2, 0.5);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.epochs[e].averageFmax, b.epochs[e].averageFmax);
+    EXPECT_EQ(a.epochs[e].dtmEvents, b.epochs[e].dtmEvents);
+  }
+}
+
+// --- Headline directional results (reduced-scale Figs. 7-11) ------------------
+
+TEST_F(LifetimeFixture, HayatAgesSlowerThanVaaAt50Dark) {
+  VaaPolicy vaa;
+  HayatPolicy hayat;
+  const LifetimeResult rv = runPolicy(vaa, 0.5);
+  const LifetimeResult rh = runPolicy(hayat, 0.5);
+  // Fig. 9/10 direction: slower average-frequency aging under Hayat.
+  EXPECT_LT(rh.averageFmaxAgingRate(), rv.averageFmaxAgingRate());
+  // Fig. 11 direction: higher surviving average frequency.
+  EXPECT_GT(rh.epochs.back().averageFmax, rv.epochs.back().averageFmax);
+}
+
+TEST_F(LifetimeFixture, HayatPreservesChipFmax) {
+  VaaPolicy vaa;
+  HayatPolicy hayat;
+  const LifetimeResult rv = runPolicy(vaa, 0.5);
+  const LifetimeResult rh = runPolicy(hayat, 0.5);
+  EXPECT_GE(rh.epochs.back().chipFmax, rv.epochs.back().chipFmax);
+}
+
+TEST_F(LifetimeFixture, HayatNoMoreDtmEventsAt50Dark) {
+  VaaPolicy vaa;
+  HayatPolicy hayat;
+  const LifetimeResult rv = runPolicy(vaa, 0.5);
+  const LifetimeResult rh = runPolicy(hayat, 0.5);
+  EXPECT_LE(rh.totalDtmEvents(), rv.totalDtmEvents());
+}
+
+TEST_F(LifetimeFixture, HayatRunsCoolerOrEqual) {
+  VaaPolicy vaa;
+  HayatPolicy hayat;
+  const Kelvin amb = system_.thermal().config().ambient;
+  const LifetimeResult rv = runPolicy(vaa, 0.5);
+  const LifetimeResult rh = runPolicy(hayat, 0.5);
+  EXPECT_LE(rh.averageTemperatureOverAmbient(amb),
+            rv.averageTemperatureOverAmbient(amb) + 0.5);
+}
+
+TEST_F(LifetimeFixture, MoreDarkSiliconMeansCoolerChips) {
+  // Section VI: more dark headroom -> lower temperatures under the same
+  // policy family (the workload scales with the budget, so compare the
+  // per-core average).
+  HayatPolicy hayat;
+  const Kelvin amb = system_.thermal().config().ambient;
+  const LifetimeResult r50 = runPolicy(hayat, 0.5);
+  const LifetimeResult r25 = runPolicy(hayat, 0.25);
+  EXPECT_LT(r50.averageTemperatureOverAmbient(amb),
+            r25.averageTemperatureOverAmbient(amb));
+}
+
+// --- Paper-constant consistency ------------------------------------------------
+
+TEST(Constants, DefaultConfigsMatchPaperConstants) {
+  // constants.hpp documents the Section V setup; the default configs must
+  // agree with it (a drifted default silently changes every experiment).
+  const SystemConfig sc;
+  EXPECT_DOUBLE_EQ(sc.population.nominalFrequency,
+                   constants::kNominalFrequency);
+  EXPECT_DOUBLE_EQ(sc.population.coreWidth, constants::kCoreWidth);
+  EXPECT_DOUBLE_EQ(sc.population.coreHeight, constants::kCoreHeight);
+  EXPECT_DOUBLE_EQ(sc.population.sigmaFraction,
+                   constants::kVthSigmaFraction);
+  EXPECT_DOUBLE_EQ(sc.population.correlationRangeFraction,
+                   constants::kCorrelationRangeFraction);
+  EXPECT_EQ(sc.population.coreGrid.rows(), constants::kDefaultRows);
+  EXPECT_EQ(sc.population.coreGrid.cols(), constants::kDefaultCols);
+  EXPECT_DOUBLE_EQ(sc.nbti.vdd, constants::kVdd);
+  EXPECT_DOUBLE_EQ(sc.nbti.nominalVth, constants::kNominalVth);
+  EXPECT_DOUBLE_EQ(sc.nbti.techScale, constants::kTechAgingScale);
+  EXPECT_DOUBLE_EQ(sc.nbti.alphaPower, constants::kAlphaPower);
+  EXPECT_DOUBLE_EQ(sc.leakage.nominalCoreLeakage,
+                   constants::kNominalCoreLeakage);
+  EXPECT_DOUBLE_EQ(sc.leakage.gatedCoreLeakage,
+                   constants::kGatedCoreLeakage);
+  EXPECT_DOUBLE_EQ(sc.epoch.step, constants::kLeakageUpdatePeriod);
+  EXPECT_DOUBLE_EQ(sc.epoch.dtm.tsafe, constants::kTsafe);
+  EXPECT_DOUBLE_EQ(sc.epoch.dtm.coldMargin, constants::kDtmColdMargin);
+
+  const HayatConfig hc;
+  EXPECT_DOUBLE_EQ(hc.earlyAlphaGHz, constants::kEarlyAgingAlpha);
+  EXPECT_DOUBLE_EQ(hc.earlyBeta, constants::kEarlyAgingBeta);
+  EXPECT_DOUBLE_EQ(hc.lateAlphaGHz, constants::kLateAgingAlpha);
+  EXPECT_DOUBLE_EQ(hc.lateBeta, constants::kLateAgingBeta);
+  EXPECT_DOUBLE_EQ(hc.wmax, constants::kWmax);
+
+  const LifetimeConfig lc;
+  EXPECT_DOUBLE_EQ(lc.tsafe, constants::kTsafe);
+  EXPECT_DOUBLE_EQ(lc.nominalFrequency, constants::kNominalFrequency);
+}
+
+// --- Mix churn / incremental remapping ----------------------------------------
+
+TEST_F(LifetimeFixture, ChurnModeRunsAndAges) {
+  LifetimeConfig lc = fastLifetime(0.5);
+  lc.mixChurn = 0.4;
+  system_.resetHealth();
+  HayatPolicy hayat;
+  const LifetimeResult r = LifetimeSimulator(lc).run(system_, hayat);
+  ASSERT_EQ(r.epochs.size(), 8u);
+  EXPECT_LT(r.epochs.back().averageFmax, mean(r.initialFmax));
+  for (const EpochRecord& e : r.epochs) {
+    EXPECT_GT(e.minHealth, 0.0);
+    EXPECT_GT(e.throughputRatio, 0.3);
+  }
+}
+
+TEST_F(LifetimeFixture, IncrementalRemapRunsForBothPolicies) {
+  for (int which = 0; which < 2; ++which) {
+    LifetimeConfig lc = fastLifetime(0.5);
+    lc.mixChurn = 0.4;
+    lc.incrementalRemap = true;
+    system_.resetHealth();
+    std::unique_ptr<MappingPolicy> policy;
+    if (which == 0)
+      policy = std::make_unique<HayatPolicy>();
+    else
+      policy = std::make_unique<VaaPolicy>();
+    const LifetimeResult r = LifetimeSimulator(lc).run(system_, *policy);
+    ASSERT_EQ(r.epochs.size(), 8u) << policy->name();
+    for (const EpochRecord& e : r.epochs) {
+      EXPECT_GT(e.minHealth, 0.0) << policy->name();
+      EXPECT_GT(e.averageFmax, 0.0) << policy->name();
+    }
+  }
+}
+
+TEST_F(LifetimeFixture, IncrementalRequiresChurn) {
+  LifetimeConfig lc = fastLifetime(0.5);
+  lc.incrementalRemap = true;  // without churn: invalid
+  EXPECT_THROW(LifetimeSimulator{lc}, Error);
+  lc.mixChurn = 1.5;
+  EXPECT_THROW(LifetimeSimulator{lc}, Error);
+}
+
+TEST_F(LifetimeFixture, FullChurnBehavesLikeFreshMixes) {
+  // churn = 1 replaces every application every epoch; the run must still
+  // satisfy all invariants (it is just a costlier fresh-mix mode).
+  LifetimeConfig lc = fastLifetime(0.5);
+  lc.mixChurn = 1.0;
+  system_.resetHealth();
+  HayatPolicy hayat;
+  const LifetimeResult r = LifetimeSimulator(lc).run(system_, hayat);
+  for (const EpochRecord& e : r.epochs) EXPECT_GT(e.averageFmax, 0.0);
+}
+
+// --- Sensor noise -------------------------------------------------------------
+
+TEST_F(LifetimeFixture, NoisySensorsKeepInvariants) {
+  LifetimeConfig lc = fastLifetime(0.5);
+  lc.healthSensorNoise.gaussianSigma = 0.02;
+  system_.resetHealth();
+  HayatPolicy hayat;
+  const LifetimeResult r = LifetimeSimulator(lc).run(system_, hayat);
+  for (const EpochRecord& e : r.epochs) {
+    EXPECT_GT(e.minHealth, 0.0);
+    EXPECT_LE(e.averageHealth, 1.0);
+    EXPECT_GT(e.averageFmax, 0.0);
+  }
+}
+
+TEST_F(LifetimeFixture, ZeroNoiseMatchesIdealSensors) {
+  // sigma == 0 must take the ideal-sensor path and produce bit-identical
+  // results to the default configuration.
+  HayatPolicy h1, h2;
+  const LifetimeResult ideal = runPolicy(h1, 0.5);
+  LifetimeConfig lc = fastLifetime(0.5);
+  lc.healthSensorNoise.gaussianSigma = 0.0;
+  system_.resetHealth();
+  const LifetimeResult zero = LifetimeSimulator(lc).run(system_, h2);
+  ASSERT_EQ(ideal.epochs.size(), zero.epochs.size());
+  for (std::size_t e = 0; e < ideal.epochs.size(); ++e)
+    EXPECT_DOUBLE_EQ(ideal.epochs[e].averageFmax, zero.epochs[e].averageFmax);
+}
+
+TEST_F(LifetimeFixture, ModerateNoiseDegradesGracefully) {
+  HayatPolicy h1, h2;
+  const LifetimeResult ideal = runPolicy(h1, 0.5);
+  LifetimeConfig lc = fastLifetime(0.5);
+  lc.healthSensorNoise.gaussianSigma = 0.01;
+  system_.resetHealth();
+  const LifetimeResult noisy = LifetimeSimulator(lc).run(system_, h2);
+  // Within 5% of the ideal-sensor outcome.
+  EXPECT_NEAR(noisy.epochs.back().averageFmax,
+              ideal.epochs.back().averageFmax,
+              0.05 * ideal.epochs.back().averageFmax);
+}
+
+// --- Hard-failure reliability ---------------------------------------------------
+
+TEST_F(LifetimeFixture, DamageAccumulatesAndSummarizes) {
+  HayatPolicy hayat;
+  const LifetimeResult r = runPolicy(hayat, 0.5);
+  ASSERT_EQ(static_cast<int>(r.coreDamage.size()), 16);
+  for (double d : r.coreDamage) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);  // a 4-year run must not consume a full lifetime
+  }
+  const ChipReliability rel = r.reliability();
+  EXPECT_GE(rel.worstDamage, rel.averageDamage);
+  EXPECT_GT(rel.projectedMttf, r.horizon);
+}
+
+TEST_F(LifetimeFixture, HayatLowersAverageWearButConcentratesUsage) {
+  // Emergent (and honest) result of the reproduction: Hayat's cooler maps
+  // reduce the chip-average wear-out, but its frequency matching keeps
+  // re-selecting the same tight-match cores, so the *worst* core's
+  // consumed life need not improve (see bench_ablation_mttf).  Assert the
+  // robust half of that: lower average damage.
+  VaaPolicy vaa;
+  HayatPolicy hayat;
+  const LifetimeResult rv = runPolicy(vaa, 0.5);
+  const LifetimeResult rh = runPolicy(hayat, 0.5);
+  EXPECT_LE(rh.reliability().averageDamage,
+            rv.reliability().averageDamage * 1.05);
+}
+
+// --- Serialization -----------------------------------------------------------
+
+TEST(Serialize, HealthMapRoundTrip) {
+  System system = System::create(fastConfig(), 7);
+  Chip& chip = system.chip();
+  for (int i = 0; i < chip.coreCount(); ++i)
+    chip.health().advance(i, chip.agingTable(), 340.0 + i, 0.4 + 0.02 * i,
+                          1.5);
+  std::stringstream buffer;
+  saveHealthMap(buffer, chip.health());
+  const HealthMap restored = loadHealthMap(buffer);
+  ASSERT_EQ(restored.coreCount(), chip.coreCount());
+  for (int i = 0; i < chip.coreCount(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.initialFmax(i), chip.health().initialFmax(i));
+    EXPECT_DOUBLE_EQ(restored.state(i).delayFactor(),
+                     chip.health().state(i).delayFactor());
+  }
+}
+
+TEST(Serialize, RejectsCorruptCheckpoints) {
+  std::stringstream notOurs("some-other-format\n4\n");
+  EXPECT_THROW(loadHealthMap(notOurs), Error);
+  std::stringstream truncated("hayat-healthmap-v1\n3\n1e9 1.1\n");
+  EXPECT_THROW(loadHealthMap(truncated), Error);
+  std::stringstream badCount("hayat-healthmap-v1\n0\n");
+  EXPECT_THROW(loadHealthMap(badCount), Error);
+}
+
+TEST(Serialize, LifetimeCsvShape) {
+  System system = System::create(fastConfig(), 9);
+  HayatPolicy hayat;
+  const LifetimeSimulator sim(fastLifetime(0.5));
+  const LifetimeResult r = sim.run(system, hayat);
+  std::stringstream csv;
+  writeLifetimeCsv(csv, r);
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_NE(line.find("startYear"), std::string::npos);
+  int rows = 0;
+  while (std::getline(csv, line)) {
+    ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 12);
+  }
+  EXPECT_EQ(rows, static_cast<int>(r.epochs.size()));
+}
+
+TEST(Serialize, CheckpointContinuesAgingCorrectly) {
+  // Aging 1 year, checkpointing, restoring, and aging another year must
+  // equal aging 2 years straight — the reboot-survival property.
+  System system = System::create(fastConfig(), 11);
+  Chip& chip = system.chip();
+  const AgingTable& table = chip.agingTable();
+
+  HealthMap continuous = chip.health();
+  continuous.advance(0, table, 355.0, 0.6, 2.0);
+
+  HealthMap first = chip.health();
+  first.advance(0, table, 355.0, 0.6, 1.0);
+  std::stringstream buffer;
+  saveHealthMap(buffer, first);
+  HealthMap resumed = loadHealthMap(buffer);
+  resumed.advance(0, table, 355.0, 0.6, 1.0);
+
+  EXPECT_NEAR(resumed.health(0), continuous.health(0), 1e-9);
+}
+
+}  // namespace
+}  // namespace hayat

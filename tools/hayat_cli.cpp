@@ -1,0 +1,236 @@
+// hayat — command-line driver for the Hayat library.
+//
+// Subcommands:
+//   lifetime    run a multi-year lifetime simulation for one chip/policy
+//               and print (or export) the per-epoch metrics
+//   map         compute one epoch's mapping and show the DCM + predicted
+//               temperatures
+//   population  print variation statistics of a chip population
+//   aging       dump an aging-table slice (delay factor vs. years) for a
+//               given temperature and duty cycle
+//
+// Examples:
+//   hayat lifetime --policy hayat --dark 0.5 --years 10 --csv out.csv
+//   hayat map --policy vaa --dark 0.25 --seed 7
+//   hayat population --chips 25
+//   hayat aging --temperature 358 --duty 0.6
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/simple_policies.hpp"
+#include "baselines/vaa.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/text_table.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/serialize.hpp"
+#include "core/system.hpp"
+#include "runtime/thermal_predictor.hpp"
+#include "variation/population.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace hayat;
+
+std::unique_ptr<MappingPolicy> makePolicy(const std::string& name) {
+  if (name == "hayat") return std::make_unique<HayatPolicy>();
+  if (name == "vaa") return std::make_unique<VaaPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>();
+  if (name == "coolest") return std::make_unique<CoolestFirstPolicy>();
+  throw Error("unknown policy '" + name +
+              "' (expected hayat|vaa|random|coolest)");
+}
+
+int cmdLifetime(FlagParser& flags) {
+  const SystemConfig config;
+  System system = System::create(
+      config, static_cast<std::uint64_t>(flags.getInt("seed")),
+      flags.getInt("chip"));
+
+  LifetimeConfig lc;
+  lc.horizon = flags.getDouble("years");
+  lc.epochLength = flags.getDouble("epoch");
+  lc.minDarkFraction = flags.getDouble("dark");
+  lc.workloadSeed = static_cast<std::uint64_t>(flags.getInt("workload-seed"));
+  if (flags.provided("trace"))
+    lc.fixedMix = readWorkloadCsvFile(flags.getString("trace"));
+  lc.mixChurn = flags.getDouble("churn");
+  lc.incrementalRemap = flags.getBool("incremental");
+  const LifetimeSimulator sim(lc);
+  auto policy = makePolicy(flags.getString("policy"));
+  const LifetimeResult r = sim.run(system, *policy);
+
+  TextTable table({"year", "avg fmax [GHz]", "chip fmax [GHz]", "min health",
+                   "Tpeak [K]", "DTM events"});
+  for (const EpochRecord& e : r.epochs) {
+    table.addRow(formatDouble(e.startYear + lc.epochLength, 2),
+                 {e.averageFmax / 1e9, e.chipFmax / 1e9, e.minHealth,
+                  e.chipPeak, static_cast<double>(e.dtmEvents)},
+                 3);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Totals: %ld DTM events (%ld migrations), final avg fmax "
+              "%.3f GHz, chip fmax %.3f GHz\n",
+              r.totalDtmEvents(), r.totalMigrations(),
+              r.epochs.back().averageFmax / 1e9,
+              r.epochs.back().chipFmax / 1e9);
+
+  if (flags.provided("csv")) {
+    std::ofstream out(flags.getString("csv"));
+    HAYAT_REQUIRE(out.is_open(), "cannot open CSV output file");
+    writeLifetimeCsv(out, r);
+    std::printf("Per-epoch CSV written to %s\n",
+                flags.getString("csv").c_str());
+  }
+  if (flags.provided("checkpoint")) {
+    saveHealthMapFile(flags.getString("checkpoint"), system.chip().health());
+    std::printf("Health-map checkpoint written to %s\n",
+                flags.getString("checkpoint").c_str());
+  }
+  return 0;
+}
+
+int cmdMap(FlagParser& flags) {
+  const SystemConfig config;
+  System system = System::create(
+      config, static_cast<std::uint64_t>(flags.getInt("seed")),
+      flags.getInt("chip"));
+  Chip& chip = system.chip();
+
+  const int budget = std::max(
+      1, static_cast<int>(chip.coreCount() *
+                          (1.0 - flags.getDouble("dark"))));
+  Rng rng(static_cast<std::uint64_t>(flags.getInt("workload-seed")));
+  const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, budget, 3.0e9);
+
+  auto policy = makePolicy(flags.getString("policy"));
+  PolicyContext ctx;
+  ctx.chip = &chip;
+  ctx.thermal = &system.thermal();
+  ctx.leakage = &system.leakage();
+  ctx.mix = &mix;
+  ctx.minDarkFraction = flags.getDouble("dark");
+  const Mapping m = policy->map(ctx);
+
+  std::printf("Workload: %zu applications, %d threads mapped\n",
+              mix.applications.size(), m.assignedCount());
+  std::printf("Dark Core Map ('#' = powered):\n%s\n",
+              renderBoolMap(chip.grid(),
+                            m.toDarkCoreMap(chip.grid()).flags())
+                  .c_str());
+
+  const ThermalPredictor predictor(system.thermal(), system.leakage());
+  const int n = chip.coreCount();
+  std::vector<bool> on(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) on[static_cast<std::size_t>(i)] = m.coreBusy(i);
+  const Vector temps =
+      predictor.predict(m.averageDynamicPower(mix, 3.0e9), on);
+  std::printf("Predicted steady-state core temperatures [K]:\n%s",
+              renderHeatmap(chip.grid(), temps, 1).c_str());
+  return 0;
+}
+
+int cmdPopulation(FlagParser& flags) {
+  PopulationConfig pc;
+  const int chips = flags.getInt("chips");
+  const auto population = generateChipPopulation(
+      pc, chips, static_cast<std::uint64_t>(flags.getInt("seed")));
+  std::vector<double> spreads;
+  TextTable table({"chip", "fmax min [GHz]", "fmax mean [GHz]",
+                   "fmax max [GHz]", "spread [%]"});
+  for (int c = 0; c < chips; ++c) {
+    const VariationMap& chip = population[static_cast<std::size_t>(c)];
+    std::vector<double> f;
+    for (int i = 0; i < chip.coreCount(); ++i)
+      f.push_back(chip.coreInitialFmax(i) / 1e9);
+    spreads.push_back(frequencySpread(chip));
+    table.addRow("chip-" + std::to_string(c),
+                 {minOf(f), mean(f), maxOf(f), 100.0 * spreads.back()}, 2);
+  }
+  std::printf("%s\nMean spread: %.1f%%\n", table.render().c_str(),
+              100.0 * mean(spreads));
+  return 0;
+}
+
+int cmdExportTrace(FlagParser& flags) {
+  Rng rng(static_cast<std::uint64_t>(flags.getInt("workload-seed")));
+  const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, 32, 3.0e9);
+  if (flags.provided("csv")) {
+    writeWorkloadCsvFile(flags.getString("csv"), mix);
+    std::printf("Workload trace written to %s (%zu applications, %d "
+                "threads)\n",
+                flags.getString("csv").c_str(), mix.applications.size(),
+                mix.totalMaxThreads());
+  } else {
+    writeWorkloadCsv(std::cout, mix);
+  }
+  return 0;
+}
+
+int cmdAging(FlagParser& flags) {
+  SystemConfig config;
+  System system = System::create(
+      config, static_cast<std::uint64_t>(flags.getInt("seed")));
+  const AgingTable& table = system.chip().agingTable();
+  const double t = flags.getDouble("temperature");
+  const double d = flags.getDouble("duty");
+  TextTable out({"years", "delay factor", "health", "fmax scale"});
+  for (double y : {0.0, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 20.0}) {
+    const double factor = table.delayFactor(t, d, y);
+    out.addRow(formatDouble(y, 2), {factor, 1.0 / factor, 1.0 / factor}, 4);
+  }
+  std::printf("Aging-table slice at T=%.1f K, duty=%.2f:\n%s", t, d,
+              out.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hayat;
+  FlagParser flags(
+      "hayat",
+      "command-line driver (subcommands: lifetime, map, population, "
+      "aging, export-trace)");
+  flags.addFlag("policy", "mapping policy: hayat|vaa|random|coolest", "hayat");
+  flags.addFlag("dark", "minimum dark-silicon fraction", "0.5");
+  flags.addFlag("years", "simulated lifetime horizon", "10");
+  flags.addFlag("epoch", "aging epoch length in years", "0.25");
+  flags.addFlag("seed", "chip population seed", "2015");
+  flags.addFlag("chip", "chip index within the population", "0");
+  flags.addFlag("workload-seed", "workload sequence seed", "99");
+  flags.addFlag("chips", "population size (population subcommand)", "25");
+  flags.addFlag("temperature", "temperature in kelvin (aging subcommand)",
+                "358");
+  flags.addFlag("duty", "duty cycle (aging subcommand)", "0.6");
+  flags.addFlag("csv", "write per-epoch CSV to this path");
+  flags.addFlag("trace", "run a workload trace CSV instead of synthetic mixes");
+  flags.addFlag("churn", "fraction of applications replaced per epoch", "0");
+  flags.addFlag("incremental",
+                "with --churn: place arrivals incrementally", "false");
+  flags.addFlag("checkpoint", "write a health-map checkpoint to this path");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const auto& pos = flags.positional();
+    const std::string cmd = pos.empty() ? "lifetime" : pos.front();
+    if (cmd == "lifetime") return cmdLifetime(flags);
+    if (cmd == "map") return cmdMap(flags);
+    if (cmd == "population") return cmdPopulation(flags);
+    if (cmd == "export-trace") return cmdExportTrace(flags);
+    if (cmd == "aging") return cmdAging(flags);
+    std::fprintf(stderr, "unknown subcommand '%s'\n%s", cmd.c_str(),
+                 flags.helpText().c_str());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
