@@ -3,7 +3,8 @@
 // Section IV-C: "The duty cycle can be set with either a generic (i.e.,
 // 50%), known (estimated from offline data by an available netlist), or
 // worst-case (85-100%) at our predicted temperature."  This ablation runs
-// the lifetime experiment with each DutyPolicy and reports the outcome:
+// the lifetime experiment with each DutyPolicy (passed to the registry's
+// "Hayat" factory as the dutyPolicy parameter) and reports the outcome:
 // the estimator's duty assumption changes which placements look risky,
 // so pessimistic settings trade throughput headroom for aging slack.
 #include <cstdio>
@@ -12,9 +13,8 @@
 
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
 
 int main() {
   using namespace hayat;
@@ -27,38 +27,43 @@ int main() {
               "chips) ===\n\n",
               chips);
 
+  // dutyPolicy parameter values follow the registry convention:
+  // 0 Generic, 1 Known, 2 WorstCase.
   struct Variant {
     const char* name;
-    DutyPolicy policy;
+    double dutyPolicy;
   };
-  const Variant variants[] = {{"generic-50%", DutyPolicy::Generic},
-                              {"known-trace", DutyPolicy::Known},
-                              {"worst-case", DutyPolicy::WorstCase}};
+  const Variant variants[] = {{"generic-50%", 0.0},
+                              {"known-trace", 1.0},
+                              {"worst-case", 2.0}};
+
+  engine::ExperimentSpec spec;
+  spec.name = "ablation-duty";
+  spec.darkFractions = {0.5};
+  spec.chips.clear();
+  for (int c = 0; c < chips; ++c) spec.chips.push_back(c);
+  spec.policies.clear();
+  for (const Variant& v : variants)
+    spec.policies.push_back({"Hayat", {{"dutyPolicy", v.dutyPolicy}}});
+
+  const engine::SweepTable results = engine::ExperimentEngine().run(spec);
+  engine::maybeExportTable("ablation_duty", results);
 
   TextTable table({"duty policy", "chip fmax@10y [GHz]",
                    "avg fmax@10y [GHz]", "min health@10y", "DTM events"});
 
-  const SystemConfig sysConfig;
-  for (const Variant& v : variants) {
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
     std::vector<double> chipF, avgF, minH, events;
-    for (int c = 0; c < chips; ++c) {
-      System system = System::create(sysConfig, 2015, c);
-      LifetimeConfig lc;
-      lc.minDarkFraction = 0.5;
-      lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-      const LifetimeSimulator sim(lc);
-      HayatConfig hc;
-      hc.dutyPolicy = v.policy;
-      HayatPolicy policy(hc);
-      const LifetimeResult r = sim.run(system, policy);
+    for (const engine::RunResult* run :
+         results.select(spec.policies[i].label(), 0.5)) {
+      const LifetimeResult& r = run->lifetime;
       chipF.push_back(r.epochs.back().chipFmax / 1e9);
       avgF.push_back(r.epochs.back().averageFmax / 1e9);
       minH.push_back(r.epochs.back().minHealth);
       events.push_back(static_cast<double>(r.totalDtmEvents()));
     }
-    table.addRow(v.name, {mean(chipF), mean(avgF), mean(minH), mean(events)},
-                 3);
-    std::fprintf(stderr, "[ablation] %s done\n", v.name);
+    table.addRow(variants[i].name,
+                 {mean(chipF), mean(avgF), mean(minH), mean(events)}, 3);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("The known-trace setting is the paper's default; generic and "

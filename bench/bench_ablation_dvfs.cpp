@@ -6,15 +6,17 @@
 // threads to run *above* their required frequency (the next level up),
 // burning extra power and aging the chip faster — quantifying how much
 // of Hayat's benefit survives on realistic hardware.
+//
+// Each ladder is its own ExperimentSpec (the ladder is part of the
+// lifetime config, hence of the spec hash).
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
 
 int main() {
   using namespace hayat;
@@ -39,22 +41,23 @@ int main() {
   TextTable table({"ladder", "avg fmax@10y [GHz]", "chip fmax@10y [GHz]",
                    "Tavg-amb [K]", "DTM events"});
 
-  const SystemConfig sysConfig;
+  const engine::ExperimentEngine eng;
   for (const Variant& v : variants) {
+    engine::ExperimentSpec spec;
+    spec.name = "ablation-dvfs";
+    spec.darkFractions = {0.5};
+    spec.chips.clear();
+    for (int c = 0; c < chips; ++c) spec.chips.push_back(c);
+    if (v.levels > 0)
+      spec.lifetime.dvfs = FrequencyLadder::uniform(0.4e9, 3.6e9, v.levels);
+    const engine::SweepTable results = eng.run(spec);
+
     std::vector<double> avgF, chipF, tavg, events;
-    for (int c = 0; c < chips; ++c) {
-      System system = System::create(sysConfig, 2015, c);
-      LifetimeConfig lc;
-      lc.minDarkFraction = 0.5;
-      lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-      if (v.levels > 0)
-        lc.dvfs = FrequencyLadder::uniform(0.4e9, 3.6e9, v.levels);
-      HayatPolicy hayat;
-      const LifetimeResult r = LifetimeSimulator(lc).run(system, hayat);
+    for (const engine::RunResult* run : results.select("Hayat", 0.5)) {
+      const LifetimeResult& r = run->lifetime;
       avgF.push_back(r.epochs.back().averageFmax / 1e9);
       chipF.push_back(r.epochs.back().chipFmax / 1e9);
-      tavg.push_back(
-          r.averageTemperatureOverAmbient(sysConfig.thermal.ambient));
+      tavg.push_back(r.averageTemperatureOverAmbient(run->ambient));
       events.push_back(static_cast<double>(r.totalDtmEvents()));
     }
     table.addRow(v.name,

@@ -9,17 +9,18 @@
 // regimes: incremental placement leaves surviving threads untouched (no
 // re-shuffle cost, bounded decision latency) — how much aging/thermal
 // quality does that forgo relative to re-optimizing everything?
+//
+// Two ExperimentSpecs (full remap vs. incremental — a lifetime-config
+// switch), each running both policies over the chip population.
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "baselines/vaa.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
 
 int main() {
   using namespace hayat;
@@ -32,51 +33,41 @@ int main() {
               "churn, 50%% dark, %d chips) ===\n\n",
               chips);
 
-  struct Variant {
-    const char* label;
-    const char* policy;  // "hayat" or "vaa"
-    bool incremental;
-  };
-  const Variant variants[] = {
-      {"Hayat, full remap", "hayat", false},
-      {"Hayat, incremental", "hayat", true},
-      {"VAA, full remap", "vaa", false},
-      {"VAA, incremental", "vaa", true},
-  };
-
+  const engine::ExperimentEngine eng;
   TextTable table({"regime", "avg fmax@10y [GHz]", "chip fmax@10y [GHz]",
                    "Tavg-amb [K]", "DTM events", "throughput"});
 
-  const SystemConfig sysConfig;
-  for (const Variant& v : variants) {
-    std::vector<double> avgF, chipF, tavg, events, tput;
-    for (int c = 0; c < chips; ++c) {
-      System system = System::create(sysConfig, 2015, c);
-      LifetimeConfig lc;
-      lc.minDarkFraction = 0.5;
-      lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-      lc.mixChurn = 0.3;
-      lc.incrementalRemap = v.incremental;
-      std::unique_ptr<MappingPolicy> policy;
-      if (std::string(v.policy) == "hayat")
-        policy = std::make_unique<HayatPolicy>();
-      else
-        policy = std::make_unique<VaaPolicy>();
-      const LifetimeResult r = LifetimeSimulator(lc).run(system, *policy);
-      avgF.push_back(r.epochs.back().averageFmax / 1e9);
-      chipF.push_back(r.epochs.back().chipFmax / 1e9);
-      tavg.push_back(
-          r.averageTemperatureOverAmbient(sysConfig.thermal.ambient));
-      events.push_back(static_cast<double>(r.totalDtmEvents()));
-      double acc = 0.0;
-      for (const EpochRecord& e : r.epochs) acc += e.throughputRatio;
-      tput.push_back(acc / static_cast<double>(r.epochs.size()));
+  for (const bool incremental : {false, true}) {
+    engine::ExperimentSpec spec;
+    spec.name = incremental ? "ablation-incremental" : "ablation-fullremap";
+    spec.darkFractions = {0.5};
+    spec.chips.clear();
+    for (int c = 0; c < chips; ++c) spec.chips.push_back(c);
+    spec.policies = {{"Hayat", {}}, {"VAA", {}}};
+    spec.lifetime.mixChurn = 0.3;
+    spec.lifetime.incrementalRemap = incremental;
+    const engine::SweepTable results = eng.run(spec);
+    engine::maybeExportTable(spec.name, results);
+
+    for (const char* policy : {"Hayat", "VAA"}) {
+      std::vector<double> avgF, chipF, tavg, events, tput;
+      for (const engine::RunResult* run : results.select(policy, 0.5)) {
+        const LifetimeResult& r = run->lifetime;
+        avgF.push_back(r.epochs.back().averageFmax / 1e9);
+        chipF.push_back(r.epochs.back().chipFmax / 1e9);
+        tavg.push_back(r.averageTemperatureOverAmbient(run->ambient));
+        events.push_back(static_cast<double>(r.totalDtmEvents()));
+        tput.push_back(run->throughputRatio());
+      }
+      const std::string label = std::string(policy) +
+                                (incremental ? ", incremental"
+                                             : ", full remap");
+      table.addRow(label,
+                   {mean(avgF), mean(chipF), mean(tavg), mean(events),
+                    mean(tput)},
+                   3);
+      std::fprintf(stderr, "[incremental] %s done\n", label.c_str());
     }
-    table.addRow(v.label,
-                 {mean(avgF), mean(chipF), mean(tavg), mean(events),
-                  mean(tput)},
-                 3);
-    std::fprintf(stderr, "[incremental] %s done\n", v.label);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Incremental placement pins surviving threads, so stale "

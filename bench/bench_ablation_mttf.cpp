@@ -7,17 +7,19 @@
 // history into Arrhenius/Miner consumed-life fractions and a projected
 // chip MTTF, quantifying how much *catastrophic-wear-out* margin Hayat's
 // cooler maps buy on top of the parametric (NBTI) gains of Figs. 9-11.
+//
+// One ExperimentSpec: VAA, Hayat, and the wear-balancing Hayat extension
+// (wearGamma = 5, a registry parameter) over both dark fractions.
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "baselines/vaa.hpp"
+#include "aging/mttf.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
 
 int main() {
   using namespace hayat;
@@ -35,34 +37,31 @@ int main() {
               "(paper: ~2x per 10-15 C)\n\n",
               model.mttf(338.0) / model.mttf(350.5));
 
+  engine::ExperimentSpec spec;
+  spec.name = "ablation-mttf";
+  spec.darkFractions = {0.25, 0.50};
+  spec.chips.clear();
+  for (int c = 0; c < chips; ++c) spec.chips.push_back(c);
+  // The wear-balancing extension this bench motivates: subtract
+  // wearGamma * consumedLife(candidate) from the Eq. (9) weight.
+  spec.policies = {{"VAA", {}},
+                   {"Hayat", {}},
+                   {"Hayat", {{"wearGamma", 5.0}}}};
+
+  const engine::SweepTable results =
+      engine::ExperimentEngine().run(spec);
+  engine::maybeExportTable("ablation_mttf", results);
+
   TextTable table({"policy", "dark", "worst damage @10y",
                    "avg damage @10y", "projected chip MTTF [yr]"});
 
-  const SystemConfig sysConfig;
   const char* labels[] = {"VAA", "Hayat", "Hayat+wear"};
   for (double dark : {0.25, 0.50}) {
-    for (int which = 0; which < 3; ++which) {
+    for (std::size_t which = 0; which < spec.policies.size(); ++which) {
       std::vector<double> worst, avg, mttf;
-      for (int c = 0; c < chips; ++c) {
-        System system = System::create(sysConfig, 2015, c);
-        LifetimeConfig lc;
-        lc.minDarkFraction = dark;
-        lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-        std::unique_ptr<MappingPolicy> policy;
-        if (which == 0) {
-          policy = std::make_unique<VaaPolicy>();
-        } else if (which == 1) {
-          policy = std::make_unique<HayatPolicy>();
-        } else {
-          // The wear-balancing extension this bench motivates: subtract
-          // wearGamma * consumedLife(candidate) from the Eq. (9) weight.
-          HayatConfig hc;
-          hc.wearGamma = 5.0;
-          policy = std::make_unique<HayatPolicy>(hc);
-        }
-        const LifetimeResult r =
-            LifetimeSimulator(lc).run(system, *policy);
-        const ChipReliability rel = r.reliability();
+      for (const engine::RunResult* run :
+           results.select(spec.policies[which].label(), dark)) {
+        const ChipReliability rel = run->lifetime.reliability();
         worst.push_back(rel.worstDamage);
         avg.push_back(rel.averageDamage);
         mttf.push_back(rel.projectedMttf);
@@ -70,8 +69,6 @@ int main() {
       table.addRow(std::string(labels[which]) +
                        (dark == 0.25 ? " @25%" : " @50%"),
                    {dark, mean(worst), mean(avg), mean(mttf)}, 3);
-      std::fprintf(stderr, "[mttf] %s @%.0f%% done\n", labels[which],
-                   100 * dark);
     }
   }
   std::printf("%s\n", table.render().c_str());

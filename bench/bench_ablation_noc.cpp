@@ -7,18 +7,23 @@
 // can price Hayat's spreading: per-policy hop-weighted traffic, mean hop
 // distance between communicating threads, and the implied NoC power,
 // against the thermal/aging benefit those hops buy.
+//
+// Chips are independent, so each policy's population fans out on the
+// engine worker pool (one fresh registry policy instance per chip — the
+// policies carry RNG state and must not be shared across threads).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <vector>
 
-#include "baselines/simple_policies.hpp"
-#include "baselines/vaa.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
 #include "core/system.hpp"
+#include "engine/builtin_policies.hpp"
+#include "engine/task_pool.hpp"
 #include "runtime/noc.hpp"
+#include "runtime/policy_registry.hpp"
+#include "runtime/thermal_predictor.hpp"
 #include "workload/generator.hpp"
 
 int main() {
@@ -35,43 +40,60 @@ int main() {
   TextTable table({"policy", "avg hops/pair", "NoC power [mW]",
                    "predicted Tpeak [K]"});
 
+  engine::registerBuiltinPolicies();
   struct Entry {
     const char* label;
-    std::unique_ptr<MappingPolicy> policy;
+    PolicySpec policy;
   };
-  std::vector<Entry> entries;
-  entries.push_back({"VAA (contiguous)", std::make_unique<VaaPolicy>()});
-  entries.push_back({"Hayat (spreading)", std::make_unique<HayatPolicy>()});
-  entries.push_back(
-      {"CoolestFirst", std::make_unique<CoolestFirstPolicy>()});
-  entries.push_back({"Random", std::make_unique<RandomPolicy>()});
+  const std::vector<Entry> entries = {
+      {"VAA (contiguous)", {"VAA", {}}},
+      {"Hayat (spreading)", {"Hayat", {}}},
+      {"CoolestFirst", {"CoolestFirst", {}}},
+      {"Random", {"Random", {}}},
+  };
 
-  for (Entry& e : entries) {
+  struct ChipStats {
     std::vector<double> hops, power, tpeak;
-    for (int c = 0; c < chips; ++c) {
-      System system = System::create(sysConfig, 2015, c);
-      const NocModel noc(system.chip().grid());
-      const ThermalPredictor predictor(system.thermal(), system.leakage());
-      Rng rng(300 + static_cast<std::uint64_t>(c));
-      for (int m = 0; m < 8; ++m) {
-        const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, 32, 3.0e9);
-        PolicyContext ctx;
-        ctx.chip = &system.chip();
-        ctx.thermal = &system.thermal();
-        ctx.leakage = &system.leakage();
-        ctx.mix = &mix;
-        ctx.minDarkFraction = 0.5;
-        const Mapping mapping = e.policy->map(ctx);
-        hops.push_back(noc.averageHopDistance(mapping, mix));
-        power.push_back(1e3 * noc.communicationPower(mapping, mix));
-        const int n = system.chip().coreCount();
-        std::vector<bool> on(static_cast<std::size_t>(n));
-        for (int i = 0; i < n; ++i)
-          on[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
-        const Vector temps =
-            predictor.predict(mapping.averageDynamicPower(mix, 3e9), on);
-        tpeak.push_back(maxOf(temps));
-      }
+  };
+
+  for (const Entry& e : entries) {
+    const auto perChip = engine::parallelMap<ChipStats>(
+        chips, engine::defaultWorkerCount(), [&](int c) {
+          System system = System::create(sysConfig, 2015, c);
+          const NocModel noc(system.chip().grid());
+          const ThermalPredictor predictor(system.thermal(),
+                                           system.leakage());
+          const std::unique_ptr<MappingPolicy> policy =
+              PolicyRegistry::global().make(e.policy);
+          Rng rng(300 + static_cast<std::uint64_t>(c));
+          ChipStats stats;
+          for (int m = 0; m < 8; ++m) {
+            const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, 32, 3.0e9);
+            PolicyContext ctx;
+            ctx.chip = &system.chip();
+            ctx.thermal = &system.thermal();
+            ctx.leakage = &system.leakage();
+            ctx.mix = &mix;
+            ctx.minDarkFraction = 0.5;
+            const Mapping mapping = policy->map(ctx);
+            stats.hops.push_back(noc.averageHopDistance(mapping, mix));
+            stats.power.push_back(1e3 * noc.communicationPower(mapping, mix));
+            const int n = system.chip().coreCount();
+            std::vector<bool> on(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i)
+              on[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
+            const Vector temps = predictor.predict(
+                mapping.averageDynamicPower(mix, 3e9), on);
+            stats.tpeak.push_back(maxOf(temps));
+          }
+          return stats;
+        });
+
+    std::vector<double> hops, power, tpeak;
+    for (const ChipStats& stats : perChip) {
+      hops.insert(hops.end(), stats.hops.begin(), stats.hops.end());
+      power.insert(power.end(), stats.power.begin(), stats.power.end());
+      tpeak.insert(tpeak.end(), stats.tpeak.begin(), stats.tpeak.end());
     }
     table.addRow(e.label, {mean(hops), mean(power), mean(tpeak)}, 3);
     std::fprintf(stderr, "[noc] %s done\n", e.label);

@@ -8,16 +8,17 @@
 // Eq. (9)'s matching term works on *relative* frequencies, moderate
 // sensor error should degrade the policy gracefully rather than
 // catastrophically.
+//
+// Each sigma is its own ExperimentSpec (sensor noise is a lifetime-config
+// field, so it is part of the spec hash and cached separately).
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "baselines/vaa.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
 
 int main() {
   using namespace hayat;
@@ -30,36 +31,36 @@ int main() {
               "===\n\n", chips);
 
   const double sigmas[] = {0.0, 0.005, 0.01, 0.02, 0.05};
-  const SystemConfig sysConfig;
+  const engine::ExperimentEngine eng;
+
+  engine::ExperimentSpec base;
+  base.darkFractions = {0.5};
+  base.chips.clear();
+  for (int c = 0; c < chips; ++c) base.chips.push_back(c);
 
   // VAA reference (ideal sensors) for the advantage column.
+  engine::ExperimentSpec vaaSpec = base;
+  vaaSpec.name = "ablation-noise-vaa";
+  vaaSpec.policies = {{"VAA", {}}};
+  const engine::SweepTable vaaTable = eng.run(vaaSpec);
   std::vector<double> vaaAvgF;
-  for (int c = 0; c < chips; ++c) {
-    System system = System::create(sysConfig, 2015, c);
-    LifetimeConfig lc;
-    lc.minDarkFraction = 0.5;
-    lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-    VaaPolicy vaa;
-    vaaAvgF.push_back(
-        LifetimeSimulator(lc).run(system, vaa).epochs.back().averageFmax /
-        1e9);
-  }
+  for (const engine::RunResult* run : vaaTable.select("VAA", 0.5))
+    vaaAvgF.push_back(run->lifetime.epochs.back().averageFmax / 1e9);
   const double vaaMean = mean(vaaAvgF);
 
   TextTable table({"sensor sigma", "avg fmax@10y [GHz]",
                    "chip fmax@10y [GHz]", "advantage over VAA [%]"});
   for (double sigma : sigmas) {
+    engine::ExperimentSpec spec = base;
+    spec.name = "ablation-noise";
+    spec.policies = {{"Hayat", {}}};
+    spec.lifetime.healthSensorNoise.gaussianSigma = sigma;
+    const engine::SweepTable results = eng.run(spec);
+
     std::vector<double> avgF, chipF;
-    for (int c = 0; c < chips; ++c) {
-      System system = System::create(sysConfig, 2015, c);
-      LifetimeConfig lc;
-      lc.minDarkFraction = 0.5;
-      lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-      lc.healthSensorNoise.gaussianSigma = sigma;
-      HayatPolicy hayat;
-      const LifetimeResult r = LifetimeSimulator(lc).run(system, hayat);
-      avgF.push_back(r.epochs.back().averageFmax / 1e9);
-      chipF.push_back(r.epochs.back().chipFmax / 1e9);
+    for (const engine::RunResult* run : results.select("Hayat", 0.5)) {
+      avgF.push_back(run->lifetime.epochs.back().averageFmax / 1e9);
+      chipF.push_back(run->lifetime.epochs.back().chipFmax / 1e9);
     }
     table.addRow(formatDouble(sigma, 3),
                  {mean(avgF), mean(chipF),

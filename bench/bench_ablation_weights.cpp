@@ -11,15 +11,18 @@
 //   late-always — the late-aging coefficients from year 0
 //
 // and reporting chip-fmax preservation (what matching buys), the average
-// fmax (what balancing buys), and DTM events.
+// fmax (what balancing buys), and DTM events.  All variants run as one
+// ExperimentSpec: the registry's "Hayat" factory takes the coefficient
+// overrides as policy parameters.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
 
 int main() {
   using namespace hayat;
@@ -34,54 +37,44 @@ int main() {
 
   struct Variant {
     std::string name;
-    HayatConfig config;
+    PolicySpec policy;
   };
-  std::vector<Variant> variants;
-  variants.push_back({"paper", HayatConfig{}});
-  {
-    HayatConfig c;
-    c.earlyBeta = 0.0;
-    c.lateBeta = 0.0;
-    variants.push_back({"match-only", c});
-  }
-  {
-    HayatConfig c;
-    c.earlyAlphaGHz = 1e-6;
-    c.lateAlphaGHz = 1e-6;
-    variants.push_back({"health-only", c});
-  }
-  {
-    HayatConfig c;
-    c.lateAgingOnset = 0.0;  // late coefficients from the start
-    variants.push_back({"late-always", c});
-  }
+  const std::vector<Variant> variants = {
+      {"paper", {"Hayat", {}}},
+      {"match-only", {"Hayat", {{"earlyBeta", 0.0}, {"lateBeta", 0.0}}}},
+      {"health-only",
+       {"Hayat", {{"earlyAlphaGHz", 1e-6}, {"lateAlphaGHz", 1e-6}}}},
+      {"late-always", {"Hayat", {{"lateAgingOnset", 0.0}}}},
+  };
+
+  engine::ExperimentSpec spec;
+  spec.name = "ablation-weights";
+  spec.darkFractions = {0.25, 0.50};
+  spec.chips.clear();
+  for (int c = 0; c < chips; ++c) spec.chips.push_back(c);
+  spec.policies.clear();
+  for (const Variant& v : variants) spec.policies.push_back(v.policy);
+
+  const engine::SweepTable results = engine::ExperimentEngine().run(spec);
+  engine::maybeExportTable("ablation_weights", results);
 
   TextTable table({"variant", "dark", "chip fmax@10y [GHz]",
                    "avg fmax@10y [GHz]", "DTM events", "Tavg-amb [K]"});
 
-  const SystemConfig sysConfig;
   for (double dark : {0.25, 0.50}) {
     for (const Variant& v : variants) {
       std::vector<double> chipF, avgF, events, tavg;
-      for (int c = 0; c < chips; ++c) {
-        System system = System::create(sysConfig, 2015, c);
-        LifetimeConfig lc;
-        lc.minDarkFraction = dark;
-        lc.workloadSeed = 99 + static_cast<std::uint64_t>(c);
-        const LifetimeSimulator sim(lc);
-        HayatPolicy policy(v.config);
-        const LifetimeResult r = sim.run(system, policy);
+      for (const engine::RunResult* run :
+           results.select(v.policy.label(), dark)) {
+        const LifetimeResult& r = run->lifetime;
         chipF.push_back(r.epochs.back().chipFmax / 1e9);
         avgF.push_back(r.epochs.back().averageFmax / 1e9);
         events.push_back(static_cast<double>(r.totalDtmEvents()));
-        tavg.push_back(
-            r.averageTemperatureOverAmbient(sysConfig.thermal.ambient));
+        tavg.push_back(r.averageTemperatureOverAmbient(run->ambient));
       }
       table.addRow(v.name + std::string(dark == 0.25 ? " @25%" : " @50%"),
                    {dark, mean(chipF), mean(avgF), mean(events), mean(tavg)},
                    3);
-      std::fprintf(stderr, "[ablation] %s @%.0f%% done\n", v.name.c_str(),
-                   100 * dark);
     }
   }
   std::printf("%s\n", table.render().c_str());

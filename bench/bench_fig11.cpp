@@ -10,15 +10,12 @@
 // the required lifetime is 10 years."
 #include <cmath>
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/vaa.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/system.hpp"
+#include "engine/reporter.hpp"
 #include "sweep.hpp"
 
 namespace {
@@ -73,28 +70,23 @@ int main() {
   const SweepConfig config = sweepConfigFromEnv();
   const auto rows = runSweep(config);
 
-  // Example chip maps: re-run chip 0 directly to recover per-core maps
-  // (the sweep cache only stores aggregates).
+  // Example chip maps: a chip-0-only engine run recovers the per-core
+  // maps (RunResult keeps the full per-core frequency vectors, so this
+  // sub-spec is cached independently of the aggregate sweep).
   {
-    const SystemConfig sysConfig;
-    System system = System::create(sysConfig, config.populationSeed, 0);
-    const GridShape grid = system.chip().grid();
+    engine::ExperimentSpec spec = sweepSpec(config);
+    spec.name = "fig11-chip0-maps";
+    spec.chips = {0};
+    spec.darkFractions = {0.5};
+    const engine::SweepTable maps = engine::ExperimentEngine().run(spec);
+    engine::maybeExportTable("fig11_chip0", maps);
+    const GridShape grid = spec.system.population.coreGrid;
     for (const char* which : {"VAA", "Hayat"}) {
-      system.resetHealth();
-      LifetimeConfig lc;
-      lc.horizon = config.horizon;
-      lc.epochLength = config.epochLength;
-      lc.minDarkFraction = 0.5;
-      lc.workloadSeed = config.workloadSeed;
-      const LifetimeSimulator sim(lc);
-      std::unique_ptr<MappingPolicy> policy;
-      if (std::string(which) == "VAA")
-        policy = std::make_unique<VaaPolicy>();
-      else
-        policy = std::make_unique<HayatPolicy>();
-      const LifetimeResult r = sim.run(system, *policy);
+      const auto sel = maps.select(which, 0.5);
+      if (sel.empty()) continue;
       std::vector<double> ghz;
-      for (double f : r.finalFmax) ghz.push_back(f / 1e9);
+      for (double f : sel.front()->lifetime.finalFmax)
+        ghz.push_back(f / 1e9);
       std::printf("%s aged frequencies [GHz]:\n%s\n", which,
                   renderHeatmap(grid, ghz, 2).c_str());
     }

@@ -14,6 +14,7 @@
 // of maximum/average frequencies and temperatures.
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "common/statistics.hpp"
@@ -21,6 +22,7 @@
 #include "core/hayat_policy.hpp"
 #include "core/lifetime.hpp"
 #include "core/system.hpp"
+#include "engine/engine.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -91,7 +93,6 @@ DcmOutcome evaluate(System& system, const DarkCoreMap& dcm,
   lc.epochLength = 0.25;
   lc.minDarkFraction = dcm.darkFraction();
   lc.workloadSeed = workloadSeed;
-  const LifetimeSimulator sim(lc);
 
   // One epoch window to capture the steady-state thermal profile.
   {
@@ -110,8 +111,11 @@ DcmOutcome evaluate(System& system, const DarkCoreMap& dcm,
     out.steadyTemps = es.run(m, mix).averageTemperature;
   }
 
-  // Full 10-year accelerated aging under the fixed DCM.
-  const LifetimeResult r = sim.run(system, policy);
+  // Full 10-year accelerated aging under the fixed DCM, through the
+  // engine's bespoke-policy path (FixedDcmPolicy is not a registry
+  // policy).
+  const LifetimeResult r =
+      engine::ExperimentEngine::runWithPolicy(system, lc, policy).lifetime;
   for (int i = 0; i < n; ++i)
     out.freq10GHz.push_back(
         toGigahertz(r.finalFmax[static_cast<std::size_t>(i)]));
@@ -140,6 +144,14 @@ DarkCoreMap hayatDcm(System& system, std::uint64_t workloadSeed) {
   return hayat.map(ctx).toDarkCoreMap(system.chip().grid());
 }
 
+/// Everything one chip contributes to the figure, computed off-thread.
+struct ChipReport {
+  DarkCoreMap dcm1;
+  DarkCoreMap dcm2;
+  DcmOutcome contiguous;
+  DcmOutcome optimized;
+};
+
 }  // namespace
 
 int main() {
@@ -157,15 +169,25 @@ int main() {
   TextTable summary({"chip / DCM", "max F@Yr0", "max F@Yr10", "avg F@Yr0",
                      "avg F@Yr10", "max T [K]", "avg T [K]"});
 
-  for (int chipIdx = 0; chipIdx < 2; ++chipIdx) {
+  // The two chips are independent; fan them out on the engine's worker
+  // pool and print in chip order afterwards.
+  std::vector<std::optional<ChipReport>> reports(2);
+  engine::runParallel(2, engine::defaultWorkerCount(), [&](int chipIdx) {
     System system = System::create(config, 2015, chipIdx);
     const std::uint64_t wseed = 99 + static_cast<std::uint64_t>(chipIdx);
-
     const DarkCoreMap dcm1 = DarkCoreMap::contiguous(grid, half);
     const DarkCoreMap dcm2 = hayatDcm(system, wseed);
+    ChipReport report{dcm1, dcm2, evaluate(system, dcm1, wseed),
+                      evaluate(system, dcm2, wseed)};
+    reports[static_cast<std::size_t>(chipIdx)].emplace(std::move(report));
+  });
 
-    const DcmOutcome contiguous = evaluate(system, dcm1, wseed);
-    const DcmOutcome optimized = evaluate(system, dcm2, wseed);
+  for (int chipIdx = 0; chipIdx < 2; ++chipIdx) {
+    const ChipReport& report = *reports[static_cast<std::size_t>(chipIdx)];
+    const DarkCoreMap& dcm1 = report.dcm1;
+    const DarkCoreMap& dcm2 = report.dcm2;
+    const DcmOutcome& contiguous = report.contiguous;
+    const DcmOutcome& optimized = report.optimized;
 
     std::printf("--- Chip-%d ---\n", chipIdx + 1);
     std::printf("DCM-1 (contiguous, Fig. 2a):\n%s\n",

@@ -1,80 +1,14 @@
 #include "sweep.hpp"
 
-#include <atomic>
-#include <cstdio>
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
-#include <fstream>
-#include <memory>
-#include <sstream>
-#include <thread>
 
-#include "baselines/vaa.hpp"
 #include "common/error.hpp"
 #include "common/statistics.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/system.hpp"
+#include "engine/reporter.hpp"
 
 namespace hayat::bench {
-
-namespace {
-
-constexpr const char* kCachePath = "hayat_sweep_cache.csv";
-
-std::string cacheSignature(const SweepConfig& c) {
-  std::ostringstream os;
-  os << "v4," << c.chips << ',' << c.horizon << ',' << c.epochLength << ','
-     << c.populationSeed << ',' << c.workloadSeed;
-  for (double d : c.darkFractions) os << ',' << d;
-  return os.str();
-}
-
-bool cacheEnabled() { return std::getenv("HAYAT_NO_SWEEP_CACHE") == nullptr; }
-
-std::vector<SweepRow> loadCache(const SweepConfig& config) {
-  std::ifstream in(kCachePath);
-  if (!in) return {};
-  std::string header;
-  std::getline(in, header);
-  if (header != cacheSignature(config)) return {};
-  std::vector<SweepRow> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::istringstream ls(line);
-    SweepRow r;
-    std::string cell;
-    std::getline(ls, cell, ','); r.chip = std::stoi(cell);
-    std::getline(ls, r.policy, ',');
-    std::getline(ls, cell, ','); r.darkFraction = std::stod(cell);
-    std::getline(ls, cell, ','); r.dtmEvents = std::stol(cell);
-    std::getline(ls, cell, ','); r.migrations = std::stol(cell);
-    std::getline(ls, cell, ','); r.tAvgOverAmbient = std::stod(cell);
-    std::getline(ls, cell, ','); r.chipFmax0 = std::stod(cell);
-    std::getline(ls, cell, ','); r.chipFmaxEnd = std::stod(cell);
-    std::getline(ls, cell, ','); r.avgFmax0 = std::stod(cell);
-    std::getline(ls, cell, ','); r.avgFmaxEnd = std::stod(cell);
-    std::getline(ls, cell, ','); r.throughputRatio = std::stod(cell);
-    while (std::getline(ls, cell, ','))
-      r.avgFmaxByEpoch.push_back(std::stod(cell));
-    rows.push_back(std::move(r));
-  }
-  return rows;
-}
-
-void saveCache(const SweepConfig& config, const std::vector<SweepRow>& rows) {
-  std::ofstream out(kCachePath);
-  if (!out) return;
-  out << cacheSignature(config) << '\n';
-  for (const SweepRow& r : rows) {
-    out << r.chip << ',' << r.policy << ',' << r.darkFraction << ','
-        << r.dtmEvents << ',' << r.migrations << ',' << r.tAvgOverAmbient
-        << ',' << r.chipFmax0 << ',' << r.chipFmaxEnd << ',' << r.avgFmax0
-        << ',' << r.avgFmaxEnd << ',' << r.throughputRatio;
-    for (double f : r.avgFmaxByEpoch) out << ',' << f;
-    out << '\n';
-  }
-}
-
-}  // namespace
 
 SweepConfig sweepConfigFromEnv() {
   SweepConfig c;
@@ -85,91 +19,50 @@ SweepConfig sweepConfigFromEnv() {
   return c;
 }
 
-std::vector<SweepRow> runSweep(const SweepConfig& config) {
-  if (cacheEnabled()) {
-    auto cached = loadCache(config);
-    if (!cached.empty()) {
-      std::fprintf(stderr, "[sweep] loaded %zu rows from %s\n", cached.size(),
-                   kCachePath);
-      return cached;
-    }
-  }
+engine::ExperimentSpec sweepSpec(const SweepConfig& config) {
+  engine::ExperimentSpec spec;
+  spec.name = "sweep";
+  spec.lifetime.horizon = config.horizon;
+  spec.lifetime.epochLength = config.epochLength;
+  spec.policies = {{"VAA", {}}, {"Hayat", {}}};
+  spec.chips.clear();
+  for (int c = 0; c < config.chips; ++c) spec.chips.push_back(c);
+  spec.darkFractions = config.darkFractions;
+  spec.populationSeed = config.populationSeed;
+  spec.baseSeed = config.workloadSeed;
+  return spec;
+}
 
-  const SystemConfig sysConfig;
-  // Chips are fully independent: run them across a small thread pool and
-  // merge the per-chip row blocks in chip order (deterministic output).
-  std::vector<std::vector<SweepRow>> perChip(
-      static_cast<std::size_t>(config.chips));
-  std::atomic<int> nextChip{0};
-  std::atomic<int> doneCount{0};
-
-  auto worker = [&]() {
-    for (;;) {
-      const int chipIdx = nextChip.fetch_add(1);
-      if (chipIdx >= config.chips) return;
-      System system =
-          System::create(sysConfig, config.populationSeed, chipIdx);
-      const Kelvin ambient = sysConfig.thermal.ambient;
-      std::vector<SweepRow> block;
-      for (double dark : config.darkFractions) {
-        LifetimeConfig lc;
-        lc.horizon = config.horizon;
-        lc.epochLength = config.epochLength;
-        lc.minDarkFraction = dark;
-        lc.workloadSeed =
-            config.workloadSeed + static_cast<std::uint64_t>(chipIdx);
-        const LifetimeSimulator sim(lc);
-
-        for (int which = 0; which < 2; ++which) {
-          system.resetHealth();
-          std::unique_ptr<MappingPolicy> policy;
-          if (which == 0)
-            policy = std::make_unique<VaaPolicy>();
-          else
-            policy = std::make_unique<HayatPolicy>();
-          const LifetimeResult r = sim.run(system, *policy);
-
-          SweepRow row;
-          row.chip = chipIdx;
-          row.policy = policy->name();
-          row.darkFraction = dark;
-          row.dtmEvents = r.totalDtmEvents();
-          row.migrations = r.totalMigrations();
-          row.tAvgOverAmbient = r.averageTemperatureOverAmbient(ambient);
-          row.chipFmax0 = maxOf(r.initialFmax);
-          row.chipFmaxEnd = r.epochs.back().chipFmax;
-          row.avgFmax0 = mean(r.initialFmax);
-          row.avgFmaxEnd = r.epochs.back().averageFmax;
-          {
-            double acc = 0.0;
-            for (const EpochRecord& e : r.epochs) acc += e.throughputRatio;
-            row.throughputRatio = acc / static_cast<double>(r.epochs.size());
-          }
-          for (const EpochRecord& e : r.epochs)
-            row.avgFmaxByEpoch.push_back(e.averageFmax);
-          block.push_back(std::move(row));
-        }
-      }
-      perChip[static_cast<std::size_t>(chipIdx)] = std::move(block);
-      std::fprintf(stderr, "[sweep] chip %d/%d done\n",
-                   doneCount.fetch_add(1) + 1, config.chips);
-    }
-  };
-
-  const unsigned hw = std::thread::hardware_concurrency();
-  const int workers = std::max(1, std::min<int>(config.chips,
-                                                hw > 0 ? static_cast<int>(hw)
-                                                       : 4));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
+std::vector<SweepRow> toSweepRows(const engine::SweepTable& table) {
   std::vector<SweepRow> rows;
-  for (auto& block : perChip)
-    for (SweepRow& r : block) rows.push_back(std::move(r));
-  if (cacheEnabled()) saveCache(config, rows);
+  rows.reserve(table.runs.size());
+  for (const engine::RunResult& run : table.runs) {
+    const LifetimeResult& r = run.lifetime;
+    HAYAT_REQUIRE(!r.epochs.empty(), "lifetime run produced no epochs");
+    SweepRow row;
+    row.chip = run.chip;
+    row.policy = run.policy;
+    row.darkFraction = run.darkFraction;
+    row.dtmEvents = r.totalDtmEvents();
+    row.migrations = r.totalMigrations();
+    row.tAvgOverAmbient = r.averageTemperatureOverAmbient(run.ambient);
+    row.chipFmax0 = maxOf(r.initialFmax);
+    row.chipFmaxEnd = r.epochs.back().chipFmax;
+    row.avgFmax0 = mean(r.initialFmax);
+    row.avgFmaxEnd = r.epochs.back().averageFmax;
+    row.throughputRatio = run.throughputRatio();
+    for (const EpochRecord& e : r.epochs)
+      row.avgFmaxByEpoch.push_back(e.averageFmax);
+    rows.push_back(std::move(row));
+  }
   return rows;
+}
+
+std::vector<SweepRow> runSweep(const SweepConfig& config) {
+  const engine::ExperimentEngine eng;
+  const engine::SweepTable table = eng.run(sweepSpec(config));
+  engine::maybeExportTable("sweep", table);
+  return toSweepRows(table);
 }
 
 std::vector<SweepRow> select(const std::vector<SweepRow>& rows,

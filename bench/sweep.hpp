@@ -2,20 +2,25 @@
 //
 // The paper evaluates VAA vs. Hayat "across 25 different chips" at
 // minimum 25% and 50% dark silicon over a 10-year horizon.  Every figure
-// bench consumes the same sweep; this module runs it once per process and
-// caches the result rows in a CSV next to the working directory so the
-// sibling bench binaries (executed back to back) skip the recompute.
+// bench consumes the same sweep; this module is now a thin adapter over
+// the ExperimentEngine (src/engine): the engine expands the sweep spec
+// into per-(chip, dark, policy) tasks, runs them on its worker pool, and
+// caches the merged table under the spec-hash keyed result cache (by
+// default hayat_cache/ in the working directory, i.e. under build/), so
+// the sibling bench binaries executed back to back skip the recompute.
 //
 // Environment knobs for quick iterations:
 //   HAYAT_CHIPS   — population size (default 25)
 //   HAYAT_HORIZON — simulated years (default 10)
-//   HAYAT_NO_SWEEP_CACHE — set to disable the CSV cache
+//   HAYAT_WORKERS — engine worker threads (default: hardware concurrency)
+//   HAYAT_NO_SWEEP_CACHE — set to disable the result cache
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/lifetime.hpp"
+#include "engine/engine.hpp"
 
 namespace hayat::bench {
 
@@ -49,7 +54,14 @@ struct SweepConfig {
 /// Applies the HAYAT_CHIPS / HAYAT_HORIZON environment overrides.
 SweepConfig sweepConfigFromEnv();
 
-/// Runs (or loads from cache) the full sweep.
+/// The ExperimentSpec a SweepConfig expands to (exposed so benches can
+/// tweak it — extra policies, repetitions — before running the engine).
+engine::ExperimentSpec sweepSpec(const SweepConfig& config);
+
+/// Flattens an engine run into SweepRows (table order preserved).
+std::vector<SweepRow> toSweepRows(const engine::SweepTable& table);
+
+/// Runs (or loads from the engine's result cache) the full sweep.
 std::vector<SweepRow> runSweep(const SweepConfig& config);
 
 /// Convenience selectors.

@@ -9,11 +9,14 @@
 //                 picks)
 // — reporting the steady-state thermal profile and the one-year health
 // outcome of each.  Demonstrates the ThermalPredictor, the coupled power
-// solve, and the health estimator as standalone tools.
+// solve, and the health estimator as standalone tools.  The four
+// evaluations are independent and fan out on the engine worker pool.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "engine/task_pool.hpp"
 
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
@@ -91,34 +94,42 @@ int main() {
   TextTable table({"DCM", "Tpeak [K]", "Tavg [K]", "min health@1y",
                    "avg health@1y"});
 
-  for (const auto& [name, dcm] : dcms) {
-    const Mapping m = mapOntoDcm(chip, dcm, mix);
-    const int n = chip.coreCount();
-    std::vector<bool> on(static_cast<std::size_t>(n));
-    std::vector<double> duty(static_cast<std::size_t>(n), 0.0);
-    for (int i = 0; i < n; ++i) {
-      on[static_cast<std::size_t>(i)] = m.coreBusy(i);
-      if (const auto& slot = m.onCore(i); slot.has_value()) {
-        duty[static_cast<std::size_t>(i)] =
-            mix.applications[static_cast<std::size_t>(slot->ref.app)]
-                .thread(slot->ref.thread)
-                .averageDuty();
-      }
-    }
-    const CoupledOperatingPoint op = solveCoupledSteadyState(
-        system.thermal(), system.leakage(),
-        m.averageDynamicPower(mix, 3.0e9), on);
+  // Evaluate the candidates concurrently (all shared state — chip,
+  // thermal model, estimator — is only read) and report in list order.
+  struct Outcome {
+    std::vector<double> row;
+  };
+  const auto outcomes = engine::parallelMap<Outcome>(
+      static_cast<int>(dcms.size()), engine::defaultWorkerCount(),
+      [&](int which) {
+        const DarkCoreMap& dcm = dcms[static_cast<std::size_t>(which)].second;
+        const Mapping m = mapOntoDcm(chip, dcm, mix);
+        const int n = chip.coreCount();
+        std::vector<bool> on(static_cast<std::size_t>(n));
+        std::vector<double> duty(static_cast<std::size_t>(n), 0.0);
+        for (int i = 0; i < n; ++i) {
+          on[static_cast<std::size_t>(i)] = m.coreBusy(i);
+          if (const auto& slot = m.onCore(i); slot.has_value()) {
+            duty[static_cast<std::size_t>(i)] =
+                mix.applications[static_cast<std::size_t>(slot->ref.app)]
+                    .thread(slot->ref.thread)
+                    .averageDuty();
+          }
+        }
+        const CoupledOperatingPoint op = solveCoupledSteadyState(
+            system.thermal(), system.leakage(),
+            m.averageDynamicPower(mix, 3.0e9), on);
+        const auto health = estimator.estimateNextHealthMap(
+            chip.health(), op.coreTemperatures, duty, /*epochYears=*/1.0);
+        return Outcome{{maxOf(op.coreTemperatures),
+                        mean(op.coreTemperatures), minOf(health),
+                        mean(health)}};
+      });
 
-    const auto health = estimator.estimateNextHealthMap(
-        chip.health(), op.coreTemperatures, duty, /*epochYears=*/1.0);
-
-    table.addRow(name,
-                 {maxOf(op.coreTemperatures), mean(op.coreTemperatures),
-                  minOf(health), mean(health)},
-                 3);
-
-    std::printf("%s DCM ('#' = powered):\n%s\n", name.c_str(),
-                renderBoolMap(grid, dcm.flags()).c_str());
+  for (std::size_t i = 0; i < dcms.size(); ++i) {
+    table.addRow(dcms[i].first, outcomes[i].row, 3);
+    std::printf("%s DCM ('#' = powered):\n%s\n", dcms[i].first.c_str(),
+                renderBoolMap(grid, dcms[i].second.flags()).c_str());
   }
 
   std::printf("%s\n", table.render().c_str());

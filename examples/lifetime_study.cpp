@@ -1,26 +1,29 @@
 // Lifetime study: VAA vs. Hayat on one chip over a 10-year horizon.
 //
 // Reproduces the single-chip view behind Fig. 11 (left): both policies
-// run on *identical silicon* under *identical workload sequences*, at 25%
-// and 50% minimum dark silicon, and the study reports DTM activity,
-// temperatures, and the aged frequency maps after 10 years.
+// run on *identical silicon* under *identical workload sequences* (the
+// engine derives each task's seeds from (chip, repetition) only, never
+// from the policy), at 25% and 50% minimum dark silicon, and the study
+// reports DTM activity, temperatures, and the aged frequency maps after
+// 10 years.  The whole product is one ExperimentSpec.
+#include <algorithm>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "baselines/vaa.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
-#include "core/lifetime.hpp"
-#include "core/system.hpp"
+#include "engine/engine.hpp"
 
 int main() {
   using namespace hayat;
 
-  SystemConfig config;
-  System system = System::create(config, /*populationSeed=*/42);
-  const Kelvin ambient = config.thermal.ambient;
+  engine::ExperimentSpec spec;
+  spec.name = "lifetime-study";
+  spec.populationSeed = 42;
+  spec.policies = {{"VAA", {}}, {"Hayat", {}}};
+  spec.darkFractions = {0.25, 0.50};
+
+  const engine::SweepTable results = engine::ExperimentEngine().run(spec);
 
   TextTable table({"policy", "dark", "DTM events", "migr", "throttle",
                    "Tavg-amb [K]", "Tpeak [K]", "chip fmax@10y [GHz]",
@@ -28,35 +31,25 @@ int main() {
 
   std::vector<Hertz> mapsHayat50, mapsVaa50;
   for (double dark : {0.25, 0.50}) {
-    LifetimeConfig lc;
-    lc.minDarkFraction = dark;
-    lc.workloadSeed = 99;
-    const LifetimeSimulator sim(lc);
-
-    for (int which = 0; which < 2; ++which) {
-      system.resetHealth();
-      std::unique_ptr<MappingPolicy> policy;
-      if (which == 0)
-        policy = std::make_unique<VaaPolicy>();
-      else
-        policy = std::make_unique<HayatPolicy>();
-
-      const LifetimeResult r = sim.run(system, *policy);
+    for (const char* policy : {"VAA", "Hayat"}) {
+      const auto sel = results.select(policy, dark);
+      const engine::RunResult& run = *sel.front();
+      const LifetimeResult& r = run.lifetime;
 
       double peak = 0.0;
       for (const EpochRecord& e : r.epochs) peak = std::max(peak, e.chipPeak);
       table.addRow(
-          {policy->name() + (dark == 0.25 ? " (25%)" : " (50%)"),
+          {std::string(policy) + (dark == 0.25 ? " (25%)" : " (50%)"),
            formatDouble(dark, 2), std::to_string(r.totalDtmEvents()),
            std::to_string(r.totalMigrations()),
            std::to_string(r.totalDtmEvents() - r.totalMigrations()),
-           formatDouble(r.averageTemperatureOverAmbient(ambient), 2),
+           formatDouble(r.averageTemperatureOverAmbient(run.ambient), 2),
            formatDouble(peak, 1),
            formatDouble(toGigahertz(r.epochs.back().chipFmax), 3),
            formatDouble(toGigahertz(r.epochs.back().averageFmax), 3)});
 
       if (dark == 0.50) {
-        if (which == 0)
+        if (std::string(policy) == "VAA")
           mapsVaa50 = r.finalFmax;
         else
           mapsHayat50 = r.finalFmax;
@@ -65,7 +58,7 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
 
-  const GridShape grid = system.chip().grid();
+  const GridShape grid = spec.system.population.coreGrid;
   auto toGhz = [](std::vector<Hertz> v) {
     for (double& x : v) x /= 1e9;
     return v;

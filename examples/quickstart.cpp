@@ -6,14 +6,17 @@
 //   2. generate a Parsec-like workload mix,
 //   3. ask the Hayat policy for a thread-to-core mapping,
 //   4. run the fine-grained epoch window (DTM, leakage coupling),
-//   5. advance the health map and print the chip state.
+//   5. advance the health map and print the chip state,
+//   6. run the same setup as a declarative ExperimentSpec on the engine.
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <string>
 
 #include "common/text_table.hpp"
 #include "core/hayat_policy.hpp"
 #include "core/system.hpp"
+#include "engine/engine.hpp"
 #include "runtime/epoch.hpp"
 #include "workload/generator.hpp"
 
@@ -80,5 +83,24 @@ int main() {
   std::printf("Chip fmax %.3f GHz, average fmax %.3f GHz\n",
               toGigahertz(chip.chipFmax()),
               toGigahertz(chip.averageFmax()));
+
+  // 6. Production style: the same experiment as a declarative spec.  The
+  //    engine expands it into tasks (one per chip x dark x policy x
+  //    repetition), runs them on a worker pool, and caches the result
+  //    table under the spec hash — rerun this example and the lifetime
+  //    runs are skipped entirely.
+  engine::ExperimentSpec spec;
+  spec.name = "quickstart";
+  spec.lifetime.horizon = 0.5;  // two aging epochs keep the demo quick
+  spec.policies = {{"Hayat", {}}, {"VAA", {}}};
+  std::printf("\nEngine demo: spec %s, hash %016" PRIx64 ", %d tasks\n",
+              spec.name.c_str(), engine::specHash(spec), spec.taskCount());
+  const engine::SweepTable table = engine::ExperimentEngine().run(spec);
+  for (const engine::RunResult& run : table.runs)
+    std::printf("  %-6s dark %.2f: avg fmax %.3f GHz after %.2f yr, "
+                "%ld DTM events\n",
+                run.policy.c_str(), run.darkFraction,
+                toGigahertz(run.lifetime.epochs.back().averageFmax),
+                run.lifetime.horizon, run.lifetime.totalDtmEvents());
   return 0;
 }

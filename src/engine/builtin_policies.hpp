@@ -1,0 +1,26 @@
+// Registration of the repo's concrete policies with the PolicyRegistry.
+//
+// The registry interface lives in src/runtime (next to MappingPolicy) and
+// knows no concrete policy; the engine layer, which already links
+// hayat_core and hayat_baselines, performs the registration.  Explicit
+// registration (instead of static-initializer tricks) keeps the factories
+// alive across static-library boundaries.
+#pragma once
+
+namespace hayat::engine {
+
+/// Registers the builtin factories with PolicyRegistry::global().
+/// Idempotent and thread-safe; the engine calls it on construction, so
+/// user code only needs it when talking to the registry directly.
+///
+/// Registered names and their recognized parameters:
+///   "Hayat"        earlyAlphaGHz, earlyBeta, lateAlphaGHz, lateBeta,
+///                  wmax, lateAgingOnset, dutyPolicy (0 Generic, 1 Known,
+///                  2 WorstCase), leakageIterations, wearGamma
+///   "VAA"          availabilityRadius, seed
+///   "Random"       seed
+///   "CoolestFirst" (none)
+///   "Exhaustive"   maxAssignments, dutyPolicy
+void registerBuiltinPolicies();
+
+}  // namespace hayat::engine

@@ -1,0 +1,168 @@
+#include "engine/engine.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/error.hpp"
+#include "engine/builtin_policies.hpp"
+#include "engine/result_cache.hpp"
+
+namespace hayat::engine {
+
+namespace {
+
+bool cacheDisabledByEnv() {
+  return std::getenv("HAYAT_NO_CACHE") != nullptr ||
+         std::getenv("HAYAT_NO_SWEEP_CACHE") != nullptr;
+}
+
+}  // namespace
+
+double RunResult::throughputRatio() const {
+  if (lifetime.epochs.empty()) return 1.0;
+  double acc = 0.0;
+  for (const EpochRecord& e : lifetime.epochs) acc += e.throughputRatio;
+  return acc / static_cast<double>(lifetime.epochs.size());
+}
+
+std::vector<const RunResult*> SweepTable::select(const std::string& policy,
+                                                 double darkFraction) const {
+  std::vector<const RunResult*> out;
+  for (const RunResult& r : runs)
+    if (r.policy == policy && std::abs(r.darkFraction - darkFraction) < 1e-9)
+      out.push_back(&r);
+  return out;
+}
+
+double SweepTable::aggregateRatio(double darkFraction,
+                                  double (*metric)(const RunResult&),
+                                  const std::string& numerator,
+                                  const std::string& denominator) const {
+  double num = 0.0, den = 0.0;
+  for (const RunResult& r : runs) {
+    if (std::abs(r.darkFraction - darkFraction) > 1e-9) continue;
+    if (r.policy == numerator)
+      num += metric(r);
+    else if (r.policy == denominator)
+      den += metric(r);
+  }
+  HAYAT_REQUIRE(den != 0.0,
+                "denominator aggregate metric is zero; cannot normalize");
+  return num / den;
+}
+
+ExperimentEngine::ExperimentEngine(EngineConfig config)
+    : config_(std::move(config)) {
+  registerBuiltinPolicies();
+}
+
+int ExperimentEngine::workers() const {
+  return config_.workers > 0 ? config_.workers : defaultWorkerCount();
+}
+
+bool ExperimentEngine::cacheEnabled() const {
+  return config_.cache && !cacheDisabledByEnv();
+}
+
+std::string ExperimentEngine::cacheDir() const {
+  if (!config_.cacheDir.empty()) return config_.cacheDir;
+  if (const char* env = std::getenv("HAYAT_CACHE_DIR"))
+    if (*env) return env;
+  return "hayat_cache";
+}
+
+std::vector<RunTask> ExperimentEngine::expand(
+    const ExperimentSpec& spec) const {
+  HAYAT_REQUIRE(!spec.chips.empty(), "spec has no chips");
+  HAYAT_REQUIRE(!spec.darkFractions.empty(), "spec has no dark fractions");
+  HAYAT_REQUIRE(!spec.policies.empty(), "spec has no policies");
+  HAYAT_REQUIRE(spec.repetitions >= 1, "spec needs >= 1 repetition");
+
+  std::vector<RunTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(spec.taskCount()));
+  for (const int chip : spec.chips) {
+    for (const double dark : spec.darkFractions) {
+      for (const PolicySpec& policy : spec.policies) {
+        for (int rep = 0; rep < spec.repetitions; ++rep) {
+          RunTask task;
+          task.index = static_cast<int>(tasks.size());
+          task.chip = chip;
+          task.repetition = rep;
+          task.darkFraction = dark;
+          task.policy = policy;
+          task.system = spec.system;
+          task.system.epoch.thermalSensorSeed = deriveSeed(
+              spec.baseSeed, chip, rep, SeedStream::ThermalSensor);
+          task.lifetime = spec.lifetime;
+          task.lifetime.minDarkFraction = dark;
+          task.lifetime.workloadSeed =
+              deriveSeed(spec.baseSeed, chip, rep, SeedStream::Workload);
+          task.lifetime.sensorSeed =
+              deriveSeed(spec.baseSeed, chip, rep, SeedStream::HealthSensor);
+          tasks.push_back(std::move(task));
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+RunResult ExperimentEngine::runTask(const RunTask& task,
+                                    std::uint64_t populationSeed) {
+  registerBuiltinPolicies();
+  System system = System::create(task.system, populationSeed, task.chip);
+  const std::unique_ptr<MappingPolicy> policy =
+      PolicyRegistry::global().make(task.policy);
+
+  RunResult result;
+  result.chip = task.chip;
+  result.repetition = task.repetition;
+  result.darkFraction = task.darkFraction;
+  result.policy = task.policy.label();
+  result.ambient = task.system.thermal.ambient;
+  result.lifetime = LifetimeSimulator(task.lifetime).run(system, *policy);
+  return result;
+}
+
+RunResult ExperimentEngine::runWithPolicy(System& system,
+                                          const LifetimeConfig& config,
+                                          MappingPolicy& policy, int chip,
+                                          int repetition) {
+  RunResult result;
+  result.chip = chip;
+  result.repetition = repetition;
+  result.darkFraction = config.minDarkFraction;
+  result.policy = policy.name();
+  result.ambient = system.config().thermal.ambient;
+  result.lifetime = LifetimeSimulator(config).run(system, policy);
+  return result;
+}
+
+SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
+  // A fixed mix is not canonically hashed (experiment.cpp), so such specs
+  // always recompute.
+  const bool cacheable = cacheEnabled() && !spec.lifetime.fixedMix.has_value();
+  if (cacheable) {
+    if (auto cached = loadCachedTable(cacheDir(), spec)) {
+      std::fprintf(stderr, "[engine] %s: loaded %zu runs from %s\n",
+                   spec.name.c_str(), cached->runs.size(),
+                   cachePath(cacheDir(), spec).c_str());
+      return *std::move(cached);
+    }
+  }
+
+  const std::vector<RunTask> tasks = expand(spec);
+  SweepTable table;
+  table.runs = parallelMap<RunResult>(
+      static_cast<int>(tasks.size()), workers(), [&](int i) {
+        return runTask(tasks[static_cast<std::size_t>(i)],
+                       spec.populationSeed);
+      });
+
+  if (cacheable) storeCachedTable(cacheDir(), spec, table);
+  return table;
+}
+
+}  // namespace hayat::engine

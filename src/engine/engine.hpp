@@ -1,0 +1,111 @@
+// ExperimentEngine — parallel execution of ExperimentSpecs.
+//
+// The engine expands a spec into independent RunTasks (one per
+// chip x dark fraction x policy x repetition), executes them on a
+// std::thread worker pool with one System and one policy instance per
+// task (no shared mutable state), and merges the results by task index —
+// so the merged SweepTable is bit-identical to a serial run regardless of
+// worker count.  Results are cached on disk keyed by the spec hash
+// (experiment.hpp): re-running an unchanged spec loads the table without
+// a single EpochSimulator call.
+//
+// Environment knobs (all optional):
+//   HAYAT_WORKERS    — worker thread count (default: hardware concurrency)
+//   HAYAT_CACHE_DIR  — result-cache directory (default: ./hayat_cache)
+//   HAYAT_NO_CACHE   — disable the result cache entirely
+//   HAYAT_NO_SWEEP_CACHE — legacy alias of HAYAT_NO_CACHE
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/experiment.hpp"
+#include "engine/task_pool.hpp"
+
+namespace hayat::engine {
+
+/// One expanded unit of work: a single (chip, policy, dark, repetition)
+/// lifetime run with every seed resolved.
+struct RunTask {
+  int index = 0;        ///< position in the merged result table
+  int chip = 0;
+  int repetition = 0;
+  double darkFraction = 0.5;
+  PolicySpec policy;
+  SystemConfig system;      ///< thermalSensorSeed resolved
+  LifetimeConfig lifetime;  ///< dark fraction + seeds resolved
+};
+
+/// The outcome of one RunTask: identity columns plus the full lifetime
+/// trace (everything any figure bench consumes).
+struct RunResult {
+  int chip = 0;
+  int repetition = 0;
+  double darkFraction = 0.5;
+  std::string policy;       ///< PolicySpec label
+  Kelvin ambient = 0.0;     ///< for temperature-over-ambient metrics
+  LifetimeResult lifetime;
+
+  /// Mean achieved/required throughput over the epochs.
+  double throughputRatio() const;
+};
+
+/// The merged result table with the selection helpers the figure benches
+/// share.
+struct SweepTable {
+  std::vector<RunResult> runs;
+
+  /// Runs of one (policy label, dark fraction) cell, in table order.
+  std::vector<const RunResult*> select(const std::string& policy,
+                                       double darkFraction) const;
+
+  /// sum(metric over `numerator` runs) / sum(metric over `denominator`
+  /// runs) at a dark fraction — the VAA-normalized bars of Figs. 7-10.
+  /// Throws if the denominator aggregates to zero.
+  double aggregateRatio(double darkFraction,
+                        double (*metric)(const RunResult&),
+                        const std::string& numerator = "Hayat",
+                        const std::string& denominator = "VAA") const;
+};
+
+/// Execution settings; zero values defer to the environment knobs above.
+struct EngineConfig {
+  int workers = 0;           ///< <= 0: HAYAT_WORKERS or hardware
+  bool cache = true;         ///< overridden off by HAYAT_NO_CACHE
+  std::string cacheDir;      ///< "": HAYAT_CACHE_DIR or "hayat_cache"
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineConfig config = {});
+
+  /// Deterministic task expansion, ordered chip-major:
+  /// chips x darkFractions x policies x repetitions.
+  std::vector<RunTask> expand(const ExperimentSpec& spec) const;
+
+  /// Runs (or loads from cache) the whole spec.
+  SweepTable run(const ExperimentSpec& spec) const;
+
+  /// Executes one expanded task (builds the System, instantiates the
+  /// policy from the registry, runs the lifetime loop).
+  static RunResult runTask(const RunTask& task, std::uint64_t populationSeed);
+
+  /// Escape hatch for bespoke policy objects (e.g. a fixed-DCM policy a
+  /// bench constructs itself): the engine's single-run path without the
+  /// registry.  Use the spec path whenever the policy has a name.
+  static RunResult runWithPolicy(System& system, const LifetimeConfig& config,
+                                 MappingPolicy& policy, int chip = 0,
+                                 int repetition = 0);
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Effective settings after applying the environment.
+  int workers() const;
+  bool cacheEnabled() const;
+  std::string cacheDir() const;
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace hayat::engine

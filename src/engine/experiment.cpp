@@ -1,0 +1,192 @@
+#include "engine/experiment.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace hayat::engine {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Appends `key=value` with full round-trip precision for doubles.
+class SignatureWriter {
+ public:
+  void add(const char* key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ << key << '=' << buf << '\n';
+  }
+  void add(const char* key, int value) { out_ << key << '=' << value << '\n'; }
+  void add(const char* key, long value) {
+    out_ << key << '=' << value << '\n';
+  }
+  void add(const char* key, bool value) {
+    out_ << key << '=' << (value ? 1 : 0) << '\n';
+  }
+  void add(const char* key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ << key << '=' << buf << '\n';
+  }
+  void add(const char* key, const std::string& value) {
+    out_ << key << '=' << value << '\n';
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+void writeSystem(SignatureWriter& w, const SystemConfig& c) {
+  const PopulationConfig& p = c.population;
+  w.add("pop.rows", p.coreGrid.rows());
+  w.add("pop.cols", p.coreGrid.cols());
+  w.add("pop.coreWidth", p.coreWidth);
+  w.add("pop.coreHeight", p.coreHeight);
+  w.add("pop.pointsPerCoreEdge", p.pointsPerCoreEdge);
+  w.add("pop.nominalFrequency", p.nominalFrequency);
+  w.add("pop.nominalVth", p.nominalVth);
+  w.add("pop.sigmaFraction", p.sigmaFraction);
+  w.add("pop.correlationRangeFraction", p.correlationRangeFraction);
+  w.add("pop.globalFraction", p.globalFraction);
+  w.add("pop.nuggetFraction", p.nuggetFraction);
+  w.add("pop.subthresholdSlopeFactor", p.subthresholdSlopeFactor);
+  w.add("pop.criticalPathPoints", p.criticalPathPoints);
+
+  const NbtiConfig& n = c.nbti;
+  w.add("nbti.vdd", n.vdd);
+  w.add("nbti.nominalVth", n.nominalVth);
+  w.add("nbti.techScale", n.techScale);
+  w.add("nbti.alphaPower", n.alphaPower);
+  w.add("nbti.timeExponent", n.timeExponent);
+
+  const AgingTableConfig& a = c.agingTable;
+  w.add("table.temperatureMin", a.temperatureMin);
+  w.add("table.temperatureMax", a.temperatureMax);
+  w.add("table.temperaturePoints", a.temperaturePoints);
+  w.add("table.dutyPoints", a.dutyPoints);
+  w.add("table.maxAge", a.maxAge);
+
+  const LeakageConfig& l = c.leakage;
+  w.add("leak.nominalCoreLeakage", l.nominalCoreLeakage);
+  w.add("leak.gatedCoreLeakage", l.gatedCoreLeakage);
+  w.add("leak.referenceTemperature", l.referenceTemperature);
+  w.add("leak.nominalVth", l.nominalVth);
+  w.add("leak.subthresholdSlopeFactor", l.subthresholdSlopeFactor);
+
+  // The thermal floorplan is overwritten from the population geometry at
+  // System construction, so only the package parameters are hashed.
+  const ThermalConfig& t = c.thermal;
+  w.add("thermal.ambient", t.ambient);
+  w.add("thermal.dieThickness", t.dieThickness);
+  w.add("thermal.dieConductivity", t.dieConductivity);
+  w.add("thermal.dieVolumetricHeat", t.dieVolumetricHeat);
+  w.add("thermal.timThickness", t.timThickness);
+  w.add("thermal.timConductivity", t.timConductivity);
+  w.add("thermal.spreaderThickness", t.spreaderThickness);
+  w.add("thermal.spreaderConductivity", t.spreaderConductivity);
+  w.add("thermal.spreaderVolumetricHeat", t.spreaderVolumetricHeat);
+  w.add("thermal.sinkThickness", t.sinkThickness);
+  w.add("thermal.sinkConductivity", t.sinkConductivity);
+  w.add("thermal.sinkVolumetricHeat", t.sinkVolumetricHeat);
+  w.add("thermal.spreaderSinkResistancePerTile",
+        t.spreaderSinkResistancePerTile);
+  w.add("thermal.convectionResistance", t.convectionResistance);
+
+  // EpochConfig minus thermalSensorSeed (derived per task, see the
+  // header's seed rule).
+  const EpochConfig& e = c.epoch;
+  w.add("epoch.window", e.window);
+  w.add("epoch.step", e.step);
+  w.add("epoch.nominalFrequency", e.nominalFrequency);
+  w.add("epoch.dtm.tsafe", e.dtm.tsafe);
+  w.add("epoch.dtm.coldMargin", e.dtm.coldMargin);
+  w.add("epoch.dtm.throttleFactor", e.dtm.throttleFactor);
+  w.add("epoch.dtm.minimumFrequency", e.dtm.minimumFrequency);
+  w.add("epoch.dtm.migrationCooldownChecks", e.dtm.migrationCooldownChecks);
+  w.add("epoch.sensor.gaussianSigma", e.thermalSensorNoise.gaussianSigma);
+  w.add("epoch.sensor.quantization", e.thermalSensorNoise.quantization);
+
+  w.add("pathsPerCore", c.pathsPerCore);
+  w.add("elementsPerPath", c.elementsPerPath);
+}
+
+void writeLifetime(SignatureWriter& w, const LifetimeConfig& c) {
+  // workloadSeed / sensorSeed are derived per task and excluded.
+  w.add("life.horizon", c.horizon);
+  w.add("life.epochLength", c.epochLength);
+  w.add("life.tsafe", c.tsafe);
+  w.add("life.nominalFrequency", c.nominalFrequency);
+  w.add("life.freshMixEachEpoch", c.freshMixEachEpoch);
+  w.add("life.mixChurn", c.mixChurn);
+  w.add("life.incrementalRemap", c.incrementalRemap);
+  w.add("life.healthSensor.gaussianSigma", c.healthSensorNoise.gaussianSigma);
+  w.add("life.healthSensor.quantization", c.healthSensorNoise.quantization);
+  if (c.dvfs.has_value()) {
+    w.add("life.dvfs.levels", c.dvfs->levelCount());
+    for (int i = 0; i < c.dvfs->levelCount(); ++i)
+      w.add("life.dvfs.level", c.dvfs->level(i));
+  } else {
+    w.add("life.dvfs.levels", 0);
+  }
+  // A fixed mix cannot be canonically serialized here; mark its presence
+  // so two specs differing only in the mix never share a hash silently.
+  // The engine additionally disables the result cache for fixed-mix
+  // specs (engine.cpp).
+  w.add("life.fixedMix",
+        c.fixedMix.has_value()
+            ? static_cast<int>(c.fixedMix->applications.size())
+            : 0);
+}
+
+}  // namespace
+
+std::uint64_t deriveSeed(std::uint64_t baseSeed, int chip, int repetition,
+                         SeedStream stream) {
+  const std::uint64_t lane =
+      std::uint64_t{0x100000001} * static_cast<std::uint64_t>(stream) +
+      std::uint64_t{0x10001} * static_cast<std::uint64_t>(chip) +
+      static_cast<std::uint64_t>(repetition);
+  return splitmix64(baseSeed ^ splitmix64(lane));
+}
+
+std::string specSignature(const ExperimentSpec& spec) {
+  SignatureWriter w;
+  w.add("spec.version", 1);
+  w.add("populationSeed", spec.populationSeed);
+  w.add("baseSeed", spec.baseSeed);
+  w.add("repetitions", spec.repetitions);
+  w.add("chips.count", static_cast<int>(spec.chips.size()));
+  for (int c : spec.chips) w.add("chip", c);
+  w.add("darks.count", static_cast<int>(spec.darkFractions.size()));
+  for (double d : spec.darkFractions) w.add("dark", d);
+  w.add("policies.count", static_cast<int>(spec.policies.size()));
+  for (const PolicySpec& p : spec.policies) {
+    w.add("policy.name", p.name);
+    for (const auto& [key, value] : p.params)
+      w.add(("policy.param." + key).c_str(), value);
+  }
+  writeSystem(w, spec.system);
+  writeLifetime(w, spec.lifetime);
+  return w.str();
+}
+
+std::uint64_t specHash(const ExperimentSpec& spec) {
+  const std::string sig = specSignature(spec);
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  for (const char ch : sig) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace hayat::engine

@@ -1,0 +1,130 @@
+#include "engine/reporter.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace hayat::engine {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void writeSummaryCsv(std::ostream& out, const SweepTable& table) {
+  out << "chip,repetition,darkFraction,policy,horizonYears,"
+         "finalChipFmaxHz,finalAverageFmaxHz,chipFmaxAgingRateHzPerYear,"
+         "averageFmaxAgingRateHzPerYear,averageTempOverAmbientK,"
+         "totalDtmEvents,totalMigrations,throughputRatio\n";
+  for (const RunResult& r : table.runs) {
+    const LifetimeResult& l = r.lifetime;
+    out << r.chip << ',' << r.repetition << ',' << fmt(r.darkFraction)
+        << ',' << r.policy << ',' << fmt(l.horizon) << ','
+        << fmt(l.chipFmaxAt(l.horizon)) << ','
+        << fmt(l.averageFmaxAt(l.horizon)) << ','
+        << fmt(l.chipFmaxAgingRate()) << ','
+        << fmt(l.averageFmaxAgingRate()) << ','
+        << fmt(l.averageTemperatureOverAmbient(r.ambient)) << ','
+        << l.totalDtmEvents() << ',' << l.totalMigrations() << ','
+        << fmt(r.throughputRatio()) << '\n';
+  }
+}
+
+void writeEpochsCsv(std::ostream& out, const SweepTable& table) {
+  out << "chip,repetition,darkFraction,policy,startYear,dtmEvents,"
+         "migrations,throttles,chipPeakK,chipTimeAverageK,throttledSteps,"
+         "totalSteps,chipFmaxHz,averageFmaxHz,minHealth,averageHealth,"
+         "throughputRatio\n";
+  for (const RunResult& r : table.runs) {
+    for (const EpochRecord& e : r.lifetime.epochs) {
+      out << r.chip << ',' << r.repetition << ',' << fmt(r.darkFraction)
+          << ',' << r.policy << ',' << fmt(e.startYear) << ','
+          << e.dtmEvents << ',' << e.migrations << ',' << e.throttles
+          << ',' << fmt(e.chipPeak) << ',' << fmt(e.chipTimeAverage)
+          << ',' << e.throttledSteps << ',' << e.totalSteps << ','
+          << fmt(e.chipFmax) << ',' << fmt(e.averageFmax) << ','
+          << fmt(e.minHealth) << ',' << fmt(e.averageHealth) << ','
+          << fmt(e.throughputRatio) << '\n';
+    }
+  }
+}
+
+void writeJson(std::ostream& out, const SweepTable& table) {
+  out << "{\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < table.runs.size(); ++i) {
+    const RunResult& r = table.runs[i];
+    const LifetimeResult& l = r.lifetime;
+    out << "    {\"chip\": " << r.chip
+        << ", \"repetition\": " << r.repetition
+        << ", \"darkFraction\": " << fmt(r.darkFraction) << ", \"policy\": \""
+        << jsonEscape(r.policy) << "\", \"horizonYears\": " << fmt(l.horizon)
+        << ", \"finalChipFmaxHz\": " << fmt(l.chipFmaxAt(l.horizon))
+        << ", \"finalAverageFmaxHz\": " << fmt(l.averageFmaxAt(l.horizon))
+        << ", \"totalDtmEvents\": " << l.totalDtmEvents()
+        << ", \"throughputRatio\": " << fmt(r.throughputRatio())
+        << ", \"epochs\": [";
+    for (std::size_t j = 0; j < l.epochs.size(); ++j) {
+      const EpochRecord& e = l.epochs[j];
+      out << (j ? ", " : "") << "{\"startYear\": " << fmt(e.startYear)
+          << ", \"chipPeakK\": " << fmt(e.chipPeak)
+          << ", \"chipTimeAverageK\": " << fmt(e.chipTimeAverage)
+          << ", \"chipFmaxHz\": " << fmt(e.chipFmax)
+          << ", \"averageFmaxHz\": " << fmt(e.averageFmax)
+          << ", \"minHealth\": " << fmt(e.minHealth)
+          << ", \"averageHealth\": " << fmt(e.averageHealth)
+          << ", \"dtmEvents\": " << e.dtmEvents
+          << ", \"throughputRatio\": " << fmt(e.throughputRatio) << "}";
+    }
+    out << "]}" << (i + 1 < table.runs.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+bool exportTable(const std::string& prefix, const SweepTable& table) {
+  const std::filesystem::path parent =
+      std::filesystem::path(prefix).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) return false;
+  }
+  std::ofstream summary(prefix + "_summary.csv");
+  std::ofstream epochs(prefix + "_epochs.csv");
+  std::ofstream json(prefix + ".json");
+  if (!summary || !epochs || !json) return false;
+  writeSummaryCsv(summary, table);
+  writeEpochsCsv(epochs, table);
+  writeJson(json, table);
+  return summary.good() && epochs.good() && json.good();
+}
+
+void maybeExportTable(const std::string& name, const SweepTable& table) {
+  const char* dir = std::getenv("HAYAT_EXPORT");
+  if (!dir || !*dir) return;
+  const std::string prefix = std::string(dir) + "/" + name;
+  if (exportTable(prefix, table)) {
+    std::printf("[engine] exported %s_{summary,epochs}.csv and %s.json\n",
+                prefix.c_str(), prefix.c_str());
+  } else {
+    std::printf("[engine] WARNING: could not export results under %s\n",
+                prefix.c_str());
+  }
+}
+
+}  // namespace hayat::engine

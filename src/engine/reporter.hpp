@@ -1,0 +1,36 @@
+// The single result reporter: serializes a SweepTable to CSV or JSON.
+//
+// Replaces the hand-rolled printf tables each bench used to carry.  The
+// CSV schema is one row per (run, epoch) plus per-run summary columns;
+// the JSON document nests runs with their epoch traces.  Both writers
+// print doubles with %.17g so exported files are bitwise-comparable
+// across worker counts (the determinism acceptance check diffs them).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace hayat::engine {
+
+/// Per-run summary rows:
+/// chip,repetition,dark,policy,horizon,finalChipFmax,finalAverageFmax,...
+void writeSummaryCsv(std::ostream& out, const SweepTable& table);
+
+/// Full trace: one row per (run, epoch) with all EpochRecord columns.
+void writeEpochsCsv(std::ostream& out, const SweepTable& table);
+
+/// Nested JSON document (runs -> summary + epoch arrays).
+void writeJson(std::ostream& out, const SweepTable& table);
+
+/// Writes `<prefix>_summary.csv`, `<prefix>_epochs.csv` and
+/// `<prefix>.json`.  Returns false if any file could not be opened.
+bool exportTable(const std::string& prefix, const SweepTable& table);
+
+/// Honors the HAYAT_EXPORT environment variable: when set, exports the
+/// table under `<HAYAT_EXPORT>/<name>` and reports where.  No-op when
+/// unset.  Benches call this after printing their figure claims.
+void maybeExportTable(const std::string& name, const SweepTable& table);
+
+}  // namespace hayat::engine

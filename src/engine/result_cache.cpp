@@ -1,0 +1,207 @@
+#include "engine/result_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hayat::engine {
+
+namespace {
+
+constexpr const char* kMagic = "# hayat-result-cache v1";
+
+std::string fmt(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void writeRun(std::ostream& out, const RunResult& r) {
+  out << "run," << r.chip << ',' << r.repetition << ','
+      << fmt(r.darkFraction) << ',' << fmt(r.ambient) << ',' << r.policy
+      << '\n';
+  const LifetimeResult& l = r.lifetime;
+  out << "horizon," << fmt(l.horizon) << '\n';
+  out << "cores," << l.initialFmax.size() << '\n';
+  for (std::size_t i = 0; i < l.initialFmax.size(); ++i) {
+    out << "core," << fmt(l.initialFmax[i]) << ',' << fmt(l.finalFmax[i])
+        << ',' << fmt(i < l.coreDamage.size() ? l.coreDamage[i] : 0.0)
+        << '\n';
+  }
+  out << "epochs," << l.epochs.size() << '\n';
+  for (const EpochRecord& e : l.epochs) {
+    out << "epoch," << fmt(e.startYear) << ',' << e.dtmEvents << ','
+        << e.migrations << ',' << e.throttles << ',' << fmt(e.chipPeak)
+        << ',' << fmt(e.chipTimeAverage) << ',' << e.throttledSteps << ','
+        << e.totalSteps << ',' << fmt(e.chipFmax) << ','
+        << fmt(e.averageFmax) << ',' << fmt(e.minHealth) << ','
+        << fmt(e.averageHealth) << ',' << fmt(e.throughputRatio) << '\n';
+  }
+}
+
+/// Splits one CSV line after its `tag,` prefix; returns false if the tag
+/// does not match.
+bool fields(const std::string& line, const char* tag,
+            std::vector<std::string>& out) {
+  const std::string prefix = std::string(tag) + ',';
+  if (line.compare(0, prefix.size(), prefix) != 0) return false;
+  out.clear();
+  std::size_t start = prefix.size();
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return true;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool readRun(std::istream& in, std::string& line, RunResult& r) {
+  std::vector<std::string> f;
+  if (!fields(line, "run", f) || f.size() < 5) return false;
+  r.chip = std::stoi(f[0]);
+  r.repetition = std::stoi(f[1]);
+  r.darkFraction = std::stod(f[2]);
+  r.ambient = std::stod(f[3]);
+  // The policy label may itself contain commas (multi-param labels), so
+  // rejoin everything after the fixed columns.
+  r.policy = f[4];
+  for (std::size_t i = 5; i < f.size(); ++i) r.policy += ',' + f[i];
+
+  LifetimeResult& l = r.lifetime;
+  if (!std::getline(in, line) || !fields(line, "horizon", f) || f.size() != 1)
+    return false;
+  l.horizon = std::stod(f[0]);
+
+  if (!std::getline(in, line) || !fields(line, "cores", f) || f.size() != 1)
+    return false;
+  const long cores = std::stol(f[0]);
+  l.initialFmax.clear();
+  l.finalFmax.clear();
+  l.coreDamage.clear();
+  for (long i = 0; i < cores; ++i) {
+    if (!std::getline(in, line) || !fields(line, "core", f) || f.size() != 3)
+      return false;
+    l.initialFmax.push_back(std::stod(f[0]));
+    l.finalFmax.push_back(std::stod(f[1]));
+    l.coreDamage.push_back(std::stod(f[2]));
+  }
+
+  if (!std::getline(in, line) || !fields(line, "epochs", f) || f.size() != 1)
+    return false;
+  const long epochs = std::stol(f[0]);
+  l.epochs.clear();
+  for (long i = 0; i < epochs; ++i) {
+    if (!std::getline(in, line) || !fields(line, "epoch", f) ||
+        f.size() != 13)
+      return false;
+    EpochRecord e;
+    e.startYear = std::stod(f[0]);
+    e.dtmEvents = std::stol(f[1]);
+    e.migrations = std::stol(f[2]);
+    e.throttles = std::stol(f[3]);
+    e.chipPeak = std::stod(f[4]);
+    e.chipTimeAverage = std::stod(f[5]);
+    e.throttledSteps = std::stoi(f[6]);
+    e.totalSteps = std::stoi(f[7]);
+    e.chipFmax = std::stod(f[8]);
+    e.averageFmax = std::stod(f[9]);
+    e.minHealth = std::stod(f[10]);
+    e.averageHealth = std::stod(f[11]);
+    e.throughputRatio = std::stod(f[12]);
+    l.epochs.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string cachePath(const std::string& dir, const ExperimentSpec& spec) {
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, specHash(spec));
+  std::string name;
+  for (const char c : spec.name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    name += safe ? c : '_';
+  }
+  if (name.empty()) name = "experiment";
+  return dir + "/" + name + "-" + hash + ".csv";
+}
+
+std::optional<SweepTable> loadCachedTable(const std::string& dir,
+                                          const ExperimentSpec& spec) {
+  std::ifstream in(cachePath(dir, spec));
+  if (!in) return std::nullopt;
+
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  // The embedded signature must match exactly — this catches both hash
+  // collisions and format drift.
+  const std::string expected = specSignature(spec);
+  std::vector<std::string> f;
+  if (!std::getline(in, line) || !fields(line, "signature-lines", f) ||
+      f.size() != 1)
+    return std::nullopt;
+  const long sigLines = std::stol(f[0]);
+  std::string sig;
+  for (long i = 0; i < sigLines; ++i) {
+    if (!std::getline(in, line) || line.compare(0, 2, "# ") != 0)
+      return std::nullopt;
+    sig += line.substr(2) + '\n';
+  }
+  if (sig != expected) return std::nullopt;
+
+  if (!std::getline(in, line) || !fields(line, "runs", f) || f.size() != 1)
+    return std::nullopt;
+  const long count = std::stol(f[0]);
+
+  SweepTable table;
+  try {
+    for (long i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) return std::nullopt;
+      RunResult r;
+      if (!readRun(in, line, r)) return std::nullopt;
+      table.runs.push_back(std::move(r));
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;  // stoi/stod parse failure => corrupt file
+  }
+  return table;
+}
+
+bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
+                      const SweepTable& table) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  const std::string path = cachePath(dir, spec);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << kMagic << '\n';
+    const std::string sig = specSignature(spec);
+    long lines = 0;
+    for (const char c : sig)
+      if (c == '\n') ++lines;
+    out << "signature-lines," << lines << '\n';
+    std::istringstream sigStream(sig);
+    std::string sigLine;
+    while (std::getline(sigStream, sigLine)) out << "# " << sigLine << '\n';
+    out << "runs," << table.runs.size() << '\n';
+    for (const RunResult& r : table.runs) writeRun(out, r);
+    if (!out) return false;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace hayat::engine

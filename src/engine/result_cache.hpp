@@ -1,0 +1,37 @@
+// Spec-hash keyed on-disk result cache.
+//
+// Generalizes the old bench/sweep.cpp `hayat_sweep_cache.csv` hack: any
+// ExperimentSpec's merged SweepTable is stored under
+// `<dir>/<name>-<hash16>.csv` where hash16 is the 16-hex-digit specHash.
+// The file embeds the full canonical signature, so a hash collision (or a
+// stale file produced by a different spec version) is detected and
+// treated as a miss instead of returning wrong results.  All doubles are
+// serialized with %.17g, which round-trips IEEE-754 exactly — a cache hit
+// reloads results bit-identical to the run that produced them.
+//
+// The cache directory defaults to `hayat_cache/` relative to the working
+// directory (i.e. under build/ for the usual cmake workflow) and is
+// overridden by HAYAT_CACHE_DIR.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace hayat::engine {
+
+/// Cache file path for a spec inside `dir`.
+std::string cachePath(const std::string& dir, const ExperimentSpec& spec);
+
+/// Loads the cached table for `spec`, or nullopt on miss (no file,
+/// unreadable file, or signature mismatch).
+std::optional<SweepTable> loadCachedTable(const std::string& dir,
+                                          const ExperimentSpec& spec);
+
+/// Writes the table for `spec`, creating `dir` if needed.  Failures are
+/// swallowed (the cache is best-effort); returns false on failure.
+bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
+                      const SweepTable& table);
+
+}  // namespace hayat::engine

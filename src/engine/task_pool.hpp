@@ -1,0 +1,38 @@
+// Deterministic parallel fan-out primitive.
+//
+// Every engine workload is an index space of fully independent tasks
+// (one System per task, no shared mutable state).  runParallel executes
+// the space on a std::thread worker pool; because each task writes only
+// its own output slot, the merged result is *bit-identical* to a serial
+// run regardless of worker count or scheduling — the property the
+// engine's determinism tests pin down.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hayat::engine {
+
+/// Worker count used when a caller passes workers <= 0: the
+/// HAYAT_WORKERS environment variable if set, else the hardware
+/// concurrency (at least 1).
+int defaultWorkerCount();
+
+/// Runs task(0) .. task(count - 1) on `workers` threads (<= 1 runs inline
+/// on the calling thread).  Tasks must be independent: each may write
+/// only state owned by its own index.  The first exception thrown by any
+/// task is rethrown on the calling thread after all workers finish.
+void runParallel(int count, int workers,
+                 const std::function<void(int)>& task);
+
+/// Convenience: materializes fn(0..count-1) into a vector, in index
+/// order, using runParallel.  T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallelMap(int count, int workers, Fn fn) {
+  std::vector<T> out(static_cast<std::size_t>(count));
+  runParallel(count, workers,
+              [&](int i) { out[static_cast<std::size_t>(i)] = fn(i); });
+  return out;
+}
+
+}  // namespace hayat::engine

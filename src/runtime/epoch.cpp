@@ -1,12 +1,19 @@
 #include "runtime/epoch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "power/thermal_coupling.hpp"
 
 namespace hayat {
+
+namespace {
+std::atomic<long> runCount{0};
+}  // namespace
+
+long epochSimulatorRunCount() { return runCount.load(); }
 
 EpochSimulator::EpochSimulator(const Chip& chip, const ThermalModel& thermal,
                                const LeakageModel& leakage, EpochConfig config)
@@ -24,6 +31,7 @@ EpochSimulator::EpochSimulator(const Chip& chip, const ThermalModel& thermal,
 
 EpochResult EpochSimulator::run(const Mapping& initialMapping,
                                 const WorkloadMix& mix) const {
+  runCount.fetch_add(1, std::memory_order_relaxed);
   const int n = chip_->coreCount();
   HAYAT_REQUIRE(initialMapping.coreCount() == n, "mapping size mismatch");
 

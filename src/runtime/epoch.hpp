@@ -66,6 +66,12 @@ struct EpochResult {
   Mapping finalMapping;       ///< post-DTM assignment at window end
 };
 
+/// Process-wide count of EpochSimulator::run invocations.  The engine's
+/// result cache is specified as "a cache hit performs zero EpochSimulator
+/// calls"; this counter is how tests (and the engine's own stats) verify
+/// that without instrumenting call sites.  Monotonic, thread-safe.
+long epochSimulatorRunCount();
+
 /// Ground-truth fine-grained simulator.
 class EpochSimulator {
  public:

@@ -1,0 +1,66 @@
+#include "runtime/policy_registry.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+std::string PolicySpec::label() const {
+  if (params.empty()) return name;
+  std::string out = name + "(";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) out += ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%g", key.c_str(), value);
+    out += buf;
+  }
+  return out + ")";
+}
+
+PolicyRegistry& PolicyRegistry::global() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::add(const std::string& name, PolicyFactory factory) {
+  HAYAT_REQUIRE(!name.empty(), "policy name must not be empty");
+  HAYAT_REQUIRE(factory != nullptr, "policy factory must not be null");
+  factories_[name] = std::move(factory);
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<MappingPolicy> PolicyRegistry::make(
+    const PolicySpec& spec) const {
+  const auto it = factories_.find(spec.name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw Error("unknown policy '" + spec.name + "' (registered: " + known +
+                ")");
+  }
+  return it->second(spec.params);
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+double paramOr(const PolicyParams& params, const std::string& key,
+               double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace hayat

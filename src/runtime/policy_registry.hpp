@@ -1,0 +1,74 @@
+// Named mapping-policy factories.
+//
+// The experiment engine (src/engine) fans one ExperimentSpec out into many
+// independent runs, each of which needs its *own* policy instance (policies
+// carry internal RNG and per-run state, so instances must never be shared
+// across worker threads).  A PolicySpec therefore names a factory plus its
+// numeric knobs instead of holding a live MappingPolicy, which also makes
+// the spec hashable for the on-disk result cache.
+//
+// The registry itself knows nothing about concrete policies: Hayat, VAA
+// and the ablation baselines register themselves via
+// registerBuiltinPolicies() (src/engine/builtin_policies.cpp), and tests
+// or tools may register additional factories under new names.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/mapping.hpp"
+
+namespace hayat {
+
+/// Numeric policy knobs, keyed by name.  Ordered so the canonical
+/// serialization (and hence the spec hash) is stable.
+using PolicyParams = std::map<std::string, double>;
+
+/// A named, parameterized policy selection — the hashable stand-in for a
+/// MappingPolicy instance inside an ExperimentSpec.
+struct PolicySpec {
+  std::string name;    ///< registry key, e.g. "Hayat", "VAA"
+  PolicyParams params; ///< factory knobs; unset keys use factory defaults
+
+  /// Display label: the name plus any non-default parameters, e.g.
+  /// "Hayat(wearGamma=5)".  Used in reports and cache rows.
+  std::string label() const;
+
+  friend bool operator==(const PolicySpec&, const PolicySpec&) = default;
+};
+
+/// Factory: builds a fresh policy instance from the knobs.  Must throw
+/// hayat::Error on unknown parameter names so typos surface immediately.
+using PolicyFactory =
+    std::function<std::unique_ptr<MappingPolicy>(const PolicyParams&)>;
+
+/// Name -> factory map with case-sensitive keys.
+class PolicyRegistry {
+ public:
+  /// The process-wide registry (builtin policies are registered on first
+  /// access via registerBuiltinPolicies when hayat_engine is linked).
+  static PolicyRegistry& global();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, PolicyFactory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiates a fresh policy.  Throws hayat::Error for unknown names.
+  std::unique_ptr<MappingPolicy> make(const PolicySpec& spec) const;
+
+  /// Registered names in sorted order (for --help text and errors).
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, PolicyFactory> factories_;
+};
+
+/// Reads a required parameter or its default.
+double paramOr(const PolicyParams& params, const std::string& key,
+               double fallback);
+
+}  // namespace hayat

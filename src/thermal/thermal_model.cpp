@@ -142,6 +142,26 @@ Vector ThermalModel::steadyStateCoreTemperatures(const Vector& corePower) const 
   return coreTemperatures(steadyState(corePower));
 }
 
+const ThermalModel::TransientOperator& ThermalModel::transientOperator(
+    Seconds dt) const {
+  HAYAT_REQUIRE(dt > 0.0, "transient step must be positive");
+  const std::scoped_lock lock(transientMutex_);
+  for (const auto& op : transientCache_)
+    if (op->dt == dt) return *op;
+
+  const int n = nodeCount();
+  Vector capOverDt(static_cast<std::size_t>(n));
+  Matrix a = g_;
+  for (int i = 0; i < n; ++i) {
+    const double c = cap_[static_cast<std::size_t>(i)] / dt;
+    capOverDt[static_cast<std::size_t>(i)] = c;
+    a(i, i) += c;
+  }
+  transientCache_.push_back(
+      std::make_unique<TransientOperator>(dt, std::move(capOverDt), a));
+  return *transientCache_.back();
+}
+
 const Matrix& ThermalModel::coreInfluenceMatrix() const {
   if (!influence_) {
     auto k = std::make_unique<Matrix>(cores_, cores_);

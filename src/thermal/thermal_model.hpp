@@ -22,6 +22,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/geometry.hpp"
 #include "common/matrix.hpp"
@@ -101,6 +103,26 @@ class ThermalModel {
   /// Expands a per-core power vector to a per-node vector (die layer).
   Vector expandPower(const Vector& corePower) const;
 
+  /// The factored implicit-Euler operator (C/dt + G) for a fixed step.
+  /// The conductance matrix is constant for the lifetime of the model, so
+  /// the factorization only depends on dt.
+  struct TransientOperator {
+    Seconds dt = 0.0;
+    Vector capOverDt;  ///< per-node C/dt [W/K]
+    LuFactorization lu;
+
+    TransientOperator(Seconds step, Vector capacityOverDt, const Matrix& a)
+        : dt(step), capOverDt(std::move(capacityOverDt)), lu(a) {}
+  };
+
+  /// Returns the cached (C/dt + G) factorization for `dt`, building it on
+  /// first use.  Epoch windows re-create their TransientSolver per
+  /// lifetime run but always with the same step size, so the LU — the
+  /// hottest setup cost on the simulation path — factors once per
+  /// (model, dt) instead of once per solver.  Thread-safe; the returned
+  /// reference stays valid for the model's lifetime.
+  const TransientOperator& transientOperator(Seconds dt) const;
+
  private:
   void build();
 
@@ -111,6 +133,8 @@ class ThermalModel {
   Vector ambientLoad_;
   std::unique_ptr<LuFactorization> steadyLu_;
   mutable std::unique_ptr<Matrix> influence_;  // lazily computed
+  mutable std::mutex transientMutex_;
+  mutable std::vector<std::unique_ptr<TransientOperator>> transientCache_;
 };
 
 }  // namespace hayat

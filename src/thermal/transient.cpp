@@ -5,18 +5,7 @@
 namespace hayat {
 
 TransientSolver::TransientSolver(const ThermalModel& model, Seconds dt)
-    : model_(&model), dt_(dt) {
-  HAYAT_REQUIRE(dt > 0.0, "transient step must be positive");
-  const int n = model.nodeCount();
-  capOverDt_.resize(static_cast<std::size_t>(n));
-  Matrix a = model.conductance();
-  for (int i = 0; i < n; ++i) {
-    const double c = model.capacitance()[static_cast<std::size_t>(i)] / dt;
-    capOverDt_[static_cast<std::size_t>(i)] = c;
-    a(i, i) += c;
-  }
-  lu_ = std::make_unique<LuFactorization>(a);
-}
+    : model_(&model), dt_(dt), op_(&model.transientOperator(dt)) {}
 
 Vector TransientSolver::step(const Vector& nodeTemperatures,
                              const Vector& corePower) const {
@@ -25,9 +14,10 @@ Vector TransientSolver::step(const Vector& nodeTemperatures,
                 "node temperature vector size mismatch");
   Vector rhs = model_->expandPower(corePower);
   const Vector& b = model_->ambientLoad();
+  const Vector& capOverDt = op_->capOverDt;
   for (std::size_t i = 0; i < rhs.size(); ++i)
-    rhs[i] += b[i] + capOverDt_[i] * nodeTemperatures[i];
-  return lu_->solve(rhs);
+    rhs[i] += b[i] + capOverDt[i] * nodeTemperatures[i];
+  return op_->lu.solve(rhs);
 }
 
 Vector TransientSolver::run(Vector nodeTemperatures, const Vector& corePower,

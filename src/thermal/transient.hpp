@@ -4,10 +4,11 @@
 // which the DTM observes per-core temperatures every few milliseconds.
 // Implicit (backward) Euler is unconditionally stable, so one LU
 // factorization of (C/dt + G) supports millisecond steps across the whole
-// window regardless of the stiff sink/die time-constant spread.
+// window regardless of the stiff sink/die time-constant spread.  The
+// factorization itself lives in the ThermalModel's per-dt cache, so
+// constructing a solver per epoch window (or per lifetime run) does not
+// re-factor the fixed conductance matrix.
 #pragma once
-
-#include <memory>
 
 #include "common/matrix.hpp"
 #include "thermal/thermal_model.hpp"
@@ -41,8 +42,7 @@ class TransientSolver {
  private:
   const ThermalModel* model_;
   Seconds dt_;
-  Vector capOverDt_;
-  std::unique_ptr<LuFactorization> lu_;
+  const ThermalModel::TransientOperator* op_;  ///< owned by the model
 };
 
 }  // namespace hayat

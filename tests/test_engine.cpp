@@ -1,0 +1,271 @@
+// ExperimentEngine: deterministic parallel fan-out, stable spec hashing,
+// and the spec-keyed result cache.
+//
+// The determinism contract is the strong one: the merged SweepTable must
+// be *bit-identical* across worker counts (results are merged by task
+// index, never by completion order), and a cache hit must answer without
+// a single EpochSimulator invocation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/engine.hpp"
+#include "engine/experiment.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/task_pool.hpp"
+#include "runtime/epoch.hpp"
+
+namespace hayat::engine {
+namespace {
+
+/// Small-but-real spec: 2 chips x 2 policies on a 4x4 grid, 2 epochs.
+ExperimentSpec tinySpec() {
+  ExperimentSpec spec;
+  spec.name = "engine-test";
+  spec.system.population.coreGrid = {4, 4};
+  spec.lifetime.horizon = 0.5;
+  spec.lifetime.epochLength = 0.25;
+  spec.policies = {{"VAA", {}}, {"Hayat", {}}};
+  spec.chips = {0, 1};
+  spec.darkFractions = {0.5};
+  return spec;
+}
+
+EngineConfig noCache(int workers) {
+  EngineConfig config;
+  config.workers = workers;
+  config.cache = false;
+  return config;
+}
+
+/// Bitwise table equality — the determinism contract, not approximate.
+void expectIdentical(const SweepTable& a, const SweepTable& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const RunResult& x = a.runs[i];
+    const RunResult& y = b.runs[i];
+    EXPECT_EQ(x.chip, y.chip);
+    EXPECT_EQ(x.repetition, y.repetition);
+    EXPECT_EQ(x.darkFraction, y.darkFraction);
+    EXPECT_EQ(x.policy, y.policy);
+    EXPECT_EQ(x.ambient, y.ambient);
+    EXPECT_EQ(x.lifetime.initialFmax, y.lifetime.initialFmax);
+    EXPECT_EQ(x.lifetime.finalFmax, y.lifetime.finalFmax);
+    EXPECT_EQ(x.lifetime.coreDamage, y.lifetime.coreDamage);
+    ASSERT_EQ(x.lifetime.epochs.size(), y.lifetime.epochs.size());
+    for (std::size_t e = 0; e < x.lifetime.epochs.size(); ++e) {
+      const EpochRecord& p = x.lifetime.epochs[e];
+      const EpochRecord& q = y.lifetime.epochs[e];
+      EXPECT_EQ(p.startYear, q.startYear);
+      EXPECT_EQ(p.dtmEvents, q.dtmEvents);
+      EXPECT_EQ(p.migrations, q.migrations);
+      EXPECT_EQ(p.chipPeak, q.chipPeak);
+      EXPECT_EQ(p.chipTimeAverage, q.chipTimeAverage);
+      EXPECT_EQ(p.chipFmax, q.chipFmax);
+      EXPECT_EQ(p.averageFmax, q.averageFmax);
+      EXPECT_EQ(p.minHealth, q.minHealth);
+      EXPECT_EQ(p.averageHealth, q.averageHealth);
+      EXPECT_EQ(p.throughputRatio, q.throughputRatio);
+    }
+  }
+}
+
+TEST(ExperimentSpecTest, ExpandOrdersChipMajorAndResolvesSeeds) {
+  ExperimentSpec spec = tinySpec();
+  spec.repetitions = 2;
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  ASSERT_EQ(tasks.size(), 8u);  // 2 chips x 1 dark x 2 policies x 2 reps
+
+  // chip-major, then dark, then policy, then repetition.
+  EXPECT_EQ(tasks[0].chip, 0);
+  EXPECT_EQ(tasks[0].policy.name, "VAA");
+  EXPECT_EQ(tasks[0].repetition, 0);
+  EXPECT_EQ(tasks[1].repetition, 1);
+  EXPECT_EQ(tasks[2].policy.name, "Hayat");
+  EXPECT_EQ(tasks[4].chip, 1);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    EXPECT_EQ(tasks[i].index, static_cast<int>(i));
+
+  // Every stochastic stream follows the documented derivation rule; no
+  // task inherits a hidden default.
+  for (const RunTask& t : tasks) {
+    EXPECT_EQ(t.lifetime.workloadSeed,
+              deriveSeed(spec.baseSeed, t.chip, t.repetition,
+                         SeedStream::Workload));
+    EXPECT_EQ(t.lifetime.sensorSeed,
+              deriveSeed(spec.baseSeed, t.chip, t.repetition,
+                         SeedStream::HealthSensor));
+    EXPECT_EQ(t.system.epoch.thermalSensorSeed,
+              deriveSeed(spec.baseSeed, t.chip, t.repetition,
+                         SeedStream::ThermalSensor));
+    EXPECT_EQ(t.lifetime.minDarkFraction, 0.5);
+  }
+  // Same chip, different repetition: all three streams decorrelate.
+  EXPECT_NE(tasks[0].lifetime.workloadSeed, tasks[1].lifetime.workloadSeed);
+  EXPECT_NE(tasks[0].lifetime.sensorSeed, tasks[1].lifetime.sensorSeed);
+  EXPECT_NE(tasks[0].system.epoch.thermalSensorSeed,
+            tasks[1].system.epoch.thermalSensorSeed);
+  // Streams never collide with each other for one task.
+  EXPECT_NE(tasks[0].lifetime.workloadSeed, tasks[0].lifetime.sensorSeed);
+}
+
+TEST(ExperimentSpecTest, HashIsStableAcrossCalls) {
+  const ExperimentSpec spec = tinySpec();
+  const std::uint64_t h = specHash(spec);
+  EXPECT_EQ(h, specHash(spec));
+  EXPECT_EQ(specSignature(spec), specSignature(tinySpec()));
+}
+
+TEST(ExperimentSpecTest, HashChangesWhenAnyResultAffectingFieldChanges) {
+  const std::uint64_t base = specHash(tinySpec());
+
+  ExperimentSpec s = tinySpec();
+  s.lifetime.horizon = 1.0;
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.baseSeed += 1;
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.populationSeed += 1;
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.system.population.coreGrid = {5, 4};
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.policies[1].params["wearGamma"] = 5.0;
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.darkFractions = {0.25};
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.repetitions = 2;
+  EXPECT_NE(specHash(s), base);
+
+  s = tinySpec();
+  s.lifetime.healthSensorNoise.gaussianSigma = 0.01;
+  EXPECT_NE(specHash(s), base);
+}
+
+TEST(ExperimentSpecTest, NameAndDerivedSeedsAreNotHashed) {
+  ExperimentSpec s = tinySpec();
+  s.name = "renamed";
+  // The label names the cache file but never the key.
+  EXPECT_EQ(specHash(s), specHash(tinySpec()));
+
+  // Seed fields the expansion overwrites are excluded from the signature.
+  s = tinySpec();
+  s.lifetime.workloadSeed = 123456;
+  s.lifetime.sensorSeed = 654321;
+  s.system.epoch.thermalSensorSeed = 777;
+  EXPECT_EQ(specHash(s), specHash(tinySpec()));
+}
+
+TEST(ExperimentEngineTest, ParallelRunsAreBitIdenticalToSerial) {
+  const ExperimentSpec spec = tinySpec();
+  const SweepTable serial =
+      ExperimentEngine(noCache(1)).run(spec);
+  ASSERT_EQ(serial.runs.size(), 4u);
+
+  for (const int workers : {2, 8}) {
+    const SweepTable parallel =
+        ExperimentEngine(noCache(workers)).run(spec);
+    expectIdentical(serial, parallel);
+  }
+}
+
+TEST(ExperimentEngineTest, CacheHitPerformsZeroEpochSimulatorCalls) {
+  // The engine env knobs must not leak into this test.
+  ::unsetenv("HAYAT_NO_CACHE");
+  ::unsetenv("HAYAT_NO_SWEEP_CACHE");
+  ::unsetenv("HAYAT_CACHE_DIR");
+
+  const std::string dir = testing::TempDir() + "hayat_engine_cache_test";
+  std::filesystem::remove_all(dir);
+
+  const ExperimentSpec spec = tinySpec();
+  EngineConfig config;
+  config.workers = 1;
+  config.cacheDir = dir;
+  const ExperimentEngine engine(config);
+  ASSERT_TRUE(engine.cacheEnabled());
+
+  const long before = epochSimulatorRunCount();
+  const SweepTable computed = engine.run(spec);
+  const long afterMiss = epochSimulatorRunCount();
+  EXPECT_GT(afterMiss, before);  // a miss simulates
+  EXPECT_TRUE(std::filesystem::exists(cachePath(dir, spec)));
+
+  const SweepTable cached = engine.run(spec);
+  EXPECT_EQ(epochSimulatorRunCount(), afterMiss);  // a hit does not
+  expectIdentical(computed, cached);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExperimentEngineTest, CacheRoundTripsEveryColumn) {
+  const std::string dir = testing::TempDir() + "hayat_engine_roundtrip_test";
+  std::filesystem::remove_all(dir);
+
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;  // one epoch is enough for a round-trip
+  const SweepTable computed =
+      ExperimentEngine(noCache(1)).run(spec);
+  ASSERT_TRUE(storeCachedTable(dir, spec, computed));
+
+  const auto loaded = loadCachedTable(dir, spec);
+  ASSERT_TRUE(loaded.has_value());
+  expectIdentical(computed, *loaded);
+
+  // A different spec must not read this entry (hash-distinct file).
+  ExperimentSpec other = spec;
+  other.baseSeed += 1;
+  EXPECT_FALSE(loadCachedTable(dir, other).has_value());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepTableTest, SelectAndAggregateRatio) {
+  const ExperimentSpec spec = tinySpec();
+  const SweepTable table =
+      ExperimentEngine(noCache(0)).run(spec);
+
+  const auto vaa = table.select("VAA", 0.5);
+  const auto hayat = table.select("Hayat", 0.5);
+  ASSERT_EQ(vaa.size(), 2u);
+  ASSERT_EQ(hayat.size(), 2u);
+  EXPECT_EQ(vaa[0]->chip, 0);
+  EXPECT_EQ(vaa[1]->chip, 1);
+  EXPECT_TRUE(table.select("VAA", 0.25).empty());
+
+  const double ratio = table.aggregateRatio(
+      0.5,
+      [](const RunResult& r) { return r.lifetime.epochs.back().averageFmax; });
+  EXPECT_GT(ratio, 0.0);
+
+  EXPECT_THROW(
+      table.aggregateRatio(
+          0.5, [](const RunResult&) { return 0.0; }),
+      Error);
+}
+
+TEST(ExperimentEngineTest, UnknownPolicyParameterThrows) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  spec.chips = {0};
+  spec.policies = {{"Hayat", {{"notAKnob", 1.0}}}};
+  const ExperimentEngine engine({.workers = 1, .cache = false});
+  EXPECT_THROW(engine.run(spec), Error);
+}
+
+}  // namespace
+}  // namespace hayat::engine

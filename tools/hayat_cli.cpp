@@ -3,6 +3,8 @@
 // Subcommands:
 //   lifetime    run a multi-year lifetime simulation for one chip/policy
 //               and print (or export) the per-epoch metrics
+//   sweep       run a population experiment (chips x darks x policies) on
+//               the ExperimentEngine and export the result table
 //   map         compute one epoch's mapping and show the DCM + predicted
 //               temperatures
 //   population  print variation statistics of a chip population
@@ -11,6 +13,7 @@
 //
 // Examples:
 //   hayat lifetime --policy hayat --dark 0.5 --years 10 --csv out.csv
+//   hayat sweep --chips 25 --years 10 --export results/sweep
 //   hayat map --policy vaa --dark 0.25 --seed 7
 //   hayat population --chips 25
 //   hayat aging --temperature 358 --duty 0.6
@@ -20,16 +23,17 @@
 #include <memory>
 #include <string>
 
-#include "baselines/simple_policies.hpp"
-#include "baselines/vaa.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/statistics.hpp"
 #include "common/text_table.hpp"
-#include "core/hayat_policy.hpp"
 #include "core/lifetime.hpp"
 #include "core/serialize.hpp"
 #include "core/system.hpp"
+#include "engine/builtin_policies.hpp"
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
+#include "runtime/policy_registry.hpp"
 #include "runtime/thermal_predictor.hpp"
 #include "variation/population.hpp"
 #include "workload/generator.hpp"
@@ -39,13 +43,19 @@ namespace {
 
 using namespace hayat;
 
-std::unique_ptr<MappingPolicy> makePolicy(const std::string& name) {
-  if (name == "hayat") return std::make_unique<HayatPolicy>();
-  if (name == "vaa") return std::make_unique<VaaPolicy>();
-  if (name == "random") return std::make_unique<RandomPolicy>();
-  if (name == "coolest") return std::make_unique<CoolestFirstPolicy>();
+/// CLI policy names map onto the registry's.
+PolicySpec policySpecFor(const std::string& name) {
+  if (name == "hayat") return {"Hayat", {}};
+  if (name == "vaa") return {"VAA", {}};
+  if (name == "random") return {"Random", {}};
+  if (name == "coolest") return {"CoolestFirst", {}};
   throw Error("unknown policy '" + name +
               "' (expected hayat|vaa|random|coolest)");
+}
+
+std::unique_ptr<MappingPolicy> makePolicy(const std::string& name) {
+  engine::registerBuiltinPolicies();
+  return PolicyRegistry::global().make(policySpecFor(name));
 }
 
 int cmdLifetime(FlagParser& flags) {
@@ -63,9 +73,11 @@ int cmdLifetime(FlagParser& flags) {
     lc.fixedMix = readWorkloadCsvFile(flags.getString("trace"));
   lc.mixChurn = flags.getDouble("churn");
   lc.incrementalRemap = flags.getBool("incremental");
-  const LifetimeSimulator sim(lc);
   auto policy = makePolicy(flags.getString("policy"));
-  const LifetimeResult r = sim.run(system, *policy);
+  const LifetimeResult r =
+      engine::ExperimentEngine::runWithPolicy(system, lc, *policy,
+                                              flags.getInt("chip"))
+          .lifetime;
 
   TextTable table({"year", "avg fmax [GHz]", "chip fmax [GHz]", "min health",
                    "Tpeak [K]", "DTM events"});
@@ -93,6 +105,50 @@ int cmdLifetime(FlagParser& flags) {
     saveHealthMapFile(flags.getString("checkpoint"), system.chip().health());
     std::printf("Health-map checkpoint written to %s\n",
                 flags.getString("checkpoint").c_str());
+  }
+  return 0;
+}
+
+int cmdSweep(FlagParser& flags) {
+  engine::ExperimentSpec spec;
+  spec.name = "cli-sweep";
+  spec.lifetime.horizon = flags.getDouble("years");
+  spec.lifetime.epochLength = flags.getDouble("epoch");
+  spec.policies = {{"VAA", {}}, {"Hayat", {}}};
+  spec.darkFractions = {0.25, 0.50};
+  spec.chips.clear();
+  for (int c = 0; c < flags.getInt("chips"); ++c) spec.chips.push_back(c);
+  spec.populationSeed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  spec.baseSeed = static_cast<std::uint64_t>(flags.getInt("workload-seed"));
+
+  const engine::ExperimentEngine eng;
+  std::printf("Running spec %s (%d tasks) on %d workers...\n",
+              spec.name.c_str(), spec.taskCount(), eng.workers());
+  const engine::SweepTable table = eng.run(spec);
+
+  TextTable out({"policy", "dark", "avg fmax@end [GHz]",
+                 "chip fmax@end [GHz]", "DTM events"});
+  for (const double dark : spec.darkFractions) {
+    for (const PolicySpec& p : spec.policies) {
+      std::vector<double> avgF, chipF, events;
+      for (const engine::RunResult* run : table.select(p.label(), dark)) {
+        avgF.push_back(run->lifetime.epochs.back().averageFmax / 1e9);
+        chipF.push_back(run->lifetime.epochs.back().chipFmax / 1e9);
+        events.push_back(
+            static_cast<double>(run->lifetime.totalDtmEvents()));
+      }
+      out.addRow(p.label() + (dark == 0.25 ? " @25%" : " @50%"),
+                 {dark, mean(avgF), mean(chipF), mean(events)}, 3);
+    }
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  if (flags.provided("export")) {
+    const std::string prefix = flags.getString("export");
+    HAYAT_REQUIRE(engine::exportTable(prefix, table),
+                  "cannot write export files");
+    std::printf("Exported %s_{summary,epochs}.csv and %s.json\n",
+                prefix.c_str(), prefix.c_str());
   }
   return 0;
 }
@@ -197,8 +253,8 @@ int main(int argc, char** argv) {
   using namespace hayat;
   FlagParser flags(
       "hayat",
-      "command-line driver (subcommands: lifetime, map, population, "
-      "aging, export-trace)");
+      "command-line driver (subcommands: lifetime, sweep, map, "
+      "population, aging, export-trace)");
   flags.addFlag("policy", "mapping policy: hayat|vaa|random|coolest", "hayat");
   flags.addFlag("dark", "minimum dark-silicon fraction", "0.5");
   flags.addFlag("years", "simulated lifetime horizon", "10");
@@ -216,12 +272,15 @@ int main(int argc, char** argv) {
   flags.addFlag("incremental",
                 "with --churn: place arrivals incrementally", "false");
   flags.addFlag("checkpoint", "write a health-map checkpoint to this path");
+  flags.addFlag("export",
+                "sweep subcommand: export prefix for the result table");
 
   try {
     if (!flags.parse(argc, argv)) return 0;
     const auto& pos = flags.positional();
     const std::string cmd = pos.empty() ? "lifetime" : pos.front();
     if (cmd == "lifetime") return cmdLifetime(flags);
+    if (cmd == "sweep") return cmdSweep(flags);
     if (cmd == "map") return cmdMap(flags);
     if (cmd == "population") return cmdPopulation(flags);
     if (cmd == "export-trace") return cmdExportTrace(flags);
