@@ -1,0 +1,426 @@
+#include "engine/dispatcher.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "engine/task_pool.hpp"
+#include "engine/wire.hpp"
+#include "engine/worker_proc.hpp"
+
+namespace hayat::engine {
+
+namespace {
+
+void ignoreSigpipe() {
+  struct sigaction sa;
+  if (::sigaction(SIGPIPE, nullptr, &sa) == 0 && sa.sa_handler == SIG_DFL) {
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+  }
+}
+
+int parsePositiveInt(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  HAYAT_REQUIRE(end == text.c_str() + text.size() && !text.empty() &&
+                    value >= 1,
+                std::string("worker spec: bad ") + what + " '" + text + "'");
+  return static_cast<int>(value);
+}
+
+std::string execBinary() {
+  if (const char* bin = std::getenv("HAYAT_WORKER_BIN"))
+    if (*bin) return bin;
+  return "hayat";
+}
+
+}  // namespace
+
+std::vector<WorkerEndpoint> parseWorkerSpec(const std::string& text) {
+  std::vector<WorkerEndpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+
+    WorkerEndpoint ep;
+    if (item == "proc" || item.rfind("proc:", 0) == 0) {
+      ep.kind = WorkerEndpoint::Kind::Fork;
+      ep.count =
+          item == "proc" ? 1 : parsePositiveInt(item.substr(5), "count");
+    } else if (item == "exec" || item.rfind("exec:", 0) == 0) {
+      ep.kind = WorkerEndpoint::Kind::Exec;
+      ep.count =
+          item == "exec" ? 1 : parsePositiveInt(item.substr(5), "count");
+    } else if (item.rfind("tcp:", 0) == 0) {
+      ep.kind = WorkerEndpoint::Kind::Tcp;
+      const std::string rest = item.substr(4);
+      const std::size_t colon = rest.rfind(':');
+      HAYAT_REQUIRE(colon != std::string::npos && colon > 0,
+                    "worker spec: tcp endpoint needs host:port, got '" +
+                        item + "'");
+      ep.host = rest.substr(0, colon);
+      ep.port = parsePositiveInt(rest.substr(colon + 1), "port");
+      HAYAT_REQUIRE(ep.port <= 65535,
+                    "worker spec: port out of range in '" + item + "'");
+    } else {
+      throw Error("worker spec: unknown endpoint '" + item +
+                  "' (expected proc:N, exec:N, or tcp:host:port)");
+    }
+    endpoints.push_back(std::move(ep));
+  }
+  HAYAT_REQUIRE(!endpoints.empty(), "worker spec: no endpoints in '" + text +
+                                        "'");
+  return endpoints;
+}
+
+Dispatcher::Dispatcher(DispatchConfig config) : config_(std::move(config)) {
+  ignoreSigpipe();
+}
+
+Dispatcher::~Dispatcher() { shutdown(); }
+
+bool Dispatcher::spawn(Worker& worker) {
+  int fd = -1;
+  pid_t pid = -1;
+  switch (worker.endpoint.kind) {
+    case WorkerEndpoint::Kind::Fork: {
+      // Children must not keep sibling sockets open, or a sibling's EOF
+      // would never be observed.
+      std::vector<int> siblings;
+      for (const Worker& other : workers_)
+        if (other.fd >= 0) siblings.push_back(other.fd);
+      pid = spawnForkWorker(fd, siblings);
+      break;
+    }
+    case WorkerEndpoint::Kind::Exec:
+      pid = spawnExecWorker(execBinary(), fd);
+      break;
+    case WorkerEndpoint::Kind::Tcp:
+      fd = connectTcpWorker(worker.endpoint.host, worker.endpoint.port,
+                            config_.connectTimeoutMs);
+      break;
+  }
+  if (fd < 0) return false;
+  ++stats_.workersSpawned;
+
+  if (!writeMessage(fd, MsgType::Spec, specPayload_)) {
+    ::close(fd);
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+    return false;
+  }
+  worker.fd = fd;
+  worker.pid = pid;
+  worker.inflight = -1;
+  return true;
+}
+
+void Dispatcher::reap(Worker& worker, bool force) {
+  if (worker.pid <= 0) return;
+  if (force) ::kill(worker.pid, SIGKILL);
+  ::waitpid(worker.pid, nullptr, 0);
+  worker.pid = -1;
+}
+
+void Dispatcher::markDead(Worker& worker, std::vector<int>& pending,
+                          std::vector<int>& attempts,
+                          std::vector<int>& local) {
+  ++stats_.workerDeaths;
+  if (worker.inflight >= 0) {
+    const int index = worker.inflight;
+    worker.inflight = -1;
+    ++attempts[static_cast<std::size_t>(index)];
+    ++stats_.tasksRetried;
+    if (attempts[static_cast<std::size_t>(index)] > config_.maxTaskRetries)
+      local.push_back(index);
+    else
+      pending.push_back(index);
+  }
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  reap(worker, /*force=*/true);
+  ++worker.deaths;
+  const double backoff =
+      config_.respawnBackoffSeconds *
+      static_cast<double>(1 << std::min(worker.deaths - 1, 6));
+  worker.nextRespawn =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(backoff));
+}
+
+int Dispatcher::connect(const ExperimentSpec& spec) {
+  if (connected_) {
+    int alive = 0;
+    for (const Worker& w : workers_)
+      if (w.fd >= 0) ++alive;
+    return alive;
+  }
+  specPayload_ = encodeSpec(spec);
+  specHash_ = specHash(spec);
+
+  workers_.clear();
+  for (const WorkerEndpoint& ep : config_.endpoints) {
+    const int slots = ep.kind == WorkerEndpoint::Kind::Tcp ? 1 : ep.count;
+    for (int i = 0; i < slots; ++i) {
+      Worker w;
+      w.endpoint = ep;
+      w.endpoint.count = 1;
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  int alive = 0;
+  for (Worker& w : workers_) {
+    if (spawn(w)) {
+      ++stats_.workersConnected;
+      ++alive;
+    } else {
+      // Unreachable at startup: eligible for the run loop's backoff
+      // respawn path, like any other death.
+      ++w.deaths;
+      w.nextRespawn = Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              config_.respawnBackoffSeconds));
+    }
+  }
+  connected_ = true;
+  return alive;
+}
+
+std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
+                                       const std::vector<RunTask>& tasks) {
+  if (!connected_) connect(spec);
+
+  const std::size_t n = tasks.size();
+  std::vector<RunResult> results(n);
+  std::vector<char> have(n, 0);
+  std::vector<int> attempts(n, 0);
+  std::vector<int> pending;
+  pending.reserve(n);
+  for (std::size_t i = n; i > 0; --i)
+    pending.push_back(static_cast<int>(i - 1));  // pop_back serves 0 first
+  std::vector<int> local;
+  std::size_t done = 0;
+
+  const auto taskTimeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.taskTimeoutSeconds));
+
+  while (done + local.size() < n) {
+    const auto now = Clock::now();
+
+    // Respawn dead slots that are due, while work remains for them.
+    bool anyAlive = false;
+    bool anyRespawnable = false;
+    for (Worker& w : workers_) {
+      if (w.fd >= 0) {
+        anyAlive = true;
+        continue;
+      }
+      if (w.deaths > config_.maxRespawns) continue;
+      anyRespawnable = true;
+      if (!pending.empty() && now >= w.nextRespawn) {
+        if (spawn(w)) {
+          ++stats_.workerRespawns;
+          anyAlive = true;
+        } else {
+          ++w.deaths;
+          const double backoff =
+              config_.respawnBackoffSeconds *
+              static_cast<double>(1 << std::min(w.deaths - 1, 6));
+          w.nextRespawn = now + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(backoff));
+        }
+      }
+    }
+    if (!anyAlive && !anyRespawnable) break;  // fleet is gone; go local
+    if (!anyAlive) {
+      // Everything is dead but respawnable: sleep until the earliest
+      // respawn instead of spinning.
+      auto wake = Clock::time_point::max();
+      for (const Worker& w : workers_)
+        if (w.fd < 0 && w.deaths <= config_.maxRespawns)
+          wake = std::min(wake, w.nextRespawn);
+      std::this_thread::sleep_until(std::min(
+          wake, Clock::now() + std::chrono::milliseconds(200)));
+      continue;
+    }
+
+    // Hand pending tasks to idle workers.
+    for (Worker& w : workers_) {
+      if (w.fd < 0 || w.inflight >= 0 || pending.empty()) continue;
+      const int index = pending.back();
+      pending.pop_back();
+      w.inflight = index;
+      w.sentAt = Clock::now();
+      if (writeMessage(w.fd, MsgType::Task, encodeTask(index, specHash_))) {
+        ++stats_.tasksDispatched;
+      } else {
+        markDead(w, pending, attempts, local);  // re-queues `index`
+      }
+    }
+
+    std::vector<struct pollfd> pfds;
+    std::vector<Worker*> polled;
+    for (Worker& w : workers_) {
+      if (w.fd < 0) continue;
+      pfds.push_back({w.fd, POLLIN, 0});
+      polled.push_back(&w);
+    }
+    if (pfds.empty()) continue;
+
+    // Wake for the earliest task deadline or respawn due date.
+    int timeoutMs = 200;
+    for (const Worker& w : workers_) {
+      if (w.fd >= 0 && w.inflight >= 0) {
+        const auto left = (w.sentAt + taskTimeout) - Clock::now();
+        timeoutMs = std::min(
+            timeoutMs,
+            static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                    .count()));
+      }
+    }
+    timeoutMs = std::max(timeoutMs, 10);
+
+    const int ready = ::poll(pfds.data(), pfds.size(), timeoutMs);
+    if (ready > 0) {
+      for (std::size_t p = 0; p < pfds.size(); ++p) {
+        if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Worker& w = *polled[p];
+        if (w.fd < 0) continue;  // killed earlier in this sweep of pfds
+        Message msg;
+        if (!readMessage(w.fd, msg)) {
+          markDead(w, pending, attempts, local);
+          continue;
+        }
+        if (msg.type == MsgType::Result) {
+          int index = -1;
+          RunResult result;
+          try {
+            decodeResult(msg.payload, index, result);
+          } catch (const std::exception&) {
+            markDead(w, pending, attempts, local);
+            continue;
+          }
+          if (index == w.inflight) w.inflight = -1;
+          if (index >= 0 && static_cast<std::size_t>(index) < n &&
+              !have[static_cast<std::size_t>(index)]) {
+            results[static_cast<std::size_t>(index)] = std::move(result);
+            have[static_cast<std::size_t>(index)] = 1;
+            ++done;
+            ++stats_.tasksCompletedRemotely;
+          }
+        } else if (msg.type == MsgType::TaskError) {
+          int index = -1;
+          std::string error;
+          try {
+            decodeTaskError(msg.payload, index, error);
+          } catch (const std::exception&) {
+            markDead(w, pending, attempts, local);
+            continue;
+          }
+          if (index == w.inflight) w.inflight = -1;
+          if (index >= 0 && static_cast<std::size_t>(index) < n &&
+              !have[static_cast<std::size_t>(index)]) {
+            std::fprintf(stderr, "[dispatch] task %d failed remotely: %s\n",
+                         index, error.c_str());
+            ++attempts[static_cast<std::size_t>(index)];
+            ++stats_.tasksRetried;
+            if (attempts[static_cast<std::size_t>(index)] >
+                config_.maxTaskRetries)
+              local.push_back(index);
+            else
+              pending.push_back(index);
+          }
+        } else {
+          markDead(w, pending, attempts, local);  // protocol violation
+        }
+      }
+    }
+
+    // Per-task timeout: a worker holding a task too long is presumed
+    // wedged — kill it and re-queue.
+    const auto checkpoint = Clock::now();
+    for (Worker& w : workers_) {
+      if (w.fd >= 0 && w.inflight >= 0 &&
+          checkpoint - w.sentAt > taskTimeout) {
+        std::fprintf(stderr,
+                     "[dispatch] task %d timed out on worker pid %d; "
+                     "re-queueing\n",
+                     w.inflight, static_cast<int>(w.pid));
+        markDead(w, pending, attempts, local);
+      }
+    }
+  }
+
+  // Last resort: anything unfinished (degraded fleet or retry-exhausted
+  // tasks) runs on the local thread pool; a deterministic task error can
+  // finally propagate to the caller from here.
+  std::vector<int> remaining;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!have[i]) remaining.push_back(static_cast<int>(i));
+  if (!remaining.empty()) {
+    const int localWorkers = config_.localFallbackWorkers > 0
+                                 ? config_.localFallbackWorkers
+                                 : defaultWorkerCount();
+    std::vector<RunResult> localResults = parallelMap<RunResult>(
+        static_cast<int>(remaining.size()), localWorkers, [&](int k) {
+          const int index = remaining[static_cast<std::size_t>(k)];
+          return ExperimentEngine::runTask(
+              tasks[static_cast<std::size_t>(index)], spec.populationSeed);
+        });
+    for (std::size_t k = 0; k < remaining.size(); ++k) {
+      results[static_cast<std::size_t>(remaining[k])] =
+          std::move(localResults[k]);
+      have[static_cast<std::size_t>(remaining[k])] = 1;
+      ++stats_.tasksCompletedLocally;
+    }
+  }
+  return results;
+}
+
+void Dispatcher::shutdown() {
+  for (Worker& w : workers_) {
+    if (w.fd >= 0) {
+      writeMessage(w.fd, MsgType::Shutdown, "");
+      ::close(w.fd);
+      w.fd = -1;
+    }
+  }
+  for (Worker& w : workers_) {
+    if (w.pid <= 0) continue;
+    // Give the worker a moment to exit on the Shutdown message, then
+    // force the issue (a wedged worker would otherwise hang us here).
+    bool reaped = false;
+    for (int i = 0; i < 200 && !reaped; ++i) {
+      if (::waitpid(w.pid, nullptr, WNOHANG) != 0)
+        reaped = true;
+      else
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) reap(w, /*force=*/true);
+    w.pid = -1;
+  }
+  connected_ = false;
+}
+
+}  // namespace hayat::engine

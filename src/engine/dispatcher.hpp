@@ -1,0 +1,133 @@
+// Coordinator side of the distributed ExperimentEngine.
+//
+// The Dispatcher farms the expanded RunTasks of one ExperimentSpec out
+// to worker processes — forked locally (`proc:N`), fork/exec'd hayat
+// binaries (`exec:N`), or remote `hayat worker --listen` servers dialed
+// over TCP (`tcp:host:port`) — and merges Result messages by task index,
+// so the merged table is bit-identical to a serial run for any worker
+// topology.
+//
+// It is built to survive workers, not just use them:
+//   - per-task timeout: a worker that holds a task too long is killed
+//     (or disconnected) and its task re-queued;
+//   - death detection: EOF / write errors re-queue the in-flight task
+//     and respawn the worker slot with exponential backoff, up to
+//     maxRespawns per slot;
+//   - bounded retry: a task that keeps failing (maxTaskRetries attempts,
+//     counting both worker deaths and TaskError replies) is pulled back
+//     and executed locally, where a genuine error can propagate;
+//   - graceful degradation: with zero reachable workers (or once every
+//     slot is permanently dead) the remaining tasks run on the local
+//     thread pool, so a sweep never fails because a fleet did.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace hayat::engine {
+
+/// One entry of a `--workers=` / HAYAT_DISPATCH list.
+struct WorkerEndpoint {
+  enum class Kind {
+    Fork,  ///< proc:N — fork this process, child serves tasks in-image
+    Exec,  ///< exec:N — fork/exec `hayat worker --stdio` (HAYAT_WORKER_BIN)
+    Tcp,   ///< tcp:host:port — dial a `hayat worker --listen` server
+  };
+  Kind kind = Kind::Fork;
+  int count = 1;       ///< Fork/Exec: processes to spawn
+  std::string host;    ///< Tcp
+  int port = 0;        ///< Tcp
+};
+
+/// Parses a comma-separated endpoint list: "proc:4", "exec:2",
+/// "tcp:host:port", "proc:2,tcp:10.0.0.5:7707".  Throws hayat::Error on
+/// malformed input.
+std::vector<WorkerEndpoint> parseWorkerSpec(const std::string& text);
+
+struct DispatchConfig {
+  std::vector<WorkerEndpoint> endpoints;
+  /// A task in flight longer than this is presumed lost; the worker is
+  /// killed and the task re-queued.
+  double taskTimeoutSeconds = 300.0;
+  /// Attempts per task (deaths + TaskError replies) before it is pulled
+  /// back to local execution.
+  int maxTaskRetries = 3;
+  /// First respawn delay for a dead worker slot; doubles per consecutive
+  /// death of that slot.
+  double respawnBackoffSeconds = 0.2;
+  /// Respawn (or TCP reconnect) attempts per worker slot.
+  int maxRespawns = 3;
+  /// Thread count for degraded/local execution; <= 0 uses
+  /// defaultWorkerCount().
+  int localFallbackWorkers = 0;
+  /// Dial timeout for TCP endpoints.
+  int connectTimeoutMs = 2000;
+};
+
+/// Observability counters (the crash-recovery tests assert on these).
+struct DispatchStats {
+  int workersSpawned = 0;    ///< processes forked/exec'd + TCP dials
+  int workersConnected = 0;  ///< endpoints that accepted the spec
+  int workerDeaths = 0;      ///< EOFs, write failures, and timeout kills
+  int workerRespawns = 0;    ///< successful replacements after a death
+  int tasksDispatched = 0;   ///< Task messages sent
+  int tasksRetried = 0;      ///< re-queues after a death/error/timeout
+  int tasksCompletedRemotely = 0;
+  int tasksCompletedLocally = 0;  ///< degraded / retry-exhausted tasks
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatchConfig config);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Spawns/dials every endpoint and sends it the spec.  Returns the
+  /// number of reachable workers (0 means the caller should degrade to
+  /// its in-process pool).  Idempotent; run() calls it if needed.
+  int connect(const ExperimentSpec& spec);
+
+  /// Executes every task (remotely where possible, locally as the last
+  /// resort) and returns results ordered by task index.  Throws only for
+  /// errors that also fail locally (e.g. an unknown policy parameter).
+  std::vector<RunResult> run(const ExperimentSpec& spec,
+                             const std::vector<RunTask>& tasks);
+
+  /// Sends Shutdown to every live worker and reaps the children.
+  void shutdown();
+
+  const DispatchStats& stats() const { return stats_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Worker {
+    WorkerEndpoint endpoint;  ///< count collapsed to 1 (one slot each)
+    int fd = -1;              ///< -1 while dead
+    pid_t pid = -1;           ///< forked/exec'd workers only
+    int inflight = -1;        ///< task index, -1 when idle
+    Clock::time_point sentAt{};
+    int deaths = 0;
+    Clock::time_point nextRespawn{};
+  };
+
+  bool spawn(Worker& worker);
+  void markDead(Worker& worker, std::vector<int>& pending,
+                std::vector<int>& attempts, std::vector<int>& local);
+  void reap(Worker& worker, bool force);
+
+  DispatchConfig config_;
+  DispatchStats stats_;
+  std::vector<Worker> workers_;
+  std::string specPayload_;
+  std::uint64_t specHash_ = 0;
+  bool connected_ = false;
+};
+
+}  // namespace hayat::engine

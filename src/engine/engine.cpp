@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "engine/builtin_policies.hpp"
+#include "engine/dispatcher.hpp"
 #include "engine/result_cache.hpp"
 
 namespace hayat::engine {
@@ -71,6 +72,13 @@ std::string ExperimentEngine::cacheDir() const {
   if (const char* env = std::getenv("HAYAT_CACHE_DIR"))
     if (*env) return env;
   return "hayat_cache";
+}
+
+std::string ExperimentEngine::dispatchSpec() const {
+  if (!config_.dispatch.empty()) return config_.dispatch;
+  if (const char* env = std::getenv("HAYAT_DISPATCH"))
+    if (*env) return env;
+  return "";
 }
 
 std::vector<RunTask> ExperimentEngine::expand(
@@ -141,6 +149,12 @@ RunResult ExperimentEngine::runWithPolicy(System& system,
 }
 
 SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
+  // Endpoint syntax errors are loud, and deliberately precede the cache
+  // check — a typo'd topology must not be masked by a cache hit.
+  const std::string dispatch = dispatchSpec();
+  std::vector<WorkerEndpoint> endpoints;
+  if (!dispatch.empty()) endpoints = parseWorkerSpec(dispatch);
+
   // A fixed mix is not canonically hashed (experiment.cpp), so such specs
   // always recompute.
   const bool cacheable = cacheEnabled() && !spec.lifetime.fixedMix.has_value();
@@ -155,11 +169,31 @@ SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
 
   const std::vector<RunTask> tasks = expand(spec);
   SweepTable table;
-  table.runs = parallelMap<RunResult>(
-      static_cast<int>(tasks.size()), workers(), [&](int i) {
-        return runTask(tasks[static_cast<std::size_t>(i)],
-                       spec.populationSeed);
-      });
+
+  bool dispatched = false;
+  if (!endpoints.empty() && !spec.lifetime.fixedMix.has_value()) {
+    // An unreachable fleet degrades to the in-process pool below.
+    DispatchConfig dc;
+    dc.endpoints = endpoints;
+    dc.localFallbackWorkers = workers();
+    Dispatcher dispatcher(dc);
+    if (dispatcher.connect(spec) > 0) {
+      table.runs = dispatcher.run(spec, tasks);
+      dispatched = true;
+    } else {
+      std::fprintf(stderr,
+                   "[engine] %s: no workers reachable for '%s'; falling "
+                   "back to in-process threads\n",
+                   spec.name.c_str(), dispatch.c_str());
+    }
+  }
+  if (!dispatched) {
+    table.runs = parallelMap<RunResult>(
+        static_cast<int>(tasks.size()), workers(), [&](int i) {
+          return runTask(tasks[static_cast<std::size_t>(i)],
+                         spec.populationSeed);
+        });
+  }
 
   if (cacheable) storeCachedTable(cacheDir(), spec, table);
   return table;

@@ -9,8 +9,20 @@
 // (experiment.hpp): re-running an unchanged spec loads the table without
 // a single EpochSimulator call.
 //
+// Execution is in-process by default; setting a dispatch spec (the
+// EngineConfig or HAYAT_DISPATCH) farms the tasks out to worker
+// *processes* instead — forked locally, exec'd hayat binaries, or remote
+// `hayat worker --listen` servers over TCP (dispatcher.hpp).  The merge
+// is by task index either way, so the table stays bit-identical to a
+// serial run for any topology, and the engine degrades back to the
+// thread pool when no workers are reachable.  The result cache is
+// consulted and written on the coordinator only; workers stay stateless.
+//
 // Environment knobs (all optional):
 //   HAYAT_WORKERS    — worker thread count (default: hardware concurrency)
+//   HAYAT_DISPATCH   — distributed dispatch spec, e.g. "proc:4" or
+//                      "proc:2,tcp:10.0.0.5:7707" (default: in-process)
+//   HAYAT_WORKER_BIN — binary exec'd for "exec:N" workers (default: hayat)
 //   HAYAT_CACHE_DIR  — result-cache directory (default: ./hayat_cache)
 //   HAYAT_NO_CACHE   — disable the result cache entirely
 //   HAYAT_NO_SWEEP_CACHE — legacy alias of HAYAT_NO_CACHE
@@ -73,6 +85,11 @@ struct EngineConfig {
   int workers = 0;           ///< <= 0: HAYAT_WORKERS or hardware
   bool cache = true;         ///< overridden off by HAYAT_NO_CACHE
   std::string cacheDir;      ///< "": HAYAT_CACHE_DIR or "hayat_cache"
+  /// Distributed dispatch spec ("proc:N", "exec:N", "tcp:host:port",
+  /// comma-separated).  "": HAYAT_DISPATCH, and failing that in-process
+  /// threads.  Fixed-mix specs always run in-process (they have no
+  /// canonical wire serialization).
+  std::string dispatch;
 };
 
 class ExperimentEngine {
@@ -103,6 +120,7 @@ class ExperimentEngine {
   int workers() const;
   bool cacheEnabled() const;
   std::string cacheDir() const;
+  std::string dispatchSpec() const;
 
  private:
   EngineConfig config_;

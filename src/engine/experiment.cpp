@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
 
 namespace hayat::engine {
 
@@ -15,27 +18,147 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+void visitSystem(SystemConfig& c, SpecFieldVisitor& v) {
+  PopulationConfig& p = c.population;
+  // GridShape exposes no setters; rebuild it after the visit so a decoder
+  // (or mutation test) can resize the grid.
+  int rows = p.coreGrid.rows();
+  int cols = p.coreGrid.cols();
+  v.field("pop.rows", rows);
+  v.field("pop.cols", cols);
+  p.coreGrid = GridShape(rows, cols);
+  v.field("pop.coreWidth", p.coreWidth);
+  v.field("pop.coreHeight", p.coreHeight);
+  v.field("pop.pointsPerCoreEdge", p.pointsPerCoreEdge);
+  v.field("pop.nominalFrequency", p.nominalFrequency);
+  v.field("pop.nominalVth", p.nominalVth);
+  v.field("pop.sigmaFraction", p.sigmaFraction);
+  v.field("pop.correlationRangeFraction", p.correlationRangeFraction);
+  v.field("pop.globalFraction", p.globalFraction);
+  v.field("pop.nuggetFraction", p.nuggetFraction);
+  v.field("pop.subthresholdSlopeFactor", p.subthresholdSlopeFactor);
+  v.field("pop.criticalPathPoints", p.criticalPathPoints);
+
+  NbtiConfig& n = c.nbti;
+  v.field("nbti.vdd", n.vdd);
+  v.field("nbti.nominalVth", n.nominalVth);
+  v.field("nbti.techScale", n.techScale);
+  v.field("nbti.alphaPower", n.alphaPower);
+  v.field("nbti.timeExponent", n.timeExponent);
+
+  AgingTableConfig& a = c.agingTable;
+  v.field("table.temperatureMin", a.temperatureMin);
+  v.field("table.temperatureMax", a.temperatureMax);
+  v.field("table.temperaturePoints", a.temperaturePoints);
+  v.field("table.dutyPoints", a.dutyPoints);
+  v.field("table.maxAge", a.maxAge);
+
+  LeakageConfig& l = c.leakage;
+  v.field("leak.nominalCoreLeakage", l.nominalCoreLeakage);
+  v.field("leak.gatedCoreLeakage", l.gatedCoreLeakage);
+  v.field("leak.referenceTemperature", l.referenceTemperature);
+  v.field("leak.nominalVth", l.nominalVth);
+  v.field("leak.subthresholdSlopeFactor", l.subthresholdSlopeFactor);
+
+  // The thermal floorplan is overwritten from the population geometry at
+  // System construction, so only the package parameters are walked.
+  ThermalConfig& t = c.thermal;
+  v.field("thermal.ambient", t.ambient);
+  v.field("thermal.dieThickness", t.dieThickness);
+  v.field("thermal.dieConductivity", t.dieConductivity);
+  v.field("thermal.dieVolumetricHeat", t.dieVolumetricHeat);
+  v.field("thermal.timThickness", t.timThickness);
+  v.field("thermal.timConductivity", t.timConductivity);
+  v.field("thermal.spreaderThickness", t.spreaderThickness);
+  v.field("thermal.spreaderConductivity", t.spreaderConductivity);
+  v.field("thermal.spreaderVolumetricHeat", t.spreaderVolumetricHeat);
+  v.field("thermal.sinkThickness", t.sinkThickness);
+  v.field("thermal.sinkConductivity", t.sinkConductivity);
+  v.field("thermal.sinkVolumetricHeat", t.sinkVolumetricHeat);
+  v.field("thermal.spreaderSinkResistancePerTile",
+          t.spreaderSinkResistancePerTile);
+  v.field("thermal.convectionResistance", t.convectionResistance);
+
+  // EpochConfig minus thermalSensorSeed (derived per task, see the
+  // header's seed rule).
+  EpochConfig& e = c.epoch;
+  v.field("epoch.window", e.window);
+  v.field("epoch.step", e.step);
+  v.field("epoch.nominalFrequency", e.nominalFrequency);
+  v.field("epoch.dtm.tsafe", e.dtm.tsafe);
+  v.field("epoch.dtm.coldMargin", e.dtm.coldMargin);
+  v.field("epoch.dtm.throttleFactor", e.dtm.throttleFactor);
+  v.field("epoch.dtm.minimumFrequency", e.dtm.minimumFrequency);
+  v.field("epoch.dtm.migrationCooldownChecks", e.dtm.migrationCooldownChecks);
+  v.field("epoch.sensor.gaussianSigma", e.thermalSensorNoise.gaussianSigma);
+  v.field("epoch.sensor.quantization", e.thermalSensorNoise.quantization);
+
+  v.field("pathsPerCore", c.pathsPerCore);
+  v.field("elementsPerPath", c.elementsPerPath);
+}
+
+void visitLifetime(LifetimeConfig& c, SpecFieldVisitor& v) {
+  // workloadSeed / sensorSeed are derived per task and excluded.
+  v.field("life.horizon", c.horizon);
+  v.field("life.epochLength", c.epochLength);
+  v.field("life.tsafe", c.tsafe);
+  v.field("life.nominalFrequency", c.nominalFrequency);
+  v.field("life.freshMixEachEpoch", c.freshMixEachEpoch);
+  v.field("life.mixChurn", c.mixChurn);
+  v.field("life.incrementalRemap", c.incrementalRemap);
+  v.field("life.healthSensor.gaussianSigma", c.healthSensorNoise.gaussianSigma);
+  v.field("life.healthSensor.quantization", c.healthSensorNoise.quantization);
+
+  int dvfsLevels = c.dvfs.has_value() ? c.dvfs->levelCount() : 0;
+  v.field("life.dvfs.levels", dvfsLevels);
+  std::vector<Hertz> levels;
+  for (int i = 0; c.dvfs.has_value() && i < c.dvfs->levelCount(); ++i)
+    levels.push_back(c.dvfs->level(i));
+  levels.resize(static_cast<std::size_t>(dvfsLevels < 0 ? 0 : dvfsLevels),
+                3.0e9);
+  for (Hertz& level : levels) v.field("life.dvfs.level", level);
+  if (levels.empty())
+    c.dvfs.reset();
+  else
+    c.dvfs = FrequencyLadder(levels);
+
+  // A fixed mix cannot be canonically serialized here; walk its presence
+  // (as the application count) so two specs differing only in the mix
+  // never share a signature silently.  The engine additionally disables
+  // the result cache and distributed dispatch for fixed-mix specs.
+  int mixApps = c.fixedMix.has_value()
+                    ? static_cast<int>(c.fixedMix->applications.size())
+                    : 0;
+  v.field("life.fixedMix", mixApps);
+  if (mixApps == 0) {
+    c.fixedMix.reset();
+  } else {
+    HAYAT_REQUIRE(c.fixedMix.has_value(),
+                  "a fixed workload mix cannot be reconstructed from its "
+                  "application count (fixedMix specs are not serializable)");
+  }
+}
+
 /// Appends `key=value` with full round-trip precision for doubles.
-class SignatureWriter {
+class SignatureWriter final : public SpecFieldVisitor {
  public:
-  void add(const char* key, double value) {
+  void field(const char* key, double& value) override {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     out_ << key << '=' << buf << '\n';
   }
-  void add(const char* key, int value) { out_ << key << '=' << value << '\n'; }
-  void add(const char* key, long value) {
+  void field(const char* key, int& value) override {
     out_ << key << '=' << value << '\n';
   }
-  void add(const char* key, bool value) {
+  void field(const char* key, bool& value) override {
     out_ << key << '=' << (value ? 1 : 0) << '\n';
   }
-  void add(const char* key, std::uint64_t value) {
+  void field(const char* key, std::uint64_t& value) override {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
     out_ << key << '=' << buf << '\n';
   }
-  void add(const char* key, const std::string& value) {
+  void field(const char* key, std::string& value) override {
     out_ << key << '=' << value << '\n';
   }
 
@@ -45,109 +168,50 @@ class SignatureWriter {
   std::ostringstream out_;
 };
 
-void writeSystem(SignatureWriter& w, const SystemConfig& c) {
-  const PopulationConfig& p = c.population;
-  w.add("pop.rows", p.coreGrid.rows());
-  w.add("pop.cols", p.coreGrid.cols());
-  w.add("pop.coreWidth", p.coreWidth);
-  w.add("pop.coreHeight", p.coreHeight);
-  w.add("pop.pointsPerCoreEdge", p.pointsPerCoreEdge);
-  w.add("pop.nominalFrequency", p.nominalFrequency);
-  w.add("pop.nominalVth", p.nominalVth);
-  w.add("pop.sigmaFraction", p.sigmaFraction);
-  w.add("pop.correlationRangeFraction", p.correlationRangeFraction);
-  w.add("pop.globalFraction", p.globalFraction);
-  w.add("pop.nuggetFraction", p.nuggetFraction);
-  w.add("pop.subthresholdSlopeFactor", p.subthresholdSlopeFactor);
-  w.add("pop.criticalPathPoints", p.criticalPathPoints);
-
-  const NbtiConfig& n = c.nbti;
-  w.add("nbti.vdd", n.vdd);
-  w.add("nbti.nominalVth", n.nominalVth);
-  w.add("nbti.techScale", n.techScale);
-  w.add("nbti.alphaPower", n.alphaPower);
-  w.add("nbti.timeExponent", n.timeExponent);
-
-  const AgingTableConfig& a = c.agingTable;
-  w.add("table.temperatureMin", a.temperatureMin);
-  w.add("table.temperatureMax", a.temperatureMax);
-  w.add("table.temperaturePoints", a.temperaturePoints);
-  w.add("table.dutyPoints", a.dutyPoints);
-  w.add("table.maxAge", a.maxAge);
-
-  const LeakageConfig& l = c.leakage;
-  w.add("leak.nominalCoreLeakage", l.nominalCoreLeakage);
-  w.add("leak.gatedCoreLeakage", l.gatedCoreLeakage);
-  w.add("leak.referenceTemperature", l.referenceTemperature);
-  w.add("leak.nominalVth", l.nominalVth);
-  w.add("leak.subthresholdSlopeFactor", l.subthresholdSlopeFactor);
-
-  // The thermal floorplan is overwritten from the population geometry at
-  // System construction, so only the package parameters are hashed.
-  const ThermalConfig& t = c.thermal;
-  w.add("thermal.ambient", t.ambient);
-  w.add("thermal.dieThickness", t.dieThickness);
-  w.add("thermal.dieConductivity", t.dieConductivity);
-  w.add("thermal.dieVolumetricHeat", t.dieVolumetricHeat);
-  w.add("thermal.timThickness", t.timThickness);
-  w.add("thermal.timConductivity", t.timConductivity);
-  w.add("thermal.spreaderThickness", t.spreaderThickness);
-  w.add("thermal.spreaderConductivity", t.spreaderConductivity);
-  w.add("thermal.spreaderVolumetricHeat", t.spreaderVolumetricHeat);
-  w.add("thermal.sinkThickness", t.sinkThickness);
-  w.add("thermal.sinkConductivity", t.sinkConductivity);
-  w.add("thermal.sinkVolumetricHeat", t.sinkVolumetricHeat);
-  w.add("thermal.spreaderSinkResistancePerTile",
-        t.spreaderSinkResistancePerTile);
-  w.add("thermal.convectionResistance", t.convectionResistance);
-
-  // EpochConfig minus thermalSensorSeed (derived per task, see the
-  // header's seed rule).
-  const EpochConfig& e = c.epoch;
-  w.add("epoch.window", e.window);
-  w.add("epoch.step", e.step);
-  w.add("epoch.nominalFrequency", e.nominalFrequency);
-  w.add("epoch.dtm.tsafe", e.dtm.tsafe);
-  w.add("epoch.dtm.coldMargin", e.dtm.coldMargin);
-  w.add("epoch.dtm.throttleFactor", e.dtm.throttleFactor);
-  w.add("epoch.dtm.minimumFrequency", e.dtm.minimumFrequency);
-  w.add("epoch.dtm.migrationCooldownChecks", e.dtm.migrationCooldownChecks);
-  w.add("epoch.sensor.gaussianSigma", e.thermalSensorNoise.gaussianSigma);
-  w.add("epoch.sensor.quantization", e.thermalSensorNoise.quantization);
-
-  w.add("pathsPerCore", c.pathsPerCore);
-  w.add("elementsPerPath", c.elementsPerPath);
-}
-
-void writeLifetime(SignatureWriter& w, const LifetimeConfig& c) {
-  // workloadSeed / sensorSeed are derived per task and excluded.
-  w.add("life.horizon", c.horizon);
-  w.add("life.epochLength", c.epochLength);
-  w.add("life.tsafe", c.tsafe);
-  w.add("life.nominalFrequency", c.nominalFrequency);
-  w.add("life.freshMixEachEpoch", c.freshMixEachEpoch);
-  w.add("life.mixChurn", c.mixChurn);
-  w.add("life.incrementalRemap", c.incrementalRemap);
-  w.add("life.healthSensor.gaussianSigma", c.healthSensorNoise.gaussianSigma);
-  w.add("life.healthSensor.quantization", c.healthSensorNoise.quantization);
-  if (c.dvfs.has_value()) {
-    w.add("life.dvfs.levels", c.dvfs->levelCount());
-    for (int i = 0; i < c.dvfs->levelCount(); ++i)
-      w.add("life.dvfs.level", c.dvfs->level(i));
-  } else {
-    w.add("life.dvfs.levels", 0);
-  }
-  // A fixed mix cannot be canonically serialized here; mark its presence
-  // so two specs differing only in the mix never share a hash silently.
-  // The engine additionally disables the result cache for fixed-mix
-  // specs (engine.cpp).
-  w.add("life.fixedMix",
-        c.fixedMix.has_value()
-            ? static_cast<int>(c.fixedMix->applications.size())
-            : 0);
-}
-
 }  // namespace
+
+void visitSpecFields(ExperimentSpec& spec, SpecFieldVisitor& v) {
+  v.field("populationSeed", spec.populationSeed);
+  v.field("baseSeed", spec.baseSeed);
+  v.field("repetitions", spec.repetitions);
+
+  int chipCount = static_cast<int>(spec.chips.size());
+  v.field("chips.count", chipCount);
+  spec.chips.resize(static_cast<std::size_t>(chipCount < 0 ? 0 : chipCount),
+                    0);
+  for (int& chip : spec.chips) v.field("chip", chip);
+
+  int darkCount = static_cast<int>(spec.darkFractions.size());
+  v.field("darks.count", darkCount);
+  spec.darkFractions.resize(
+      static_cast<std::size_t>(darkCount < 0 ? 0 : darkCount), 0.5);
+  for (double& dark : spec.darkFractions) v.field("dark", dark);
+
+  int policyCount = static_cast<int>(spec.policies.size());
+  v.field("policies.count", policyCount);
+  spec.policies.resize(
+      static_cast<std::size_t>(policyCount < 0 ? 0 : policyCount));
+  for (PolicySpec& policy : spec.policies) {
+    v.field("policy.name", policy.name);
+    int paramCount = static_cast<int>(policy.params.size());
+    v.field("policy.params", paramCount);
+    // Maps have no positional access; visit (key, value) pairs through a
+    // scratch vector and rebuild, so a decoder can repopulate them.
+    std::vector<std::pair<std::string, double>> params(policy.params.begin(),
+                                                       policy.params.end());
+    params.resize(static_cast<std::size_t>(paramCount < 0 ? 0 : paramCount),
+                  {"knob", 0.0});
+    policy.params.clear();
+    for (auto& [key, value] : params) {
+      v.field("policy.param.key", key);
+      v.field("policy.param.value", value);
+      policy.params[key] = value;
+    }
+  }
+
+  visitSystem(spec.system, v);
+  visitLifetime(spec.lifetime, v);
+}
 
 std::uint64_t deriveSeed(std::uint64_t baseSeed, int chip, int repetition,
                          SeedStream stream) {
@@ -159,23 +223,11 @@ std::uint64_t deriveSeed(std::uint64_t baseSeed, int chip, int repetition,
 }
 
 std::string specSignature(const ExperimentSpec& spec) {
+  ExperimentSpec copy = spec;  // the walk takes mutable refs; keep callers const
   SignatureWriter w;
-  w.add("spec.version", 1);
-  w.add("populationSeed", spec.populationSeed);
-  w.add("baseSeed", spec.baseSeed);
-  w.add("repetitions", spec.repetitions);
-  w.add("chips.count", static_cast<int>(spec.chips.size()));
-  for (int c : spec.chips) w.add("chip", c);
-  w.add("darks.count", static_cast<int>(spec.darkFractions.size()));
-  for (double d : spec.darkFractions) w.add("dark", d);
-  w.add("policies.count", static_cast<int>(spec.policies.size()));
-  for (const PolicySpec& p : spec.policies) {
-    w.add("policy.name", p.name);
-    for (const auto& [key, value] : p.params)
-      w.add(("policy.param." + key).c_str(), value);
-  }
-  writeSystem(w, spec.system);
-  writeLifetime(w, spec.lifetime);
+  int version = 2;
+  w.field("spec.version", version);
+  visitSpecFields(copy, w);
   return w.str();
 }
 

@@ -76,6 +76,32 @@ struct ExperimentSpec {
   }
 };
 
+/// Visitor over the canonical walk of a spec's result-affecting fields.
+/// The walk is the single source of truth for which fields matter: the
+/// signature (and hence the hash and the result cache), the wire codec
+/// that ships specs to worker processes (wire.hpp), and the hash property
+/// tests all iterate the same sequence.  Visitors receive mutable
+/// references; list-sized fields are preceded by their count, and a
+/// visitor that changes a count causes the walker to resize the list
+/// before visiting its elements (which is how the wire decoder
+/// reconstructs variable-length fields).
+class SpecFieldVisitor {
+ public:
+  virtual ~SpecFieldVisitor() = default;
+  virtual void field(const char* key, int& value) = 0;
+  virtual void field(const char* key, bool& value) = 0;
+  virtual void field(const char* key, double& value) = 0;
+  virtual void field(const char* key, std::uint64_t& value) = 0;
+  virtual void field(const char* key, std::string& value) = 0;
+};
+
+/// Walks every result-affecting field of `spec` in canonical order.  The
+/// spec name and the per-task derived seed fields (see the seed rule
+/// above) are NOT part of the walk.  Throws if a visitor materializes a
+/// fixed workload mix out of thin air (a fixedMix is only representable
+/// by its application count; see wire.hpp).
+void visitSpecFields(ExperimentSpec& spec, SpecFieldVisitor& visitor);
+
 /// Canonical text serialization of every result-affecting field.  Two
 /// specs with equal signatures produce bit-identical results; any change
 /// to a hashed field changes the signature.

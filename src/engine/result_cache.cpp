@@ -11,35 +11,16 @@ namespace hayat::engine {
 
 namespace {
 
-constexpr const char* kMagic = "# hayat-result-cache v1";
+constexpr const char* kMagicPrefix = "# hayat-result-cache v";
+
+std::string magicLine() {
+  return kMagicPrefix + std::to_string(kCacheFormatVersion);
+}
 
 std::string fmt(double value) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
-}
-
-void writeRun(std::ostream& out, const RunResult& r) {
-  out << "run," << r.chip << ',' << r.repetition << ','
-      << fmt(r.darkFraction) << ',' << fmt(r.ambient) << ',' << r.policy
-      << '\n';
-  const LifetimeResult& l = r.lifetime;
-  out << "horizon," << fmt(l.horizon) << '\n';
-  out << "cores," << l.initialFmax.size() << '\n';
-  for (std::size_t i = 0; i < l.initialFmax.size(); ++i) {
-    out << "core," << fmt(l.initialFmax[i]) << ',' << fmt(l.finalFmax[i])
-        << ',' << fmt(i < l.coreDamage.size() ? l.coreDamage[i] : 0.0)
-        << '\n';
-  }
-  out << "epochs," << l.epochs.size() << '\n';
-  for (const EpochRecord& e : l.epochs) {
-    out << "epoch," << fmt(e.startYear) << ',' << e.dtmEvents << ','
-        << e.migrations << ',' << e.throttles << ',' << fmt(e.chipPeak)
-        << ',' << fmt(e.chipTimeAverage) << ',' << e.throttledSteps << ','
-        << e.totalSteps << ',' << fmt(e.chipFmax) << ','
-        << fmt(e.averageFmax) << ',' << fmt(e.minHealth) << ','
-        << fmt(e.averageHealth) << ',' << fmt(e.throughputRatio) << '\n';
-  }
 }
 
 /// Splits one CSV line after its `tag,` prefix; returns false if the tag
@@ -61,9 +42,11 @@ bool fields(const std::string& line, const char* tag,
   }
 }
 
-bool readRun(std::istream& in, std::string& line, RunResult& r) {
+bool readRunResultImpl(std::istream& in, RunResult& r) {
   std::vector<std::string> f;
-  if (!fields(line, "run", f) || f.size() < 5) return false;
+  std::string line;
+  if (!std::getline(in, line) || !fields(line, "run", f) || f.size() < 5)
+    return false;
   r.chip = std::stoi(f[0]);
   r.repetition = std::stoi(f[1]);
   r.darkFraction = std::stod(f[2]);
@@ -121,6 +104,37 @@ bool readRun(std::istream& in, std::string& line, RunResult& r) {
 
 }  // namespace
 
+void writeRunResult(std::ostream& out, const RunResult& r) {
+  out << "run," << r.chip << ',' << r.repetition << ','
+      << fmt(r.darkFraction) << ',' << fmt(r.ambient) << ',' << r.policy
+      << '\n';
+  const LifetimeResult& l = r.lifetime;
+  out << "horizon," << fmt(l.horizon) << '\n';
+  out << "cores," << l.initialFmax.size() << '\n';
+  for (std::size_t i = 0; i < l.initialFmax.size(); ++i) {
+    out << "core," << fmt(l.initialFmax[i]) << ',' << fmt(l.finalFmax[i])
+        << ',' << fmt(i < l.coreDamage.size() ? l.coreDamage[i] : 0.0)
+        << '\n';
+  }
+  out << "epochs," << l.epochs.size() << '\n';
+  for (const EpochRecord& e : l.epochs) {
+    out << "epoch," << fmt(e.startYear) << ',' << e.dtmEvents << ','
+        << e.migrations << ',' << e.throttles << ',' << fmt(e.chipPeak)
+        << ',' << fmt(e.chipTimeAverage) << ',' << e.throttledSteps << ','
+        << e.totalSteps << ',' << fmt(e.chipFmax) << ','
+        << fmt(e.averageFmax) << ',' << fmt(e.minHealth) << ','
+        << fmt(e.averageHealth) << ',' << fmt(e.throughputRatio) << '\n';
+  }
+}
+
+bool readRunResult(std::istream& in, RunResult& result) {
+  try {
+    return readRunResultImpl(in, result);
+  } catch (const std::exception&) {
+    return false;  // stoi/stod parse failure => corrupt record
+  }
+}
+
 std::string cachePath(const std::string& dir, const ExperimentSpec& spec) {
   char hash[32];
   std::snprintf(hash, sizeof(hash), "%016" PRIx64, specHash(spec));
@@ -136,44 +150,57 @@ std::string cachePath(const std::string& dir, const ExperimentSpec& spec) {
 
 std::optional<SweepTable> loadCachedTable(const std::string& dir,
                                           const ExperimentSpec& spec) {
-  std::ifstream in(cachePath(dir, spec));
+  const std::string path = cachePath(dir, spec);
+  std::ifstream in(path);
   if (!in) return std::nullopt;
 
+  // Any file that exists but cannot serve this spec — stale format
+  // version, signature mismatch (hash collision or drift), or corruption
+  // — is an orphan: nothing will ever read it, so delete it on the way
+  // out instead of letting the cache directory grow forever.
+  const auto orphaned = [&]() -> std::optional<SweepTable> {
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    std::fprintf(stderr, "[engine] dropped stale cache entry %s\n",
+                 path.c_str());
+    return std::nullopt;
+  };
+
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+  if (!std::getline(in, line) || line != magicLine()) return orphaned();
 
   // The embedded signature must match exactly — this catches both hash
   // collisions and format drift.
   const std::string expected = specSignature(spec);
   std::vector<std::string> f;
-  if (!std::getline(in, line) || !fields(line, "signature-lines", f) ||
-      f.size() != 1)
-    return std::nullopt;
-  const long sigLines = std::stol(f[0]);
-  std::string sig;
-  for (long i = 0; i < sigLines; ++i) {
-    if (!std::getline(in, line) || line.compare(0, 2, "# ") != 0)
-      return std::nullopt;
-    sig += line.substr(2) + '\n';
-  }
-  if (sig != expected) return std::nullopt;
-
-  if (!std::getline(in, line) || !fields(line, "runs", f) || f.size() != 1)
-    return std::nullopt;
-  const long count = std::stol(f[0]);
-
-  SweepTable table;
   try {
+    if (!std::getline(in, line) || !fields(line, "signature-lines", f) ||
+        f.size() != 1)
+      return orphaned();
+    const long sigLines = std::stol(f[0]);
+    std::string sig;
+    for (long i = 0; i < sigLines; ++i) {
+      if (!std::getline(in, line) || line.compare(0, 2, "# ") != 0)
+        return orphaned();
+      sig += line.substr(2) + '\n';
+    }
+    if (sig != expected) return orphaned();
+
+    if (!std::getline(in, line) || !fields(line, "runs", f) || f.size() != 1)
+      return orphaned();
+    const long count = std::stol(f[0]);
+
+    SweepTable table;
     for (long i = 0; i < count; ++i) {
-      if (!std::getline(in, line)) return std::nullopt;
       RunResult r;
-      if (!readRun(in, line, r)) return std::nullopt;
+      if (!readRunResult(in, r)) return orphaned();
       table.runs.push_back(std::move(r));
     }
+    return table;
   } catch (const std::exception&) {
-    return std::nullopt;  // stoi/stod parse failure => corrupt file
+    return orphaned();  // stol parse failure => corrupt header
   }
-  return table;
 }
 
 bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
@@ -187,7 +214,7 @@ bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
   {
     std::ofstream out(tmp);
     if (!out) return false;
-    out << kMagic << '\n';
+    out << magicLine() << '\n';
     const std::string sig = specSignature(spec);
     long lines = 0;
     for (const char c : sig)
@@ -197,7 +224,7 @@ bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
     std::string sigLine;
     while (std::getline(sigStream, sigLine)) out << "# " << sigLine << '\n';
     out << "runs," << table.runs.size() << '\n';
-    for (const RunResult& r : table.runs) writeRun(out, r);
+    for (const RunResult& r : table.runs) writeRunResult(out, r);
     if (!out) return false;
   }
   std::filesystem::rename(tmp, path, ec);

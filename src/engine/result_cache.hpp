@@ -14,6 +14,7 @@
 // overridden by HAYAT_CACHE_DIR.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -21,11 +22,28 @@
 
 namespace hayat::engine {
 
+/// On-disk cache format version.  Every entry is stamped with it; loading
+/// an entry written by a different format is a miss that also deletes the
+/// stale file (see loadCachedTable).
+inline constexpr int kCacheFormatVersion = 2;
+
+/// Canonical text record of one RunResult (identity columns + the full
+/// lifetime trace, doubles at %.17g so values round-trip exactly).  The
+/// cache files and the worker wire protocol (wire.hpp) share it.
+void writeRunResult(std::ostream& out, const RunResult& result);
+
+/// Reads one record written by writeRunResult; returns false on any
+/// malformed input (and may leave `result` partially filled).
+bool readRunResult(std::istream& in, RunResult& result);
+
 /// Cache file path for a spec inside `dir`.
 std::string cachePath(const std::string& dir, const ExperimentSpec& spec);
 
 /// Loads the cached table for `spec`, or nullopt on miss (no file,
-/// unreadable file, or signature mismatch).
+/// unreadable file, version or signature mismatch, or corruption).  A
+/// file that exists but cannot serve the spec is an orphan — a previous
+/// format, a hash collision, or a torn write — and is deleted so the
+/// cache directory never accumulates entries nothing will ever read.
 std::optional<SweepTable> loadCachedTable(const std::string& dir,
                                           const ExperimentSpec& spec);
 

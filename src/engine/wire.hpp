@@ -1,0 +1,83 @@
+// Coordinator <-> worker wire protocol.
+//
+// Distributed sweeps ship three kinds of payloads between the
+// coordinator (dispatcher.hpp) and worker processes (worker_proc.hpp):
+// the ExperimentSpec (once per connection), task assignments (just the
+// task index — workers re-expand the spec deterministically, so the spec
+// hash is the complete work-partitioning key), and RunResults.  Every
+// message is length-prefixed:
+//
+//   'H' 'W' <version:u8> <type:u8> <payloadLength:u32 big-endian> <payload>
+//
+// Payloads are the same canonical text the signature and result cache
+// use (key=value lines, doubles at %.17g), so a result that crosses the
+// wire is bit-identical to one computed in-process — the property the
+// dispatch determinism tests pin down.  The codec works over any byte
+// stream: socketpairs for forked workers, TCP sockets for remote ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace hayat::engine {
+
+/// Protocol version; bumped on any framing or payload change.  A version
+/// mismatch terminates the connection (workers and coordinators from
+/// different builds must not exchange half-understood tasks).
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Message types.
+enum class MsgType : std::uint8_t {
+  Spec = 1,       ///< coordinator -> worker: the experiment to serve
+  Task = 2,       ///< coordinator -> worker: one task index to run
+  Result = 3,     ///< worker -> coordinator: task index + RunResult
+  TaskError = 4,  ///< worker -> coordinator: task index + error text
+  Shutdown = 5,   ///< coordinator -> worker: finish and exit cleanly
+};
+
+struct Message {
+  MsgType type = MsgType::Shutdown;
+  std::string payload;
+};
+
+/// Writes one framed message; retries on EINTR / short writes.  Returns
+/// false on any write error (e.g. EPIPE after a worker death).
+bool writeMessage(int fd, MsgType type, const std::string& payload);
+
+/// Blocking read of one framed message.  Returns false on EOF, a read
+/// error, a bad magic/version, or an oversized payload — all of which the
+/// caller must treat as a dead peer.
+bool readMessage(int fd, Message& out);
+
+/// Like readMessage but waits at most `timeoutMs` for the message to
+/// *start* arriving (poll on the first byte).  On timeout returns false
+/// with `timedOut` set; any other false is a dead peer.
+bool readMessage(int fd, Message& out, int timeoutMs, bool& timedOut);
+
+/// Spec payload: `spec.name=<name>` line followed by the canonical field
+/// walk.  Throws hayat::Error for specs that cannot cross the wire (a
+/// fixed workload mix has no canonical serialization).
+std::string encodeSpec(const ExperimentSpec& spec);
+
+/// Parses an encoded spec; throws hayat::Error on any malformed or
+/// out-of-order field.
+ExperimentSpec decodeSpec(const std::string& payload);
+
+/// Task payload: the task index plus the spec hash (cheap guard against
+/// a worker serving a different spec than the coordinator assigned).
+std::string encodeTask(int index, std::uint64_t specHash);
+void decodeTask(const std::string& payload, int& index,
+                std::uint64_t& specHash);
+
+/// Result payload: task index line + the result-cache run record.
+std::string encodeResult(int index, const RunResult& result);
+void decodeResult(const std::string& payload, int& index, RunResult& result);
+
+/// TaskError payload: task index line + one free-form message line.
+std::string encodeTaskError(int index, const std::string& message);
+void decodeTaskError(const std::string& payload, int& index,
+                     std::string& message);
+
+}  // namespace hayat::engine

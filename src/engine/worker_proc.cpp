@@ -1,0 +1,241 @@
+#include "engine/worker_proc.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/builtin_policies.hpp"
+#include "engine/engine.hpp"
+#include "engine/wire.hpp"
+
+namespace hayat::engine {
+
+namespace {
+
+long envLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return (value && *value) ? std::atol(value) : fallback;
+}
+
+/// Worker writes race coordinator deaths; losing that race must be an
+/// EPIPE error, not a fatal SIGPIPE.
+void ignoreSigpipe() {
+  struct sigaction sa;
+  if (::sigaction(SIGPIPE, nullptr, &sa) == 0 && sa.sa_handler == SIG_DFL) {
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+  }
+}
+
+}  // namespace
+
+int runWorkerLoop(int inFd, int outFd) {
+  ignoreSigpipe();
+  registerBuiltinPolicies();
+
+  Message msg;
+  if (!readMessage(inFd, msg) || msg.type != MsgType::Spec) return 1;
+  ExperimentSpec spec;
+  try {
+    spec = decodeSpec(msg.payload);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[worker %d] bad spec: %s\n", ::getpid(), e.what());
+    return 1;
+  }
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  const std::uint64_t hash = specHash(spec);
+
+  const long exitAfter = envLong("HAYAT_WORKER_EXIT_AFTER", -1);
+  const long stallAfter = envLong("HAYAT_WORKER_STALL_AFTER", -1);
+  long served = 0;
+
+  while (readMessage(inFd, msg)) {
+    if (msg.type == MsgType::Shutdown) return 0;
+    if (msg.type != MsgType::Task) return 1;
+
+    int index = -1;
+    std::uint64_t taskHash = 0;
+    try {
+      decodeTask(msg.payload, index, taskHash);
+    } catch (const std::exception&) {
+      return 1;
+    }
+    if (taskHash != hash || index < 0 ||
+        index >= static_cast<int>(tasks.size())) {
+      if (!writeMessage(outFd, MsgType::TaskError,
+                        encodeTaskError(index, "task does not match the "
+                                               "spec this worker serves")))
+        return 1;
+      continue;
+    }
+
+    if (stallAfter >= 0 && served >= stallAfter) {
+      // Fault injection: a wedged worker.  The coordinator's per-task
+      // timeout must kill and replace us.
+      for (;;) ::pause();
+    }
+
+    try {
+      const RunResult result =
+          ExperimentEngine::runTask(tasks[static_cast<std::size_t>(index)],
+                                    spec.populationSeed);
+      if (!writeMessage(outFd, MsgType::Result, encodeResult(index, result)))
+        return 1;
+    } catch (const std::exception& e) {
+      if (!writeMessage(outFd, MsgType::TaskError,
+                        encodeTaskError(index, e.what())))
+        return 1;
+    }
+
+    ++served;
+    if (exitAfter >= 0 && served >= exitAfter)
+      ::_exit(42);  // fault injection: a crashing worker
+  }
+  return 0;  // coordinator hung up
+}
+
+pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+    return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    for (const int other : closeInChild) ::close(other);
+    ::_exit(runWorkerLoop(sv[1], sv[1]));
+  }
+  ::close(sv[1]);
+  fd = sv[0];
+  return pid;
+}
+
+pid_t spawnExecWorker(const std::string& binary, int& fd) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+    return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    // dup2 clears CLOEXEC, so exactly stdin/stdout survive the exec.
+    ::dup2(sv[1], STDIN_FILENO);
+    ::dup2(sv[1], STDOUT_FILENO);
+    ::execlp(binary.c_str(), binary.c_str(), "worker", "--stdio",
+             static_cast<char*>(nullptr));
+    std::fprintf(stderr, "[worker] cannot exec '%s'\n", binary.c_str());
+    ::_exit(127);
+  }
+  ::close(sv[1]);
+  fd = sv[0];
+  return pid;
+}
+
+int serveWorkerOnListenSocket(int listenFd) {
+  for (;;) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    runWorkerLoop(fd, fd);
+    ::close(fd);
+  }
+}
+
+int workerServeStdio() {
+  // Re-point fd 1 at stderr so stray library prints cannot corrupt the
+  // protocol stream.
+  const int proto = ::dup(STDOUT_FILENO);
+  if (proto < 0) return 1;
+  ::dup2(STDERR_FILENO, STDOUT_FILENO);
+  const int code = runWorkerLoop(STDIN_FILENO, proto);
+  ::close(proto);
+  return code;
+}
+
+int workerListenTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 8) != 0) {
+    std::fprintf(stderr, "[worker] cannot listen on port %d\n", port);
+    ::close(fd);
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  std::fprintf(stderr, "[worker %d] listening on port %d\n", ::getpid(),
+               static_cast<int>(ntohs(addr.sin_port)));
+  const int code = serveWorkerOnListenSocket(fd);
+  ::close(fd);
+  return code;
+}
+
+int connectTcpWorker(const std::string& host, int port, int timeoutMs) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* list = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &list) != 0)
+    return -1;
+
+  int fd = -1;
+  for (struct addrinfo* ai = list; ai != nullptr && fd < 0;
+       ai = ai->ai_next) {
+    const int s = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                           ai->ai_protocol);
+    if (s < 0) continue;
+    const int flags = ::fcntl(s, F_GETFL, 0);
+    ::fcntl(s, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(s, ai->ai_addr, ai->ai_addrlen);
+    bool ok = rc == 0;
+    if (!ok && errno == EINPROGRESS) {
+      struct pollfd pfd;
+      pfd.fd = s;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, timeoutMs) == 1) {
+        int err = 0;
+        socklen_t errLen = sizeof(err);
+        ok = ::getsockopt(s, SOL_SOCKET, SO_ERROR, &err, &errLen) == 0 &&
+             err == 0;
+      }
+    }
+    if (ok) {
+      ::fcntl(s, F_SETFL, flags);  // back to blocking for the wire codec
+      fd = s;
+    } else {
+      ::close(s);
+    }
+  }
+  ::freeaddrinfo(list);
+  return fd;
+}
+
+}  // namespace hayat::engine

@@ -1,0 +1,66 @@
+// Worker side of the distributed ExperimentEngine.
+//
+// A worker is a stateless task server: it receives one ExperimentSpec,
+// re-expands it into RunTasks (expansion is deterministic, so the spec
+// hash is the complete work-partitioning key), then answers Task messages
+// with Result messages until it is shut down or its connection closes.
+// Workers never touch the result cache — caching is coordinator-side
+// only, so a worker host needs no shared filesystem.
+//
+// Three transports, all speaking the same wire protocol (wire.hpp):
+//   - fork:  spawnForkWorker() forks the current process; the child runs
+//            runWorkerLoop() over a socketpair.  Used by `--workers=proc:N`.
+//   - exec:  spawnExecWorker() fork/execs a `hayat worker --stdio`
+//            process.  Used by `--workers=exec:N` (HAYAT_WORKER_BIN
+//            selects the binary, default "hayat" from PATH).
+//   - tcp:   `hayat worker --listen PORT` serves coordinators that dial
+//            in with `--workers=tcp:host:port`.
+//
+// Test hooks (fault injection for the crash-recovery tests; unset in
+// normal operation):
+//   HAYAT_WORKER_EXIT_AFTER=N   _exit(42) after serving N results
+//   HAYAT_WORKER_STALL_AFTER=N  hang forever instead of serving task N+1
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace hayat::engine {
+
+/// Serves one coordinator connection: reads the Spec, then loops over
+/// Task messages until Shutdown or EOF.  Returns a process exit code.
+int runWorkerLoop(int inFd, int outFd);
+
+/// Forks a worker child running runWorkerLoop over a socketpair; the
+/// child closes every fd in `closeInChild` first (sibling workers'
+/// sockets, so their EOFs stay observable).  Returns the child pid and
+/// stores the coordinator-side fd, or returns -1.
+pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild = {});
+
+/// Fork/execs `binary worker --stdio` with the socketpair on its
+/// stdin/stdout.  Returns the child pid and stores the coordinator-side
+/// fd, or returns -1 (a missing binary surfaces as an immediate child
+/// exit, i.e. a worker death).
+pid_t spawnExecWorker(const std::string& binary, int& fd);
+
+/// Serves coordinator connections one at a time on an already-listening
+/// socket (used by the TCP worker and the tests).  Returns when accept
+/// fails, e.g. when the socket is closed.
+int serveWorkerOnListenSocket(int listenFd);
+
+/// `hayat worker --stdio`: serves the coordinator on stdin/stdout.
+/// Stray stdout writes from library code would corrupt the protocol, so
+/// fd 1 is re-pointed at stderr for the duration.
+int workerServeStdio();
+
+/// `hayat worker --listen PORT`: binds (port 0 picks an ephemeral port,
+/// printed to stderr), then serves coordinators until interrupted.
+int workerListenTcp(int port);
+
+/// Connects to a `hayat worker --listen` endpoint; returns the socket fd
+/// or -1 if the worker is unreachable within `timeoutMs`.
+int connectTcpWorker(const std::string& host, int port, int timeoutMs);
+
+}  // namespace hayat::engine

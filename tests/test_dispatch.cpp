@@ -1,0 +1,393 @@
+// Distributed ExperimentEngine: wire protocol, endpoint parsing, and the
+// coordinator/worker fan-out.
+//
+// The contract under test is the strong one from engine.hpp: the merged
+// SweepTable is *bit-identical* to a serial in-process run for any worker
+// topology (forked processes, exec'd binaries, TCP workers), and the
+// dispatcher survives its fleet — worker crashes, wedged workers, and an
+// entirely unreachable fleet all degrade without changing a byte of the
+// result.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <csignal>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/dispatcher.hpp"
+#include "engine/engine.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/wire.hpp"
+#include "engine/worker_proc.hpp"
+#include "workload/application.hpp"
+
+namespace hayat::engine {
+namespace {
+
+/// Sets an environment variable for the lifetime of the guard (the fault
+/// hooks and HAYAT_WORKER_BIN must not leak between tests).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+/// Small-but-real spec: 2 chips x 2 policies = 4 tasks, 2 epochs each.
+ExperimentSpec testSpec() {
+  ExperimentSpec spec;
+  spec.name = "dispatch-test";
+  spec.system.population.coreGrid = {4, 4};
+  spec.lifetime.horizon = 0.5;
+  spec.lifetime.epochLength = 0.25;
+  spec.policies = {{"VAA", {}}, {"Hayat", {}}};
+  spec.chips = {0, 1};
+  spec.darkFractions = {0.5};
+  return spec;
+}
+
+/// Canonical bytes of a table via the shared run-record codec — the
+/// literal form of "bit-identical" (every column, %.17g doubles).
+std::string tableBytes(const SweepTable& table) {
+  std::ostringstream out;
+  for (const RunResult& r : table.runs) writeRunResult(out, r);
+  return out.str();
+}
+
+/// Serial in-process reference run (guards against a leaked
+/// HAYAT_DISPATCH turning the reference itself distributed).
+SweepTable serialReference(const ExperimentSpec& spec) {
+  ::unsetenv("HAYAT_DISPATCH");
+  EngineConfig config;
+  config.workers = 1;
+  config.cache = false;
+  return ExperimentEngine(config).run(spec);
+}
+
+SweepTable runDispatched(const ExperimentSpec& spec,
+                         const std::string& dispatch) {
+  EngineConfig config;
+  config.workers = 1;
+  config.cache = false;
+  config.dispatch = dispatch;
+  return ExperimentEngine(config).run(spec);
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(WireFramingTest, MessagesRoundTripAndEofIsADeadPeer) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  ASSERT_TRUE(writeMessage(fds[1], MsgType::Task, "index=3\nhash=0\n"));
+  ASSERT_TRUE(writeMessage(fds[1], MsgType::Shutdown, ""));
+
+  Message msg;
+  ASSERT_TRUE(readMessage(fds[0], msg));
+  EXPECT_EQ(msg.type, MsgType::Task);
+  EXPECT_EQ(msg.payload, "index=3\nhash=0\n");
+  ASSERT_TRUE(readMessage(fds[0], msg));
+  EXPECT_EQ(msg.type, MsgType::Shutdown);
+  EXPECT_TRUE(msg.payload.empty());
+
+  ::close(fds[1]);
+  EXPECT_FALSE(readMessage(fds[0], msg));  // EOF
+  ::close(fds[0]);
+}
+
+TEST(WireFramingTest, BadMagicOrVersionIsADeadPeer) {
+  for (const bool badVersion : {false, true}) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    char header[8] = {};
+    header[0] = badVersion ? 'H' : 'X';
+    header[1] = 'W';
+    header[2] = static_cast<char>(badVersion ? kWireVersion + 1
+                                             : kWireVersion);
+    header[3] = static_cast<char>(MsgType::Task);
+    ASSERT_EQ(::write(fds[1], header, sizeof(header)),
+              static_cast<ssize_t>(sizeof(header)));
+    Message msg;
+    EXPECT_FALSE(readMessage(fds[0], msg));
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+}
+
+TEST(WireFramingTest, TimedReadDistinguishesTimeoutFromDeath) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  Message msg;
+  bool timedOut = false;
+  EXPECT_FALSE(readMessage(fds[0], msg, 20, timedOut));
+  EXPECT_TRUE(timedOut);  // silence, not death
+
+  ASSERT_TRUE(writeMessage(fds[1], MsgType::TaskError, "index=0\nboom\n"));
+  EXPECT_TRUE(readMessage(fds[0], msg, 5000, timedOut));
+  EXPECT_FALSE(timedOut);
+  EXPECT_EQ(msg.type, MsgType::TaskError);
+
+  ::close(fds[1]);
+  EXPECT_FALSE(readMessage(fds[0], msg, 5000, timedOut));
+  EXPECT_FALSE(timedOut);  // EOF must not masquerade as a timeout
+  ::close(fds[0]);
+}
+
+// ----------------------------------------------------------------- codecs
+
+TEST(WireCodecTest, SpecRoundTripPreservesSignatureHashAndName) {
+  ExperimentSpec spec = testSpec();
+  spec.repetitions = 2;
+  spec.darkFractions = {0.25, 0.5};
+  spec.policies[1].params["wearGamma"] = 2.5;
+  spec.lifetime.dvfs = FrequencyLadder({2.0e9, 2.5e9, 3.0e9});
+
+  const ExperimentSpec decoded = decodeSpec(encodeSpec(spec));
+  EXPECT_EQ(decoded.name, spec.name);
+  EXPECT_EQ(specSignature(decoded), specSignature(spec));
+  EXPECT_EQ(specHash(decoded), specHash(spec));
+  // The decoded spec expands to the same task product.
+  EXPECT_EQ(ExperimentEngine().expand(decoded).size(),
+            ExperimentEngine().expand(spec).size());
+}
+
+TEST(WireCodecTest, TaskAndTaskErrorRoundTrip) {
+  int index = -1;
+  std::uint64_t hash = 0;
+  decodeTask(encodeTask(7, 0xDEADBEEFCAFEF00Dull), index, hash);
+  EXPECT_EQ(index, 7);
+  EXPECT_EQ(hash, 0xDEADBEEFCAFEF00Dull);
+
+  std::string message;
+  decodeTaskError(encodeTaskError(3, "boom\nwith detail"), index, message);
+  EXPECT_EQ(index, 3);
+  EXPECT_EQ(message, "boom with detail");  // newlines flattened
+
+  EXPECT_THROW(decodeTask("hash=0\n", index, hash), Error);
+}
+
+TEST(WireCodecTest, ResultRoundTripsBitExactly) {
+  const ExperimentSpec spec = testSpec();
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  const RunResult computed =
+      ExperimentEngine::runTask(tasks[1], spec.populationSeed);
+
+  int index = -1;
+  RunResult decoded;
+  decodeResult(encodeResult(1, computed), index, decoded);
+  EXPECT_EQ(index, 1);
+
+  std::ostringstream a, b;
+  writeRunResult(a, computed);
+  writeRunResult(b, decoded);
+  EXPECT_EQ(a.str(), b.str());
+
+  EXPECT_THROW(decodeResult("index=0\ngarbage\n", index, decoded), Error);
+}
+
+TEST(WireCodecTest, FixedMixSpecsRefuseToCrossTheWire) {
+  ExperimentSpec spec = testSpec();
+  spec.lifetime.fixedMix = WorkloadMix{};
+  EXPECT_THROW(encodeSpec(spec), Error);
+}
+
+// ----------------------------------------------------------- spec parsing
+
+TEST(ParseWorkerSpecTest, AcceptsEveryEndpointKindAndLists) {
+  auto eps = parseWorkerSpec("proc:4");
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].kind, WorkerEndpoint::Kind::Fork);
+  EXPECT_EQ(eps[0].count, 4);
+
+  eps = parseWorkerSpec("proc");  // bare kind defaults to one worker
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].count, 1);
+
+  eps = parseWorkerSpec("exec:2");
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].kind, WorkerEndpoint::Kind::Exec);
+  EXPECT_EQ(eps[0].count, 2);
+
+  eps = parseWorkerSpec("tcp:10.0.0.5:7707");
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].kind, WorkerEndpoint::Kind::Tcp);
+  EXPECT_EQ(eps[0].host, "10.0.0.5");
+  EXPECT_EQ(eps[0].port, 7707);
+
+  eps = parseWorkerSpec("proc:2,tcp:hostA:7707,exec:1");
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0].kind, WorkerEndpoint::Kind::Fork);
+  EXPECT_EQ(eps[1].kind, WorkerEndpoint::Kind::Tcp);
+  EXPECT_EQ(eps[2].kind, WorkerEndpoint::Kind::Exec);
+}
+
+TEST(ParseWorkerSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parseWorkerSpec(""), Error);
+  EXPECT_THROW(parseWorkerSpec(","), Error);
+  EXPECT_THROW(parseWorkerSpec("bogus:1"), Error);
+  EXPECT_THROW(parseWorkerSpec("proc:0"), Error);
+  EXPECT_THROW(parseWorkerSpec("proc:x"), Error);
+  EXPECT_THROW(parseWorkerSpec("proc:-2"), Error);
+  EXPECT_THROW(parseWorkerSpec("tcp:hostonly"), Error);
+  EXPECT_THROW(parseWorkerSpec("tcp::7707"), Error);
+  EXPECT_THROW(parseWorkerSpec("tcp:host:0"), Error);
+  EXPECT_THROW(parseWorkerSpec("tcp:host:70000"), Error);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(DispatchDeterminismTest, ForkedWorkersAreBitIdenticalToSerial) {
+  const ExperimentSpec spec = testSpec();
+  const SweepTable serial = serialReference(spec);
+  ASSERT_EQ(serial.runs.size(), 4u);
+
+  const SweepTable dispatched = runDispatched(spec, "proc:2");
+  EXPECT_EQ(tableBytes(serial), tableBytes(dispatched));
+}
+
+TEST(DispatchDeterminismTest, TcpWorkerIsBitIdenticalToSerial) {
+  // Parent binds an ephemeral port; a forked child serves the worker
+  // protocol on it, exactly like `hayat worker --listen`.
+  const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listenFd, 0);
+  const int one = 1;
+  ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listenFd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listenFd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(serveWorkerOnListenSocket(listenFd));
+  ::close(listenFd);
+
+  const ExperimentSpec spec = testSpec();
+  const SweepTable serial = serialReference(spec);
+  const SweepTable dispatched =
+      runDispatched(spec, "tcp:127.0.0.1:" + std::to_string(port));
+  EXPECT_EQ(tableBytes(serial), tableBytes(dispatched));
+
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
+}
+
+TEST(DispatchDeterminismTest, ExecWorkersRunTheRealBinary) {
+  // ctest runs from build/tests; the CLI binary lives in build/tools.
+  const std::filesystem::path binary =
+      std::filesystem::absolute("../tools/hayat");
+  if (!std::filesystem::exists(binary))
+    GTEST_SKIP() << "hayat CLI binary not found at " << binary;
+
+  const ScopedEnv bin("HAYAT_WORKER_BIN", binary.string());
+  const ExperimentSpec spec = testSpec();
+  const SweepTable serial = serialReference(spec);
+  const SweepTable dispatched = runDispatched(spec, "exec:2");
+  EXPECT_EQ(tableBytes(serial), tableBytes(dispatched));
+}
+
+// --------------------------------------------------------- fault handling
+
+TEST(CrashRecoveryTest, WorkerDeathsAreRespawnedAndTableUnchanged) {
+  const ExperimentSpec spec = testSpec();
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  ASSERT_EQ(tasks.size(), 4u);
+
+  // Every worker incarnation _exit(42)s after serving one result, so the
+  // sweep only finishes if deaths are detected and slots respawned.
+  const ScopedEnv crash("HAYAT_WORKER_EXIT_AFTER", "1");
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:2");
+  config.respawnBackoffSeconds = 0.02;
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.workerDeaths, 1);
+  EXPECT_GE(stats.workerRespawns, 1);
+  EXPECT_EQ(stats.tasksCompletedRemotely + stats.tasksCompletedLocally, 4);
+}
+
+TEST(CrashRecoveryTest, WedgedWorkerIsTimedOutAndItsTaskRequeued) {
+  ExperimentSpec spec = testSpec();
+  spec.chips = {0};  // 2 tasks: the worker serves one, wedges on the next
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  ASSERT_EQ(tasks.size(), 2u);
+
+  const ScopedEnv stall("HAYAT_WORKER_STALL_AFTER", "1");
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:1");
+  config.taskTimeoutSeconds = 2.0;
+  config.respawnBackoffSeconds = 0.02;
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.workerDeaths, 1);   // the wedged worker was killed
+  EXPECT_GE(stats.tasksRetried, 1);   // its in-flight task was re-queued
+}
+
+TEST(DegradationTest, UnreachableFleetFallsBackToLocalThreads) {
+  // Find a port with nothing listening: bind an ephemeral port, then
+  // close it before dialing.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  const ExperimentSpec spec = testSpec();
+  const SweepTable serial = serialReference(spec);
+  const SweepTable degraded =
+      runDispatched(spec, "tcp:127.0.0.1:" + std::to_string(port));
+  EXPECT_EQ(tableBytes(serial), tableBytes(degraded));
+}
+
+}  // namespace
+}  // namespace hayat::engine

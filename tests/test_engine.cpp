@@ -7,8 +7,11 @@
 // a single EpochSimulator invocation.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "engine/experiment.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/task_pool.hpp"
+#include "engine/wire.hpp"
 #include "runtime/epoch.hpp"
 
 namespace hayat::engine {
@@ -120,39 +124,96 @@ TEST(ExperimentSpecTest, HashIsStableAcrossCalls) {
   EXPECT_EQ(specSignature(spec), specSignature(tinySpec()));
 }
 
-TEST(ExperimentSpecTest, HashChangesWhenAnyResultAffectingFieldChanges) {
+/// Deterministic value mutation for the signature property sweep: flip
+/// 0/1 (covers booleans without turning "1" into a still-truthy "2"),
+/// bump any other numeric by one, suffix strings.
+std::string mutateValue(const std::string& value) {
+  if (value == "0") return "1";
+  if (value == "1") return "0";
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (!value.empty() && end == value.c_str() + value.size()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", parsed + 1.0);
+    return buf;
+  }
+  return value + "X";
+}
+
+// Property sweep over the generic field walker (experiment.hpp): instead
+// of hand-enumerating fields (which silently rots when SystemConfig or
+// LifetimeConfig grows), mutate the value of EVERY line of the canonical
+// wire encoding and require the signature to change — except spec.name,
+// which is a label, never a key.  Mutations the decoder rejects (count
+// lines that break the line structure, a materialized fixedMix) cannot
+// produce a colliding spec by construction and are skipped.
+TEST(ExperimentSpecTest, EveryWalkedFieldAffectsTheSignature) {
+  ExperimentSpec spec = tinySpec();
+  spec.repetitions = 2;
+  spec.darkFractions = {0.25, 0.5};
+  spec.policies[1].params["wearGamma"] = 2.5;
+
+  const std::string base = specSignature(spec);
+  const std::string encoded = encodeSpec(spec);
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(encoded);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  // The walk must really cover the config space, not a token subset.
+  ASSERT_GT(lines.size(), 40u);
+
+  int checked = 0;
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const std::size_t eq = lines[k].find('=');
+    ASSERT_NE(eq, std::string::npos) << "not key=value: " << lines[k];
+    const std::string key = lines[k].substr(0, eq);
+    std::vector<std::string> mutated = lines;
+    mutated[k] = key + '=' + mutateValue(lines[k].substr(eq + 1));
+    ASSERT_NE(mutated[k], lines[k]);
+
+    std::string payload;
+    for (const std::string& l : mutated) payload += l + '\n';
+
+    ExperimentSpec changed;
+    try {
+      changed = decodeSpec(payload);
+    } catch (const Error&) {
+      continue;
+    }
+    ++checked;
+    if (key == "spec.name") {
+      EXPECT_EQ(specSignature(changed), base)
+          << key << " is a label and must not be hashed";
+    } else {
+      EXPECT_NE(specSignature(changed), base)
+          << "mutating " << key << " did not change the signature";
+    }
+  }
+  EXPECT_GT(checked, 30);  // most mutations must be representable
+}
+
+// The sweep above cannot grow or shrink lists (a count mutation breaks
+// the line structure), so pin the list-shape axes directly.
+TEST(ExperimentSpecTest, ListShapesAreHashed) {
   const std::uint64_t base = specHash(tinySpec());
 
   ExperimentSpec s = tinySpec();
-  s.lifetime.horizon = 1.0;
+  s.chips.push_back(2);
   EXPECT_NE(specHash(s), base);
 
   s = tinySpec();
-  s.baseSeed += 1;
+  s.darkFractions.push_back(0.25);
   EXPECT_NE(specHash(s), base);
 
   s = tinySpec();
-  s.populationSeed += 1;
-  EXPECT_NE(specHash(s), base);
-
-  s = tinySpec();
-  s.system.population.coreGrid = {5, 4};
+  s.policies.push_back({"Random", {}});
   EXPECT_NE(specHash(s), base);
 
   s = tinySpec();
   s.policies[1].params["wearGamma"] = 5.0;
-  EXPECT_NE(specHash(s), base);
-
-  s = tinySpec();
-  s.darkFractions = {0.25};
-  EXPECT_NE(specHash(s), base);
-
-  s = tinySpec();
-  s.repetitions = 2;
-  EXPECT_NE(specHash(s), base);
-
-  s = tinySpec();
-  s.lifetime.healthSensorNoise.gaussianSigma = 0.01;
   EXPECT_NE(specHash(s), base);
 }
 
@@ -234,6 +295,90 @@ TEST(ExperimentEngineTest, CacheRoundTripsEveryColumn) {
   std::filesystem::remove_all(dir);
 }
 
+namespace {
+
+/// Stores tinySpec's table in a fresh cache dir and returns (dir, path).
+std::pair<std::string, std::string> storedCacheEntry(
+    const ExperimentSpec& spec, const char* dirName) {
+  const std::string dir = testing::TempDir() + dirName;
+  std::filesystem::remove_all(dir);
+  const SweepTable computed = ExperimentEngine(noCache(1)).run(spec);
+  EXPECT_TRUE(storeCachedTable(dir, spec, computed));
+  return {dir, cachePath(dir, spec)};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void overwrite(const std::string& path, const std::string& contents) {
+  std::ofstream(path, std::ios::trunc) << contents;
+}
+
+}  // namespace
+
+// Format-version churn must never serve stale bytes: an entry stamped by
+// a previous cache format is a miss, and the orphaned file (nothing will
+// ever read it again) is deleted on the way out.
+TEST(ResultCacheTest, StaleFormatVersionIsAMissThatDeletesTheFile) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  const auto [dir, path] = storedCacheEntry(spec, "hayat_cache_stale_test");
+
+  std::string contents = slurp(path);
+  const std::string stamp =
+      "# hayat-result-cache v" + std::to_string(kCacheFormatVersion);
+  ASSERT_EQ(contents.compare(0, stamp.size(), stamp), 0)
+      << "entry is not stamped with kCacheFormatVersion";
+  contents.replace(0, stamp.size(),
+                   "# hayat-result-cache v" +
+                       std::to_string(kCacheFormatVersion - 1));
+  overwrite(path, contents);
+
+  EXPECT_FALSE(loadCachedTable(dir, spec).has_value());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, CorruptedEntryIsAMissThatDeletesTheFile) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  const auto [dir, path] =
+      storedCacheEntry(spec, "hayat_cache_corrupt_test");
+
+  // Torn write: the final record is chopped mid-line.
+  const std::string contents = slurp(path);
+  overwrite(path, contents.substr(0, contents.size() - 10));
+
+  EXPECT_FALSE(loadCachedTable(dir, spec).has_value());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, EmbeddedSignatureMismatchIsAMissThatDeletesTheFile) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  const auto [dir, path] =
+      storedCacheEntry(spec, "hayat_cache_collision_test");
+
+  // Simulate a hash collision / signature drift: same file name, but the
+  // embedded signature no longer matches what the spec serializes to.
+  std::string contents = slurp(path);
+  const std::string seedLine = "# baseSeed=" + std::to_string(spec.baseSeed);
+  const std::size_t at = contents.find(seedLine);
+  ASSERT_NE(at, std::string::npos);
+  contents.replace(at, seedLine.size(),
+                   "# baseSeed=" + std::to_string(spec.baseSeed + 1));
+  overwrite(path, contents);
+
+  EXPECT_FALSE(loadCachedTable(dir, spec).has_value());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SweepTableTest, SelectAndAggregateRatio) {
   const ExperimentSpec spec = tinySpec();
   const SweepTable table =
@@ -263,7 +408,7 @@ TEST(ExperimentEngineTest, UnknownPolicyParameterThrows) {
   spec.lifetime.horizon = 0.25;
   spec.chips = {0};
   spec.policies = {{"Hayat", {{"notAKnob", 1.0}}}};
-  const ExperimentEngine engine({.workers = 1, .cache = false});
+  const ExperimentEngine engine(noCache(1));
   EXPECT_THROW(engine.run(spec), Error);
 }
 

@@ -1,0 +1,166 @@
+// Reporter golden-file regression tests.
+//
+// The CSV/JSON writers are the repo's external data contract: exported
+// tables are diffed bitwise by the determinism acceptance checks and
+// consumed by downstream plotting, so their bytes — header order, %.17g
+// double formatting, JSON nesting and escaping — must never drift by
+// accident.  These tests pin the exact output of every writer for a
+// hand-constructed SweepTable.
+//
+// Regenerating after an INTENTIONAL format change:
+//
+//   HAYAT_REGEN_GOLDEN=1 ./tests/test_reporter_golden
+//
+// prints each writer's actual bytes between BEGIN/END markers (and fails
+// the run so regen mode can't silently pass CI); paste the blocks into
+// the kGolden* constants below and note the change in DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "engine/reporter.hpp"
+
+namespace hayat::engine {
+namespace {
+
+/// Hand-built table covering the format's edge cases: multiple runs and
+/// epochs, doubles that don't terminate in binary (1/3) or decimal-print
+/// short (0.1), a policy label that needs JSON escaping, and a
+/// single-epoch run.
+SweepTable goldenTable() {
+  SweepTable table;
+
+  RunResult a;
+  a.chip = 0;
+  a.repetition = 0;
+  a.darkFraction = 0.25;
+  a.policy = "Hayat";
+  a.ambient = 318.15;
+  LifetimeResult& la = a.lifetime;
+  la.horizon = 0.5;
+  la.initialFmax = {3.0e9, 2.8e9};
+  la.finalFmax = {2.9e9, 2.7e9};
+  la.coreDamage = {0.1, 1.0 / 3.0};
+  EpochRecord e1;
+  e1.startYear = 0.0;
+  e1.dtmEvents = 3;
+  e1.migrations = 2;
+  e1.throttles = 1;
+  e1.chipPeak = 371.2;
+  e1.chipTimeAverage = 352.75;
+  e1.throttledSteps = 4;
+  e1.totalSteps = 64;
+  e1.chipFmax = 2.95e9;
+  e1.averageFmax = 2.85e9;
+  e1.minHealth = 0.97;
+  e1.averageHealth = 0.99;
+  e1.throughputRatio = 0.9375;
+  EpochRecord e2 = e1;
+  e2.startYear = 0.25;
+  e2.dtmEvents = 1;
+  e2.migrations = 1;
+  e2.throttles = 0;
+  e2.chipPeak = 369.1;
+  e2.chipTimeAverage = 351.5;
+  e2.throttledSteps = 0;
+  e2.chipFmax = 2.9e9;
+  e2.averageFmax = 2.8e9;
+  e2.minHealth = 0.94;
+  e2.averageHealth = 0.97;
+  e2.throughputRatio = 1.0;
+  la.epochs = {e1, e2};
+  table.runs.push_back(a);
+
+  RunResult b;
+  b.chip = 1;
+  b.repetition = 1;
+  b.darkFraction = 0.5;
+  b.policy = "VAA \"v2\"";  // JSON writer must escape the quotes
+  b.ambient = 318.15;
+  LifetimeResult& lb = b.lifetime;
+  lb.horizon = 0.25;
+  lb.initialFmax = {2.6e9};
+  lb.finalFmax = {2.5e9};
+  lb.coreDamage = {1.0 / 3.0};
+  EpochRecord e3;
+  e3.startYear = 0.0;
+  e3.dtmEvents = 0;
+  e3.migrations = 0;
+  e3.throttles = 0;
+  e3.chipPeak = 355.0;
+  e3.chipTimeAverage = 340.25;
+  e3.throttledSteps = 0;
+  e3.totalSteps = 32;
+  e3.chipFmax = 2.5e9;
+  e3.averageFmax = 2.5e9;
+  e3.minHealth = 0.99;
+  e3.averageHealth = 0.995;
+  e3.throughputRatio = 1.0 / 3.0;
+  lb.epochs = {e3};
+  table.runs.push_back(b);
+
+  return table;
+}
+
+std::string render(void (*writer)(std::ostream&, const SweepTable&)) {
+  std::ostringstream out;
+  writer(out, goldenTable());
+  return out.str();
+}
+
+/// Regen mode (see the file comment): dump and fail.
+bool dumpIfRegen(const char* label, const std::string& actual) {
+  if (std::getenv("HAYAT_REGEN_GOLDEN") == nullptr) return false;
+  std::printf("==== BEGIN %s ====\n%s==== END %s ====\n", label,
+              actual.c_str(), label);
+  return true;
+}
+
+const char* const kGoldenSummaryCsv =
+    R"gold(chip,repetition,darkFraction,policy,horizonYears,finalChipFmaxHz,finalAverageFmaxHz,chipFmaxAgingRateHzPerYear,averageFmaxAgingRateHzPerYear,averageTempOverAmbientK,totalDtmEvents,totalMigrations,throughputRatio
+0,0,0.25,Hayat,0.5,2900000000,2800000000,200000000,200000000,33.975000000000023,4,3,0.96875
+1,1,0.5,VAA "v2",0.25,2500000000,2500000000,400000000,400000000,22.100000000000023,0,0,0.33333333333333331
+)gold";
+
+const char* const kGoldenEpochsCsv =
+    R"gold(chip,repetition,darkFraction,policy,startYear,dtmEvents,migrations,throttles,chipPeakK,chipTimeAverageK,throttledSteps,totalSteps,chipFmaxHz,averageFmaxHz,minHealth,averageHealth,throughputRatio
+0,0,0.25,Hayat,0,3,2,1,371.19999999999999,352.75,4,64,2950000000,2850000000,0.96999999999999997,0.98999999999999999,0.9375
+0,0,0.25,Hayat,0.25,1,1,0,369.10000000000002,351.5,0,64,2900000000,2800000000,0.93999999999999995,0.96999999999999997,1
+1,1,0.5,VAA "v2",0,0,0,0,355,340.25,0,32,2500000000,2500000000,0.98999999999999999,0.995,0.33333333333333331
+)gold";
+
+const char* const kGoldenJson = R"gold({
+  "runs": [
+    {"chip": 0, "repetition": 0, "darkFraction": 0.25, "policy": "Hayat", "horizonYears": 0.5, "finalChipFmaxHz": 2900000000, "finalAverageFmaxHz": 2800000000, "totalDtmEvents": 4, "throughputRatio": 0.96875, "epochs": [{"startYear": 0, "chipPeakK": 371.19999999999999, "chipTimeAverageK": 352.75, "chipFmaxHz": 2950000000, "averageFmaxHz": 2850000000, "minHealth": 0.96999999999999997, "averageHealth": 0.98999999999999999, "dtmEvents": 3, "throughputRatio": 0.9375}, {"startYear": 0.25, "chipPeakK": 369.10000000000002, "chipTimeAverageK": 351.5, "chipFmaxHz": 2900000000, "averageFmaxHz": 2800000000, "minHealth": 0.93999999999999995, "averageHealth": 0.96999999999999997, "dtmEvents": 1, "throughputRatio": 1}]},
+    {"chip": 1, "repetition": 1, "darkFraction": 0.5, "policy": "VAA \"v2\"", "horizonYears": 0.25, "finalChipFmaxHz": 2500000000, "finalAverageFmaxHz": 2500000000, "totalDtmEvents": 0, "throughputRatio": 0.33333333333333331, "epochs": [{"startYear": 0, "chipPeakK": 355, "chipTimeAverageK": 340.25, "chipFmaxHz": 2500000000, "averageFmaxHz": 2500000000, "minHealth": 0.98999999999999999, "averageHealth": 0.995, "dtmEvents": 0, "throughputRatio": 0.33333333333333331}]}
+  ]
+}
+)gold";
+
+TEST(ReporterGoldenTest, SummaryCsvBytesArePinned) {
+  const std::string actual = render(writeSummaryCsv);
+  ASSERT_FALSE(dumpIfRegen("summary.csv", actual))
+      << "HAYAT_REGEN_GOLDEN is set; paste the dumped bytes";
+  EXPECT_EQ(actual, kGoldenSummaryCsv);
+}
+
+TEST(ReporterGoldenTest, EpochsCsvBytesArePinned) {
+  const std::string actual = render(writeEpochsCsv);
+  ASSERT_FALSE(dumpIfRegen("epochs.csv", actual))
+      << "HAYAT_REGEN_GOLDEN is set; paste the dumped bytes";
+  EXPECT_EQ(actual, kGoldenEpochsCsv);
+}
+
+TEST(ReporterGoldenTest, JsonBytesArePinned) {
+  const std::string actual = render(writeJson);
+  ASSERT_FALSE(dumpIfRegen("json", actual))
+      << "HAYAT_REGEN_GOLDEN is set; paste the dumped bytes";
+  EXPECT_EQ(actual, kGoldenJson);
+}
+
+}  // namespace
+}  // namespace hayat::engine

@@ -4,7 +4,11 @@
 //   lifetime    run a multi-year lifetime simulation for one chip/policy
 //               and print (or export) the per-epoch metrics
 //   sweep       run a population experiment (chips x darks x policies) on
-//               the ExperimentEngine and export the result table
+//               the ExperimentEngine and export the result table;
+//               --workers=proc:N|exec:N|tcp:host:port distributes the
+//               tasks across worker processes/hosts
+//   worker      serve sweep tasks for a remote coordinator: --stdio
+//               (spawned by a coordinator) or --listen PORT (TCP)
 //   map         compute one epoch's mapping and show the DCM + predicted
 //               temperatures
 //   population  print variation statistics of a chip population
@@ -14,6 +18,9 @@
 // Examples:
 //   hayat lifetime --policy hayat --dark 0.5 --years 10 --csv out.csv
 //   hayat sweep --chips 25 --years 10 --export results/sweep
+//   hayat sweep --chips 25 --workers proc:8
+//   hayat worker --listen 7707          # then on the coordinator host:
+//   hayat sweep --chips 25 --workers tcp:worker-host:7707
 //   hayat map --policy vaa --dark 0.25 --seed 7
 //   hayat population --chips 25
 //   hayat aging --temperature 358 --duty 0.6
@@ -33,6 +40,7 @@
 #include "engine/builtin_policies.hpp"
 #include "engine/engine.hpp"
 #include "engine/reporter.hpp"
+#include "engine/worker_proc.hpp"
 #include "runtime/policy_registry.hpp"
 #include "runtime/thermal_predictor.hpp"
 #include "variation/population.hpp"
@@ -121,9 +129,17 @@ int cmdSweep(FlagParser& flags) {
   spec.populationSeed = static_cast<std::uint64_t>(flags.getInt("seed"));
   spec.baseSeed = static_cast<std::uint64_t>(flags.getInt("workload-seed"));
 
-  const engine::ExperimentEngine eng;
-  std::printf("Running spec %s (%d tasks) on %d workers...\n",
-              spec.name.c_str(), spec.taskCount(), eng.workers());
+  engine::EngineConfig engineConfig;
+  if (flags.provided("workers"))
+    engineConfig.dispatch = flags.getString("workers");
+  const engine::ExperimentEngine eng(engineConfig);
+  if (!eng.dispatchSpec().empty())
+    std::printf("Running spec %s (%d tasks) on workers '%s'...\n",
+                spec.name.c_str(), spec.taskCount(),
+                eng.dispatchSpec().c_str());
+  else
+    std::printf("Running spec %s (%d tasks) on %d workers...\n",
+                spec.name.c_str(), spec.taskCount(), eng.workers());
   const engine::SweepTable table = eng.run(spec);
 
   TextTable out({"policy", "dark", "avg fmax@end [GHz]",
@@ -230,6 +246,13 @@ int cmdExportTrace(FlagParser& flags) {
   return 0;
 }
 
+int cmdWorker(FlagParser& flags) {
+  if (flags.getBool("stdio")) return engine::workerServeStdio();
+  if (flags.provided("listen"))
+    return engine::workerListenTcp(flags.getInt("listen"));
+  throw Error("worker needs --stdio or --listen PORT");
+}
+
 int cmdAging(FlagParser& flags) {
   SystemConfig config;
   System system = System::create(
@@ -254,7 +277,7 @@ int main(int argc, char** argv) {
   FlagParser flags(
       "hayat",
       "command-line driver (subcommands: lifetime, sweep, map, "
-      "population, aging, export-trace)");
+      "population, aging, export-trace, worker)");
   flags.addFlag("policy", "mapping policy: hayat|vaa|random|coolest", "hayat");
   flags.addFlag("dark", "minimum dark-silicon fraction", "0.5");
   flags.addFlag("years", "simulated lifetime horizon", "10");
@@ -274,6 +297,15 @@ int main(int argc, char** argv) {
   flags.addFlag("checkpoint", "write a health-map checkpoint to this path");
   flags.addFlag("export",
                 "sweep subcommand: export prefix for the result table");
+  flags.addFlag("workers",
+                "sweep subcommand: distribute tasks across worker "
+                "processes (proc:N|exec:N|tcp:host:port, comma-separated)");
+  flags.addFlag("stdio",
+                "worker subcommand: serve a coordinator on stdin/stdout",
+                "false");
+  flags.addFlag("listen",
+                "worker subcommand: serve coordinators on this TCP port "
+                "(0 picks one)");
 
   try {
     if (!flags.parse(argc, argv)) return 0;
@@ -285,6 +317,7 @@ int main(int argc, char** argv) {
     if (cmd == "population") return cmdPopulation(flags);
     if (cmd == "export-trace") return cmdExportTrace(flags);
     if (cmd == "aging") return cmdAging(flags);
+    if (cmd == "worker") return cmdWorker(flags);
     std::fprintf(stderr, "unknown subcommand '%s'\n%s", cmd.c_str(),
                  flags.helpText().c_str());
     return 2;
