@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hayat {
 
@@ -138,6 +140,13 @@ void VaaPolicy::placeOneApplication(const PolicyContext& context,
 }
 
 Mapping VaaPolicy::map(const PolicyContext& context) {
+  const telemetry::Span mapSpan("policy.vaa.map");
+  if (telemetry::enabled()) {
+    static telemetry::Counter& decisions =
+        telemetry::Registry::global().counter(
+            "hayat_policy_vaa_decisions_total");
+    decisions.add();
+  }
   HAYAT_REQUIRE(context.chip && context.mix, "incomplete policy context");
   const Chip& chip = *context.chip;
   const int n = chip.coreCount();

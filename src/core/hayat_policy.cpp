@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hayat {
 
@@ -30,6 +32,13 @@ double HayatPolicy::weightOf(double slackGHz, double healthRatio,
 }
 
 Mapping HayatPolicy::map(const PolicyContext& context) {
+  const telemetry::Span mapSpan("policy.hayat.map");
+  if (telemetry::enabled()) {
+    static telemetry::Counter& decisions =
+        telemetry::Registry::global().counter(
+            "hayat_policy_hayat_decisions_total");
+    decisions.add();
+  }
   HAYAT_REQUIRE(context.chip && context.mix && context.thermal &&
                     context.leakage,
                 "incomplete policy context");

@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/statistics.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hayat {
 
@@ -161,6 +163,12 @@ LifetimeSimulator::LifetimeSimulator(LifetimeConfig config)
 
 LifetimeResult LifetimeSimulator::run(System& system,
                                       MappingPolicy& policy) const {
+  const telemetry::Span runSpan("lifetime.run");
+  if (telemetry::enabled()) {
+    static telemetry::Counter& runs =
+        telemetry::Registry::global().counter("hayat_lifetime_runs_total");
+    runs.add();
+  }
   Chip& chip = system.chip();
   const int n = chip.coreCount();
 
@@ -203,6 +211,12 @@ LifetimeResult LifetimeSimulator::run(System& system,
   std::vector<std::pair<int, int>> pendingArrivals;
 
   for (int e = 0; e < epochCount; ++e) {
+    const telemetry::Span epochSpan("lifetime.epoch");
+    if (telemetry::enabled()) {
+      static telemetry::Counter& epochs =
+          telemetry::Registry::global().counter("hayat_lifetime_epochs_total");
+      epochs.add();
+    }
     const Years startYear = e * config_.epochLength;
     if (!config_.fixedMix.has_value() && e > 0) {
       if (config_.mixChurn > 0.0) {

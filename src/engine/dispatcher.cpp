@@ -15,10 +15,19 @@
 #include "engine/task_pool.hpp"
 #include "engine/wire.hpp"
 #include "engine/worker_proc.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hayat::engine {
 
 namespace {
+
+/// Mirrors a DispatchStats increment into a named telemetry counter so
+/// retry/respawn/timeout bookkeeping shows up in exported metrics.
+void countDispatch(const char* name) {
+  if (!telemetry::enabled()) return;
+  telemetry::Registry::global().counter(name).add();
+}
 
 void ignoreSigpipe() {
   struct sigaction sa;
@@ -116,8 +125,14 @@ bool Dispatcher::spawn(Worker& worker) {
   }
   if (fd < 0) return false;
   ++stats_.workersSpawned;
+  countDispatch("hayat_dispatch_workers_spawned_total");
 
-  if (!writeMessage(fd, MsgType::Spec, specPayload_)) {
+  // TelemetryOn follows the spec (not embedded in it) so the hashed spec
+  // payload — and with it the task-partitioning key — is identical with
+  // telemetry on or off.
+  if (!writeMessage(fd, MsgType::Spec, specPayload_) ||
+      (telemetry::enabled() &&
+       !writeMessage(fd, MsgType::TelemetryOn, ""))) {
     ::close(fd);
     if (pid > 0) {
       ::kill(pid, SIGKILL);
@@ -142,11 +157,13 @@ void Dispatcher::markDead(Worker& worker, std::vector<int>& pending,
                           std::vector<int>& attempts,
                           std::vector<int>& local) {
   ++stats_.workerDeaths;
+  countDispatch("hayat_dispatch_worker_deaths_total");
   if (worker.inflight >= 0) {
     const int index = worker.inflight;
     worker.inflight = -1;
     ++attempts[static_cast<std::size_t>(index)];
     ++stats_.tasksRetried;
+    countDispatch("hayat_dispatch_tasks_retried_total");
     if (attempts[static_cast<std::size_t>(index)] > config_.maxTaskRetries)
       local.push_back(index);
     else
@@ -191,6 +208,7 @@ int Dispatcher::connect(const ExperimentSpec& spec) {
   for (Worker& w : workers_) {
     if (spawn(w)) {
       ++stats_.workersConnected;
+      countDispatch("hayat_dispatch_workers_connected_total");
       ++alive;
     } else {
       // Unreachable at startup: eligible for the run loop's backoff
@@ -240,6 +258,7 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
       if (!pending.empty() && now >= w.nextRespawn) {
         if (spawn(w)) {
           ++stats_.workerRespawns;
+          countDispatch("hayat_dispatch_worker_respawns_total");
           anyAlive = true;
         } else {
           ++w.deaths;
@@ -273,9 +292,15 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
       w.sentAt = Clock::now();
       if (writeMessage(w.fd, MsgType::Task, encodeTask(index, specHash_))) {
         ++stats_.tasksDispatched;
+        countDispatch("hayat_dispatch_tasks_dispatched_total");
       } else {
         markDead(w, pending, attempts, local);  // re-queues `index`
       }
+    }
+    if (telemetry::enabled()) {
+      static telemetry::Gauge& queueDepth =
+          telemetry::Registry::global().gauge("hayat_dispatch_pending_tasks");
+      queueDepth.set(static_cast<double>(pending.size()));
     }
 
     std::vector<struct pollfd> pfds;
@@ -315,12 +340,14 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
         if (msg.type == MsgType::Result) {
           int index = -1;
           RunResult result;
+          std::vector<std::pair<std::string, std::uint64_t>> deltas;
           try {
-            decodeResult(msg.payload, index, result);
+            decodeResult(msg.payload, index, result, &deltas);
           } catch (const std::exception&) {
             markDead(w, pending, attempts, local);
             continue;
           }
+          if (!deltas.empty()) telemetry::mergeWorkerCounters(deltas);
           if (index == w.inflight) w.inflight = -1;
           if (index >= 0 && static_cast<std::size_t>(index) < n &&
               !have[static_cast<std::size_t>(index)]) {
@@ -328,6 +355,7 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
             have[static_cast<std::size_t>(index)] = 1;
             ++done;
             ++stats_.tasksCompletedRemotely;
+            countDispatch("hayat_dispatch_tasks_completed_remote_total");
           }
         } else if (msg.type == MsgType::TaskError) {
           int index = -1;
@@ -367,6 +395,7 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
                      "[dispatch] task %d timed out on worker pid %d; "
                      "re-queueing\n",
                      w.inflight, static_cast<int>(w.pid));
+        countDispatch("hayat_dispatch_task_timeouts_total");
         markDead(w, pending, attempts, local);
       }
     }
@@ -393,6 +422,7 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
           std::move(localResults[k]);
       have[static_cast<std::size_t>(remaining[k])] = 1;
       ++stats_.tasksCompletedLocally;
+      countDispatch("hayat_dispatch_tasks_completed_local_total");
     }
   }
   return results;

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,10 @@
 #include "engine/builtin_policies.hpp"
 #include "engine/dispatcher.hpp"
 #include "engine/result_cache.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hayat::engine {
 
@@ -17,6 +22,38 @@ namespace {
 bool cacheDisabledByEnv() {
   return std::getenv("HAYAT_NO_CACHE") != nullptr ||
          std::getenv("HAYAT_NO_SWEEP_CACHE") != nullptr;
+}
+
+/// Feeds every epoch of every run into the telemetry epoch series.
+/// Recording from the merged table (rather than inside the simulator)
+/// covers the local, distributed, and cache-hit paths with one code
+/// path, and keeps the series identical no matter which executed.
+void recordSweepSeries(const SweepTable& table) {
+  for (const RunResult& r : table.runs) {
+    for (std::size_t i = 0; i < r.lifetime.epochs.size(); ++i) {
+      const EpochRecord& e = r.lifetime.epochs[i];
+      telemetry::EpochRow row;
+      row.chip = r.chip;
+      row.repetition = r.repetition;
+      row.darkFraction = r.darkFraction;
+      row.policy = r.policy;
+      row.epochIndex = static_cast<int>(i);
+      row.startYear = e.startYear;
+      row.chipPeakK = e.chipPeak;
+      row.chipTimeAverageK = e.chipTimeAverage;
+      row.minHealth = e.minHealth;
+      row.averageHealth = e.averageHealth;
+      row.chipFmaxHz = e.chipFmax;
+      row.averageFmaxHz = e.averageFmax;
+      row.dtmEvents = e.dtmEvents;
+      row.migrations = e.migrations;
+      row.throttles = e.throttles;
+      row.throttledSteps = e.throttledSteps;
+      row.totalSteps = e.totalSteps;
+      row.throughputRatio = e.throughputRatio;
+      telemetry::EpochSeries::global().append(std::move(row));
+    }
+  }
 }
 
 }  // namespace
@@ -57,6 +94,10 @@ double SweepTable::aggregateRatio(double darkFraction,
 ExperimentEngine::ExperimentEngine(EngineConfig config)
     : config_(std::move(config)) {
   registerBuiltinPolicies();
+  // Benches/examples opt into telemetry via the environment; the CLI
+  // configures explicitly before constructing an engine (that call wins,
+  // configureFromEnv is a no-op without HAYAT_TELEMETRY).
+  telemetry::configureFromEnv("engine");
 }
 
 int ExperimentEngine::workers() const {
@@ -79,6 +120,20 @@ std::string ExperimentEngine::dispatchSpec() const {
   if (const char* env = std::getenv("HAYAT_DISPATCH"))
     if (*env) return env;
   return "";
+}
+
+std::uint64_t ExperimentEngine::cacheMaxBytes() const {
+  if (config_.cacheMaxBytes > 0) return config_.cacheMaxBytes;
+  if (const char* env = std::getenv("HAYAT_CACHE_MAX_BYTES"))
+    if (*env) return std::strtoull(env, nullptr, 10);
+  return 0;
+}
+
+double ExperimentEngine::cacheMaxAgeSeconds() const {
+  if (config_.cacheMaxAgeSeconds > 0.0) return config_.cacheMaxAgeSeconds;
+  if (const char* env = std::getenv("HAYAT_CACHE_MAX_AGE"))
+    if (*env) return std::strtod(env, nullptr);
+  return 0.0;
 }
 
 std::vector<RunTask> ExperimentEngine::expand(
@@ -149,6 +204,13 @@ RunResult ExperimentEngine::runWithPolicy(System& system,
 }
 
 SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
+  const telemetry::Span runSpan("engine.run");
+  if (telemetry::enabled()) {
+    static telemetry::Counter& runs =
+        telemetry::Registry::global().counter("hayat_engine_runs_total");
+    runs.add();
+  }
+
   // Endpoint syntax errors are loud, and deliberately precede the cache
   // check — a typo'd topology must not be masked by a cache hit.
   const std::string dispatch = dispatchSpec();
@@ -163,11 +225,17 @@ SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
       std::fprintf(stderr, "[engine] %s: loaded %zu runs from %s\n",
                    spec.name.c_str(), cached->runs.size(),
                    cachePath(cacheDir(), spec).c_str());
+      if (telemetry::enabled()) recordSweepSeries(*cached);
       return *std::move(cached);
     }
   }
 
   const std::vector<RunTask> tasks = expand(spec);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& expanded =
+        telemetry::Registry::global().counter("hayat_engine_tasks_total");
+    expanded.add(tasks.size());
+  }
   SweepTable table;
 
   bool dispatched = false;
@@ -195,7 +263,24 @@ SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
         });
   }
 
-  if (cacheable) storeCachedTable(cacheDir(), spec, table);
+  if (cacheable) {
+    storeCachedTable(cacheDir(), spec, table);
+    const std::uint64_t maxBytes = cacheMaxBytes();
+    const double maxAge = cacheMaxAgeSeconds();
+    if (maxBytes > 0 || maxAge > 0.0) {
+      const CacheEvictionStats ev =
+          evictResultCache(cacheDir(), maxBytes, maxAge);
+      if (ev.evictedByAge + ev.evictedBySize > 0) {
+        std::fprintf(stderr,
+                     "[engine] cache eviction: dropped %" PRIu64
+                     " entries (%" PRIu64 " by age, %" PRIu64
+                     " by size), %" PRIu64 " bytes\n",
+                     ev.evictedByAge + ev.evictedBySize, ev.evictedByAge,
+                     ev.evictedBySize, ev.evictedBytes);
+      }
+    }
+  }
+  if (telemetry::enabled()) recordSweepSeries(table);
   return table;
 }
 

@@ -26,8 +26,13 @@
 //   HAYAT_CACHE_DIR  — result-cache directory (default: ./hayat_cache)
 //   HAYAT_NO_CACHE   — disable the result cache entirely
 //   HAYAT_NO_SWEEP_CACHE — legacy alias of HAYAT_NO_CACHE
+//   HAYAT_CACHE_MAX_BYTES — evict oldest cache entries beyond this size
+//   HAYAT_CACHE_MAX_AGE   — evict cache entries older than this [seconds]
+//   HAYAT_TELEMETRY  — telemetry export directory (enables collection;
+//                      see src/telemetry/telemetry.hpp)
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,6 +95,12 @@ struct EngineConfig {
   /// threads.  Fixed-mix specs always run in-process (they have no
   /// canonical wire serialization).
   std::string dispatch;
+  /// Cache size bound: after each store, oldest entries are evicted
+  /// until the directory fits.  0: HAYAT_CACHE_MAX_BYTES, else unbounded.
+  std::uint64_t cacheMaxBytes = 0;
+  /// Cache age bound [seconds]; entries older than this are evicted
+  /// after each store.  0: HAYAT_CACHE_MAX_AGE, else unbounded.
+  double cacheMaxAgeSeconds = 0.0;
 };
 
 class ExperimentEngine {
@@ -121,6 +132,8 @@ class ExperimentEngine {
   bool cacheEnabled() const;
   std::string cacheDir() const;
   std::string dispatchSpec() const;
+  std::uint64_t cacheMaxBytes() const;
+  double cacheMaxAgeSeconds() const;
 
  private:
   EngineConfig config_;

@@ -1,11 +1,15 @@
 #include "engine/result_cache.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace hayat::engine {
 
@@ -150,9 +154,19 @@ std::string cachePath(const std::string& dir, const ExperimentSpec& spec) {
 
 std::optional<SweepTable> loadCachedTable(const std::string& dir,
                                           const ExperimentSpec& spec) {
+  const auto miss = []() -> std::optional<SweepTable> {
+    if (telemetry::enabled()) {
+      static telemetry::Counter& misses =
+          telemetry::Registry::global().counter(
+              "hayat_result_cache_misses_total");
+      misses.add();
+    }
+    return std::nullopt;
+  };
+
   const std::string path = cachePath(dir, spec);
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return miss();
 
   // Any file that exists but cannot serve this spec — stale format
   // version, signature mismatch (hash collision or drift), or corruption
@@ -164,7 +178,22 @@ std::optional<SweepTable> loadCachedTable(const std::string& dir,
     std::filesystem::remove(path, ec);
     std::fprintf(stderr, "[engine] dropped stale cache entry %s\n",
                  path.c_str());
-    return std::nullopt;
+    if (telemetry::enabled()) {
+      static telemetry::Counter& orphans =
+          telemetry::Registry::global().counter(
+              "hayat_result_cache_orphans_dropped_total");
+      orphans.add();
+    }
+    return miss();
+  };
+
+  const auto hit = [&](SweepTable table) -> std::optional<SweepTable> {
+    if (telemetry::enabled()) {
+      static telemetry::Counter& hits =
+          telemetry::Registry::global().counter("hayat_result_cache_hits_total");
+      hits.add();
+    }
+    return table;
   };
 
   std::string line;
@@ -197,7 +226,7 @@ std::optional<SweepTable> loadCachedTable(const std::string& dir,
       if (!readRunResult(in, r)) return orphaned();
       table.runs.push_back(std::move(r));
     }
-    return table;
+    return hit(std::move(table));
   } catch (const std::exception&) {
     return orphaned();  // stol parse failure => corrupt header
   }
@@ -228,7 +257,93 @@ bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
     if (!out) return false;
   }
   std::filesystem::rename(tmp, path, ec);
+  if (!ec && telemetry::enabled()) {
+    static telemetry::Counter& stores = telemetry::Registry::global().counter(
+        "hayat_result_cache_stores_total");
+    stores.add();
+  }
   return !ec;
+}
+
+CacheEvictionStats evictResultCache(const std::string& dir,
+                                    std::uint64_t maxBytes,
+                                    double maxAgeSeconds) {
+  namespace fs = std::filesystem;
+  CacheEvictionStats stats;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) return stats;
+
+  struct Entry {
+    fs::path path;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  for (const auto& item : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!item.is_regular_file(ec) || ec) continue;
+    if (item.path().extension() != ".csv") continue;  // skip .tmp etc.
+    Entry e;
+    e.path = item.path();
+    e.bytes = static_cast<std::uint64_t>(item.file_size(ec));
+    if (ec) continue;
+    e.mtime = item.last_write_time(ec);
+    if (ec) continue;
+    entries.push_back(std::move(e));
+  }
+
+  stats.scannedFiles = entries.size();
+  std::uint64_t totalBytes = 0;
+  for (const Entry& e : entries) totalBytes += e.bytes;
+  stats.scannedBytes = totalBytes;
+
+  const auto remove = [&](const Entry& e, std::uint64_t& evicted) {
+    std::error_code rmEc;
+    if (!fs::remove(e.path, rmEc) || rmEc) return;
+    ++evicted;
+    stats.evictedBytes += e.bytes;
+    totalBytes -= e.bytes;
+  };
+
+  if (maxAgeSeconds > 0.0) {
+    const auto now = fs::file_time_type::clock::now();
+    std::vector<Entry> kept;
+    for (const Entry& e : entries) {
+      const double age =
+          std::chrono::duration_cast<std::chrono::duration<double>>(now -
+                                                                    e.mtime)
+              .count();
+      if (age > maxAgeSeconds) {
+        remove(e, stats.evictedByAge);
+      } else {
+        kept.push_back(e);
+      }
+    }
+    entries = std::move(kept);
+  }
+
+  if (maxBytes > 0 && totalBytes > maxBytes) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    for (const Entry& e : entries) {
+      if (totalBytes <= maxBytes) break;
+      remove(e, stats.evictedBySize);
+    }
+  }
+
+  if (telemetry::enabled() &&
+      (stats.evictedByAge > 0 || stats.evictedBySize > 0)) {
+    static telemetry::Counter& byAge = telemetry::Registry::global().counter(
+        "hayat_result_cache_evicted_age_total");
+    static telemetry::Counter& bySize = telemetry::Registry::global().counter(
+        "hayat_result_cache_evicted_size_total");
+    static telemetry::Counter& bytes = telemetry::Registry::global().counter(
+        "hayat_result_cache_evicted_bytes_total");
+    byAge.add(stats.evictedByAge);
+    bySize.add(stats.evictedBySize);
+    bytes.add(stats.evictedBytes);
+  }
+  return stats;
 }
 
 }  // namespace hayat::engine

@@ -14,6 +14,7 @@
 // overridden by HAYAT_CACHE_DIR.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -51,5 +52,24 @@ std::optional<SweepTable> loadCachedTable(const std::string& dir,
 /// swallowed (the cache is best-effort); returns false on failure.
 bool storeCachedTable(const std::string& dir, const ExperimentSpec& spec,
                       const SweepTable& table);
+
+/// Outcome of one evictResultCache() pass.
+struct CacheEvictionStats {
+  std::uint64_t scannedFiles = 0;   ///< entries examined
+  std::uint64_t scannedBytes = 0;   ///< their total size before eviction
+  std::uint64_t evictedByAge = 0;   ///< entries older than maxAgeSeconds
+  std::uint64_t evictedBySize = 0;  ///< entries dropped to meet maxBytes
+  std::uint64_t evictedBytes = 0;   ///< bytes reclaimed
+};
+
+/// Deletes *valid* cache entries (orphans are already dropped on load) to
+/// keep `dir` bounded: first every `.csv` entry whose mtime is older than
+/// `maxAgeSeconds`, then oldest-first until the directory fits in
+/// `maxBytes`.  Oldest-first means the entry just written by the current
+/// run survives unless maxBytes is smaller than that single file.  A
+/// limit of 0 disables that bound; missing directories are a no-op.
+CacheEvictionStats evictResultCache(const std::string& dir,
+                                    std::uint64_t maxBytes,
+                                    double maxAgeSeconds);
 
 }  // namespace hayat::engine

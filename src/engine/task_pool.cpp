@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hayat::engine {
 
@@ -27,6 +28,15 @@ void runParallel(int count, int workers,
 
   if (workers <= 0) workers = defaultWorkerCount();
   if (workers > count) workers = count;
+
+  if (telemetry::enabled()) {
+    static telemetry::Counter& tasks =
+        telemetry::Registry::global().counter("hayat_pool_tasks_total");
+    static telemetry::Gauge& poolWorkers =
+        telemetry::Registry::global().gauge("hayat_pool_workers");
+    tasks.add(static_cast<std::uint64_t>(count));
+    poolWorkers.set(workers);
+  }
 
   if (workers <= 1) {
     for (int i = 0; i < count; ++i) task(i);

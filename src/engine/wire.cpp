@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "engine/result_cache.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hayat::engine {
 
@@ -153,8 +154,17 @@ bool writeMessage(int fd, MsgType type, const std::string& payload) {
   header[5] = static_cast<char>((size >> 16) & 0xFF);
   header[6] = static_cast<char>((size >> 8) & 0xFF);
   header[7] = static_cast<char>(size & 0xFF);
-  return writeAll(fd, header, sizeof(header)) &&
-         writeAll(fd, payload.data(), payload.size());
+  const bool ok = writeAll(fd, header, sizeof(header)) &&
+                  writeAll(fd, payload.data(), payload.size());
+  if (ok && telemetry::enabled()) {
+    static telemetry::Counter& messages =
+        telemetry::Registry::global().counter("hayat_wire_messages_sent_total");
+    static telemetry::Counter& bytes =
+        telemetry::Registry::global().counter("hayat_wire_bytes_sent_total");
+    messages.add();
+    bytes.add(sizeof(header) + payload.size());
+  }
+  return ok;
 }
 
 bool readMessage(int fd, Message& out) {
@@ -174,7 +184,16 @@ bool readMessage(int fd, Message& out) {
   if (size > kMaxPayload) return false;
   out.type = static_cast<MsgType>(header[3]);
   out.payload.resize(size);
-  return size == 0 || readAll(fd, out.payload.data(), size);
+  if (size != 0 && !readAll(fd, out.payload.data(), size)) return false;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& messages = telemetry::Registry::global().counter(
+        "hayat_wire_messages_received_total");
+    static telemetry::Counter& bytes = telemetry::Registry::global().counter(
+        "hayat_wire_bytes_received_total");
+    messages.add();
+    bytes.add(sizeof(header) + size);
+  }
+  return true;
 }
 
 bool readMessage(int fd, Message& out, int timeoutMs, bool& timedOut) {
@@ -246,17 +265,48 @@ void decodeTask(const std::string& payload, int& index,
   hash = std::strtoull(line.c_str() + 5, nullptr, 16);
 }
 
-std::string encodeResult(int index, const RunResult& result) {
+std::string encodeResult(int index, const RunResult& result,
+                         const std::string& metricsText) {
   std::ostringstream out;
   out << "index=" << index << '\n';
   writeRunResult(out, result);
+  if (!metricsText.empty()) {
+    long lines = 0;
+    for (const char c : metricsText)
+      if (c == '\n') ++lines;
+    out << "metrics," << lines << '\n' << metricsText;
+  }
   return out.str();
 }
 
-void decodeResult(const std::string& payload, int& index, RunResult& result) {
+void decodeResult(
+    const std::string& payload, int& index, RunResult& result,
+    std::vector<std::pair<std::string, std::uint64_t>>* metricDeltas) {
   std::istringstream in(payload);
   index = parseIndexLine(in, "wire result");
   HAYAT_REQUIRE(readRunResult(in, result), "wire result: malformed run record");
+  if (metricDeltas != nullptr) metricDeltas->clear();
+
+  std::string line;
+  if (!std::getline(in, line)) return;  // no metrics section
+  HAYAT_REQUIRE(line.rfind("metrics,", 0) == 0,
+                "wire result: trailing data is not a metrics section");
+  char* end = nullptr;
+  const long lines = std::strtol(line.c_str() + 8, &end, 10);
+  HAYAT_REQUIRE(end == line.c_str() + line.size() && lines >= 0,
+                "wire result: bad metrics line count");
+  std::string text;
+  for (long i = 0; i < lines; ++i) {
+    HAYAT_REQUIRE(std::getline(in, line),
+                  "wire result: truncated metrics section");
+    text += line + '\n';
+  }
+  HAYAT_REQUIRE(!std::getline(in, line),
+                "wire result: trailing data after metrics section");
+  std::vector<std::pair<std::string, std::uint64_t>> deltas;
+  HAYAT_REQUIRE(telemetry::decodeCounterDeltas(text, deltas),
+                "wire result: malformed metrics section");
+  if (metricDeltas != nullptr) *metricDeltas = std::move(deltas);
 }
 
 std::string encodeTaskError(int index, const std::string& message) {

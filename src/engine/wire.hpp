@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/engine.hpp"
 
@@ -26,15 +28,18 @@ namespace hayat::engine {
 /// Protocol version; bumped on any framing or payload change.  A version
 /// mismatch terminates the connection (workers and coordinators from
 /// different builds must not exchange half-understood tasks).
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: TelemetryOn message; Result frames may carry a trailing metrics
+/// section (counter deltas for coordinator-side merge).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Message types.
 enum class MsgType : std::uint8_t {
-  Spec = 1,       ///< coordinator -> worker: the experiment to serve
-  Task = 2,       ///< coordinator -> worker: one task index to run
-  Result = 3,     ///< worker -> coordinator: task index + RunResult
-  TaskError = 4,  ///< worker -> coordinator: task index + error text
-  Shutdown = 5,   ///< coordinator -> worker: finish and exit cleanly
+  Spec = 1,         ///< coordinator -> worker: the experiment to serve
+  Task = 2,         ///< coordinator -> worker: one task index to run
+  Result = 3,       ///< worker -> coordinator: task index + RunResult
+  TaskError = 4,    ///< worker -> coordinator: task index + error text
+  Shutdown = 5,     ///< coordinator -> worker: finish and exit cleanly
+  TelemetryOn = 6,  ///< coordinator -> worker: start metrics collection
 };
 
 struct Message {
@@ -71,9 +76,29 @@ std::string encodeTask(int index, std::uint64_t specHash);
 void decodeTask(const std::string& payload, int& index,
                 std::uint64_t& specHash);
 
-/// Result payload: task index line + the result-cache run record.
-std::string encodeResult(int index, const RunResult& result);
-void decodeResult(const std::string& payload, int& index, RunResult& result);
+/// Result payload: task index line + the result-cache run record,
+/// optionally followed by a telemetry metrics section
+///
+///   metrics,<lineCount>
+///   c,<counterName>,<delta>
+///   ...
+///
+/// (telemetry::encodeCounterDeltas output).  Telemetry-enabled workers
+/// piggyback their counter *deltas* on every result so the coordinator
+/// can aggregate fleet metrics without a shared filesystem; deltas since
+/// a worker's last result are lost if it dies — an accepted gap, since
+/// the flight data lives on the coordinator.
+std::string encodeResult(int index, const RunResult& result,
+                         const std::string& metricsText = "");
+
+/// Decodes a Result payload.  When `metricDeltas` is non-null, any
+/// metrics section is parsed into it (cleared first; absent section
+/// leaves it empty); a malformed metrics section throws like any other
+/// malformed payload.
+void decodeResult(
+    const std::string& payload, int& index, RunResult& result,
+    std::vector<std::pair<std::string, std::uint64_t>>* metricDeltas =
+        nullptr);
 
 /// TaskError payload: task index line + one free-form message line.
 std::string encodeTaskError(int index, const std::string& message);

@@ -11,11 +11,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 
 #include "engine/builtin_policies.hpp"
 #include "engine/engine.hpp"
 #include "engine/wire.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hayat::engine {
 
@@ -58,8 +60,24 @@ int runWorkerLoop(int inFd, int outFd) {
   const long stallAfter = envLong("HAYAT_WORKER_STALL_AFTER", -1);
   long served = 0;
 
+  // Counter values already reported to the coordinator; Result frames
+  // carry only what advanced since (telemetry::encodeCounterDeltas).
+  std::map<std::string, std::uint64_t> reported;
+  if (telemetry::enabled()) {
+    // Fork workers inherit the coordinator's counter values wholesale;
+    // baseline them so only this process's work is reported as deltas.
+    telemetry::encodeCounterDeltas(reported);
+  }
+
   while (readMessage(inFd, msg)) {
     if (msg.type == MsgType::Shutdown) return 0;
+    if (msg.type == MsgType::TelemetryOn) {
+      // Exec'd/remote workers have their own (disabled) telemetry state;
+      // the coordinator turns collection on so counters flow back on the
+      // Result frames.  No export directory: workers never write files.
+      telemetry::setEnabled(true);
+      continue;
+    }
     if (msg.type != MsgType::Task) return 1;
 
     int index = -1;
@@ -88,7 +106,11 @@ int runWorkerLoop(int inFd, int outFd) {
       const RunResult result =
           ExperimentEngine::runTask(tasks[static_cast<std::size_t>(index)],
                                     spec.populationSeed);
-      if (!writeMessage(outFd, MsgType::Result, encodeResult(index, result)))
+      const std::string metrics = telemetry::enabled()
+                                      ? telemetry::encodeCounterDeltas(reported)
+                                      : std::string();
+      if (!writeMessage(outFd, MsgType::Result,
+                        encodeResult(index, result, metrics)))
         return 1;
     } catch (const std::exception& e) {
       if (!writeMessage(outFd, MsgType::TaskError,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hayat {
 
@@ -34,6 +35,11 @@ int DtmManager::enforce(Mapping& mapping, const Vector& coreTemperatures,
             config_.tsafe - config_.coldMargin) {
       mapping.restoreFrequency(i);
       ++stats_.restores;
+      if (telemetry::enabled()) {
+        static telemetry::Counter& restores =
+            telemetry::Registry::global().counter("hayat_dtm_restores_total");
+        restores.add();
+      }
     }
   }
 
@@ -79,6 +85,12 @@ int DtmManager::enforce(Mapping& mapping, const Vector& coreTemperatures,
       mapping.migrate(hotCore, target);
       lastMigration_[threadKey] = tick_;
       ++stats_.migrations;
+      if (telemetry::enabled()) {
+        static telemetry::Counter& migrations =
+            telemetry::Registry::global().counter(
+                "hayat_dtm_migrations_total");
+        migrations.add();
+      }
       ++actions;
     } else {
       // No eligible target: throttle in place (never below the floor).
@@ -88,6 +100,12 @@ int DtmManager::enforce(Mapping& mapping, const Vector& coreTemperatures,
       if (throttled < slot->frequency) {
         mapping.setFrequency(hotCore, throttled);
         ++stats_.throttles;
+        if (telemetry::enabled()) {
+          static telemetry::Counter& throttles =
+              telemetry::Registry::global().counter(
+                  "hayat_dtm_throttles_total");
+          throttles.add();
+        }
         ++actions;
       }
     }

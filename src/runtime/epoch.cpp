@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "power/thermal_coupling.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hayat {
 
@@ -32,6 +34,9 @@ EpochSimulator::EpochSimulator(const Chip& chip, const ThermalModel& thermal,
 EpochResult EpochSimulator::run(const Mapping& initialMapping,
                                 const WorkloadMix& mix) const {
   runCount.fetch_add(1, std::memory_order_relaxed);
+  const telemetry::Span windowSpan("epoch.window");
+  const std::uint64_t windowT0 =
+      telemetry::enabled() ? telemetry::nowNanos() : 0;
   const int n = chip_->coreCount();
   HAYAT_REQUIRE(initialMapping.coreCount() == n, "mapping size mismatch");
 
@@ -135,6 +140,18 @@ EpochResult EpochSimulator::run(const Mapping& initialMapping,
   result.dtm = dtm.stats();
   result.totalSteps = steps;
   result.finalMapping = mapping;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& windows =
+        telemetry::Registry::global().counter("hayat_epoch_windows_total");
+    static telemetry::Histogram& duration =
+        telemetry::Registry::global().histogram(
+            "hayat_epoch_window_seconds",
+            {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0});
+    windows.add();
+    if (windowT0 != 0)
+      duration.observe(static_cast<double>(telemetry::nowNanos() - windowT0) *
+                       1e-9);
+  }
   return result;
 }
 

@@ -1,0 +1,415 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hayat::telemetry {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string fmtU64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void writePrometheus(
+    std::ostream& out, const MetricsSnapshot& snapshot,
+    const std::map<std::string, std::uint64_t>& workerCounters) {
+  std::map<std::string, std::uint64_t> workerOnly = workerCounters;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << fmtU64(value) << '\n';
+    const auto worker = workerOnly.find(name);
+    if (worker != workerOnly.end()) {
+      out << name << "{source=\"worker\"} " << fmtU64(worker->second)
+          << '\n';
+      workerOnly.erase(worker);
+    }
+  }
+  // Counters only workers reported (e.g. a metric the coordinator's code
+  // path never touched).
+  for (const auto& [name, value] : workerOnly) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << "{source=\"worker\"} " << fmtU64(value) << '\n';
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << fmt(value) << '\n';
+  }
+
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.upperBounds.size() ? fmt(h.upperBounds[i]) : "+Inf";
+      out << h.name << "_bucket{le=\"" << le << "\"} " << fmtU64(cumulative)
+          << '\n';
+    }
+    out << h.name << "_sum " << fmt(h.sum) << '\n';
+    out << h.name << "_count " << fmtU64(h.count) << '\n';
+  }
+}
+
+void writeChromeTrace(std::ostream& out, const std::vector<SpanEvent>& events,
+                      int pid) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
+    char ts[64], dur[64];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(e.startNs) / 1e3);
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(e.durationNs) / 1e3);
+    out << "\n{\"name\": \"" << jsonEscape(e.name)
+        << "\", \"cat\": \"hayat\", \"ph\": \"X\", \"ts\": " << ts
+        << ", \"dur\": " << dur << ", \"pid\": " << pid
+        << ", \"tid\": " << e.threadId << ", \"args\": {\"depth\": "
+        << e.depth << "}}";
+  }
+  out << "\n]}\n";
+}
+
+namespace {
+
+/// Minimal strict JSON syntax checker (recursive descent).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool check() {
+    skipSpace();
+    if (!value()) return false;
+    skipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (depth_ > 256 || pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++depth_;
+    ++pos_;  // '{'
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skipSpace();
+      if (!string()) return false;
+      skipSpace();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipSpace();
+      if (!value()) return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++depth_;
+    ++pos_;  // '['
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skipSpace();
+      if (!value()) return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) ==
+                   std::string::npos) {
+          return false;
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+std::string readFile(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+std::string trimmed(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+bool validateJson(const std::string& text) {
+  return JsonChecker(text).check();
+}
+
+bool mergeChromeTraceFiles(const std::vector<std::string>& paths,
+                           std::ostream& out) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const std::string& path : paths) {
+    bool ok = false;
+    const std::string text = readFile(path, ok);
+    if (!ok || !validateJson(text)) return false;
+    const std::size_t open = text.find('[');
+    const std::size_t close = text.rfind(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open)
+      return false;
+    const std::string events =
+        trimmed(text.substr(open + 1, close - open - 1));
+    if (events.empty()) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << events;
+  }
+  out << "\n]}\n";
+  return true;
+}
+
+bool mergePrometheusFiles(const std::vector<std::string>& paths,
+                          std::ostream& out) {
+  std::vector<std::string> nameOrder;                 // declaration order
+  std::map<std::string, std::string> typeOf;          // metric -> type
+  std::map<std::string, std::vector<std::string>> keysOf;  // sample order
+  std::map<std::string, double> merged;               // sample -> value
+
+  // The owning metric of a sample key: the longest declared name the key
+  // extends with nothing, a label set, or a histogram-series suffix.
+  const auto ownerOf = [&](const std::string& key) -> const std::string* {
+    const std::string* best = nullptr;
+    for (const std::string& name : nameOrder) {
+      if (key.compare(0, name.size(), name) != 0) continue;
+      const std::string rest = key.substr(name.size());
+      const bool matches = rest.empty() || rest[0] == '{' ||
+                           rest.rfind("_bucket", 0) == 0 ||
+                           rest.rfind("_sum", 0) == 0 ||
+                           rest.rfind("_count", 0) == 0;
+      if (matches && (best == nullptr || name.size() > best->size()))
+        best = &name;
+    }
+    return best;
+  };
+
+  for (const std::string& path : paths) {
+    bool ok = false;
+    const std::string text = readFile(path, ok);
+    if (!ok) return false;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream fields(line.substr(7));
+        std::string name, type;
+        if (!(fields >> name >> type)) return false;
+        if (typeOf.find(name) == typeOf.end()) {
+          typeOf[name] = type;
+          nameOrder.push_back(name);
+        }
+        continue;
+      }
+      if (line[0] == '#') continue;
+
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string::npos || space == 0) return false;
+      const std::string key = line.substr(0, space);
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + space + 1, &end);
+      if (end == nullptr || *end != '\0') return false;
+
+      const std::string* owner = ownerOf(key);
+      if (owner == nullptr) return false;  // sample before its # TYPE
+      const bool isGauge = typeOf[*owner] == "gauge";
+      const auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged[key] = value;
+        keysOf[*owner].push_back(key);
+      } else {
+        it->second = isGauge ? std::max(it->second, value)
+                             : it->second + value;
+      }
+    }
+  }
+
+  for (const std::string& name : nameOrder) {
+    out << "# TYPE " << name << ' ' << typeOf[name] << '\n';
+    for (const std::string& key : keysOf[name])
+      out << key << ' ' << fmt(merged[key]) << '\n';
+  }
+  return true;
+}
+
+}  // namespace hayat::telemetry

@@ -1,0 +1,211 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace hayat::telemetry {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+void setEnabled(bool on) {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Stable per-thread shard index: threads are striped across shards in
+/// registration order, which spreads a worker pool evenly.
+unsigned threadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard = next.fetch_add(1);
+  return shard;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) {
+  shards_[threadShard() % kShards].value.fetch_add(n,
+                                                   std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_)
+    total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      // Misdeclared bounds would silently misbucket forever; fail loudly
+      // (telemetry must never throw into instrumented code, so abort).
+      std::fprintf(stderr,
+                   "telemetry: histogram bounds must be strictly "
+                   "increasing\n");
+      std::abort();
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(counts_.size());
+  for (const auto& c : counts_)
+    out.push_back(c.load(std::memory_order_relaxed));
+  return out;
+}
+
+double Histogram::percentile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<std::uint64_t> counts = bucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          (rank - cumulative) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upperBounds) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(upperBounds);
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.upperBounds = h->upperBounds();
+    hs.counts = h->bucketCounts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::resetAllForTest() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string encodeCounterDeltas(
+    std::map<std::string, std::uint64_t>& lastSent) {
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::uint64_t previous = lastSent[name];
+    if (value <= previous) continue;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value - previous);
+    out += "c," + name + ',' + buf + '\n';
+    lastSent[name] = value;
+  }
+  return out;
+}
+
+bool decodeCounterDeltas(
+    const std::string& text,
+    std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.compare(0, 2, "c,") != 0) return false;
+    const std::size_t comma = line.rfind(',');
+    if (comma <= 2 || comma == std::string::npos) return false;
+    const std::string name = line.substr(2, comma - 2);
+    char* parseEnd = nullptr;
+    const std::uint64_t delta =
+        std::strtoull(line.c_str() + comma + 1, &parseEnd, 10);
+    if (parseEnd == nullptr || *parseEnd != '\0' || name.empty())
+      return false;
+    out.emplace_back(name, delta);
+  }
+  return true;
+}
+
+}  // namespace hayat::telemetry

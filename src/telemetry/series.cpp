@@ -1,0 +1,202 @@
+#include "telemetry/series.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace hayat::telemetry {
+
+EpochSeries& EpochSeries::global() {
+  static EpochSeries* instance = new EpochSeries();  // never destroyed
+  return *instance;
+}
+
+void EpochSeries::append(EpochRow row) {
+  const std::scoped_lock lock(mutex_);
+  rows_.push_back(std::move(row));
+}
+
+std::vector<EpochRow> EpochSeries::rows() const {
+  const std::scoped_lock lock(mutex_);
+  return rows_;
+}
+
+std::size_t EpochSeries::size() const {
+  const std::scoped_lock lock(mutex_);
+  return rows_.size();
+}
+
+void EpochSeries::clear() {
+  const std::scoped_lock lock(mutex_);
+  rows_.clear();
+}
+
+namespace {
+
+void putU32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(b, 4);
+}
+
+void putU64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(b, 8);
+}
+
+void putI32(std::ostream& out, std::int32_t v) {
+  putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void putI64(std::ostream& out, std::int64_t v) {
+  putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void putF64(std::ostream& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+bool getU32(std::istream& in, std::uint32_t& v) {
+  char b[4];
+  if (!in.read(b, 4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return true;
+}
+
+bool getU64(std::istream& in, std::uint64_t& v) {
+  char b[8];
+  if (!in.read(b, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return true;
+}
+
+bool getI32(std::istream& in, std::int32_t& v) {
+  std::uint32_t u = 0;
+  if (!getU32(in, u)) return false;
+  v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+bool getI64(std::istream& in, std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!getU64(in, u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool getF64(std::istream& in, double& v) {
+  std::uint64_t bits = 0;
+  if (!getU64(in, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+/// Longest policy label accepted on read (corruption guard).
+constexpr std::uint32_t kMaxPolicyLen = 4096;
+
+std::string fmt(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void writeEpochSeriesBinary(std::ostream& out,
+                            const std::vector<EpochRow>& rows) {
+  out.write("HYEP", 4);
+  putU32(out, kEpochSeriesVersion);
+  putU64(out, rows.size());
+  for (const EpochRow& r : rows) {
+    putU32(out, static_cast<std::uint32_t>(r.policy.size()));
+    out.write(r.policy.data(),
+              static_cast<std::streamsize>(r.policy.size()));
+    putI32(out, r.chip);
+    putI32(out, r.repetition);
+    putF64(out, r.darkFraction);
+    putI32(out, r.epochIndex);
+    putF64(out, r.startYear);
+    putF64(out, r.chipPeakK);
+    putF64(out, r.chipTimeAverageK);
+    putF64(out, r.minHealth);
+    putF64(out, r.averageHealth);
+    putF64(out, r.chipFmaxHz);
+    putF64(out, r.averageFmaxHz);
+    putI64(out, r.dtmEvents);
+    putI64(out, r.migrations);
+    putI64(out, r.throttles);
+    putI32(out, r.throttledSteps);
+    putI32(out, r.totalSteps);
+    putF64(out, r.throughputRatio);
+  }
+}
+
+bool readEpochSeriesBinary(std::istream& in, std::vector<EpochRow>& rows) {
+  rows.clear();
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, "HYEP", 4) != 0) return false;
+  std::uint32_t version = 0;
+  if (!getU32(in, version) || version != kEpochSeriesVersion) return false;
+  std::uint64_t count = 0;
+  if (!getU64(in, count)) return false;
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EpochRow r;
+    std::uint32_t policyLen = 0;
+    if (!getU32(in, policyLen) || policyLen > kMaxPolicyLen) {
+      rows.clear();
+      return false;
+    }
+    r.policy.resize(policyLen);
+    std::int64_t dtmEvents = 0, migrations = 0, throttles = 0;
+    if (!(policyLen == 0 ||
+          in.read(r.policy.data(), static_cast<std::streamsize>(policyLen))) ||
+        !getI32(in, r.chip) || !getI32(in, r.repetition) ||
+        !getF64(in, r.darkFraction) || !getI32(in, r.epochIndex) ||
+        !getF64(in, r.startYear) || !getF64(in, r.chipPeakK) ||
+        !getF64(in, r.chipTimeAverageK) || !getF64(in, r.minHealth) ||
+        !getF64(in, r.averageHealth) || !getF64(in, r.chipFmaxHz) ||
+        !getF64(in, r.averageFmaxHz) || !getI64(in, dtmEvents) ||
+        !getI64(in, migrations) || !getI64(in, throttles) ||
+        !getI32(in, r.throttledSteps) || !getI32(in, r.totalSteps) ||
+        !getF64(in, r.throughputRatio)) {
+      rows.clear();
+      return false;
+    }
+    r.dtmEvents = static_cast<long>(dtmEvents);
+    r.migrations = static_cast<long>(migrations);
+    r.throttles = static_cast<long>(throttles);
+    rows.push_back(std::move(r));
+  }
+  return true;
+}
+
+void writeEpochSeriesCsv(std::ostream& out,
+                         const std::vector<EpochRow>& rows) {
+  out << "chip,repetition,darkFraction,policy,epochIndex,startYear,"
+         "chipPeakK,chipTimeAverageK,minHealth,averageHealth,chipFmaxHz,"
+         "averageFmaxHz,dtmEvents,migrations,throttles,throttledSteps,"
+         "totalSteps,throughputRatio\n";
+  for (const EpochRow& r : rows) {
+    out << r.chip << ',' << r.repetition << ',' << fmt(r.darkFraction) << ','
+        << r.policy << ',' << r.epochIndex << ',' << fmt(r.startYear) << ','
+        << fmt(r.chipPeakK) << ',' << fmt(r.chipTimeAverageK) << ','
+        << fmt(r.minHealth) << ',' << fmt(r.averageHealth) << ','
+        << fmt(r.chipFmaxHz) << ',' << fmt(r.averageFmaxHz) << ','
+        << r.dtmEvents << ',' << r.migrations << ',' << r.throttles << ','
+        << r.throttledSteps << ',' << r.totalSteps << ','
+        << fmt(r.throughputRatio) << '\n';
+  }
+}
+
+}  // namespace hayat::telemetry

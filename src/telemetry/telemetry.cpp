@@ -1,0 +1,168 @@
+#include "telemetry/telemetry.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/span.hpp"
+
+namespace hayat::telemetry {
+
+namespace {
+
+struct RuntimeState {
+  std::mutex mutex;
+  bool configured = false;
+  bool hooksRegistered = false;
+  std::string dir;
+  std::string role;
+  std::map<std::string, std::uint64_t> workerCounters;
+  std::terminate_handler previousTerminate = nullptr;
+};
+
+RuntimeState& state() {
+  static RuntimeState* s = new RuntimeState();  // never destroyed
+  return *s;
+}
+
+void atexitFlush() { flush(); }
+
+[[noreturn]] void terminateWithDump() {
+  // Dump the flight recorder before dying so the last spans of every
+  // thread survive the crash.  Keep this best-effort and re-entrancy
+  // safe: no locks beyond what flush() takes, then chain to the previous
+  // handler (or abort).
+  std::fprintf(stderr,
+               "hayat: std::terminate — dumping telemetry flight "
+               "recorder\n");
+  flush();
+  std::terminate_handler previous = nullptr;
+  {
+    RuntimeState& s = state();
+    const std::scoped_lock lock(s.mutex);
+    previous = s.previousTerminate;
+  }
+  if (previous != nullptr) previous();
+  std::abort();
+}
+
+}  // namespace
+
+void configure(const std::string& dir, const std::string& role) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  {
+    RuntimeState& s = state();
+    const std::scoped_lock lock(s.mutex);
+    s.dir = dir;
+    s.role = role.empty() ? "hayat" : role;
+    s.configured = true;
+    if (!s.hooksRegistered) {
+      s.hooksRegistered = true;
+      std::atexit(atexitFlush);
+      s.previousTerminate = std::set_terminate(terminateWithDump);
+    }
+  }
+  setEnabled(true);
+}
+
+bool configured() {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  return s.configured;
+}
+
+std::string exportDir() {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  return s.dir;
+}
+
+std::string exportRole() {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  return s.role;
+}
+
+void configureFromEnv(const std::string& roleIfEnv) {
+  const char* dir = std::getenv("HAYAT_TELEMETRY");
+  if (dir == nullptr || dir[0] == '\0') return;
+  configure(dir, roleIfEnv);
+}
+
+void mergeWorkerCounters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& deltas) {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  for (const auto& [name, delta] : deltas) s.workerCounters[name] += delta;
+}
+
+std::map<std::string, std::uint64_t> workerCounters() {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  return s.workerCounters;
+}
+
+void resetWorkerCountersForTest() {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  s.workerCounters.clear();
+}
+
+bool flush() {
+  std::string dir, role;
+  std::map<std::string, std::uint64_t> remote;
+  {
+    RuntimeState& s = state();
+    const std::scoped_lock lock(s.mutex);
+    if (!s.configured) return false;
+    dir = s.dir;
+    role = s.role;
+    remote = s.workerCounters;
+  }
+  const std::string prefix =
+      dir + "/" + role + "-" + std::to_string(::getpid());
+
+  bool ok = true;
+  {
+    std::ofstream out(prefix + ".metrics.prom",
+                      std::ios::binary | std::ios::trunc);
+    if (out) {
+      writePrometheus(out, Registry::global().snapshot(), remote);
+      ok = ok && static_cast<bool>(out);
+    } else {
+      ok = false;
+    }
+  }
+  {
+    std::ofstream out(prefix + ".trace.json",
+                      std::ios::binary | std::ios::trunc);
+    if (out) {
+      writeChromeTrace(out, collectAllSpans(), ::getpid());
+      ok = ok && static_cast<bool>(out);
+    } else {
+      ok = false;
+    }
+  }
+  {
+    std::ofstream out(prefix + ".epochs.bin",
+                      std::ios::binary | std::ios::trunc);
+    if (out) {
+      writeEpochSeriesBinary(out, EpochSeries::global().rows());
+      ok = ok && static_cast<bool>(out);
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace hayat::telemetry

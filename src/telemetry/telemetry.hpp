@@ -1,0 +1,70 @@
+// Telemetry runtime: configuration, export-on-exit, crash dumps.
+//
+// One call wires the whole subsystem:
+//
+//   hayat::telemetry::configure("/tmp/trace", "sweep");
+//
+// enables collection (see metrics.hpp / span.hpp) and registers an
+// atexit flush that writes three sibling files into the directory:
+//
+//   <role>-<pid>.metrics.prom   Prometheus text metrics
+//   <role>-<pid>.trace.json     Chrome trace_event spans
+//   <role>-<pid>.epochs.bin     binary per-epoch time series
+//
+// The <role>-<pid> prefix keeps coordinator and worker processes from
+// clobbering each other when they share an export directory; `hayat
+// trace export` merges the set afterwards.  A std::terminate hook dumps
+// the flight recorder before aborting so the last N spans survive a
+// crash.
+//
+// Workers reached over the wire (exec:/tcp:) have no shared filesystem;
+// their counters arrive as deltas piggybacked on Result frames and are
+// folded into this process via mergeWorkerCounters(), then exported with
+// a {source="worker"} label.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hayat::telemetry {
+
+/// Enables collection, remembers the export directory (created if
+/// missing) and role prefix, and registers the atexit flush plus the
+/// terminate-time flight-recorder dump.  Safe to call once per process;
+/// later calls update directory and role.
+void configure(const std::string& dir, const std::string& role);
+
+/// True after configure() succeeded.
+bool configured();
+
+/// Export directory ("" when unconfigured).
+std::string exportDir();
+
+/// Role prefix used in export file names.
+std::string exportRole();
+
+/// Reads HAYAT_TELEMETRY (export directory) and, if set and non-empty,
+/// calls configure(dir, roleIfEnv).  Lets forked/exec'd workers and
+/// tests opt in without threading a flag through every entry point.
+void configureFromEnv(const std::string& roleIfEnv);
+
+/// Folds counter deltas received from a remote worker into this
+/// process's worker aggregate (summed across workers and sends).
+void mergeWorkerCounters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& deltas);
+
+/// The worker aggregate accumulated by mergeWorkerCounters().
+std::map<std::string, std::uint64_t> workerCounters();
+
+/// Clears the worker aggregate (tests).
+void resetWorkerCountersForTest();
+
+/// Writes the three export files now.  Returns false if any file could
+/// not be written.  Called automatically at exit once configured;
+/// harmless to call again (files are rewritten in place).
+bool flush();
+
+}  // namespace hayat::telemetry

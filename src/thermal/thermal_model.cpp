@@ -1,8 +1,12 @@
 #include "thermal/thermal_model.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace hayat {
 
@@ -14,7 +18,41 @@ double seriesG(double a, double b) {
   return a * b / (a + b);
 }
 
+std::string fmtSig(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Process-wide (geometry, dt) -> factored operator cache.  Sweeps build
+/// a fresh System (and so a fresh ThermalModel) per task, all with the
+/// same package; without sharing, every task would re-factor the same
+/// implicit-Euler matrix.  Strong references with a small LRU cap: the
+/// cache keeps recent operators alive across the serial task boundary
+/// where no model holds them.
+struct SharedTransientCache {
+  std::mutex mutex;
+  /// Most recently used at the back.
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const ThermalModel::TransientOperator>>>
+      entries;
+};
+
+SharedTransientCache& sharedTransientCache() {
+  static SharedTransientCache* cache =
+      new SharedTransientCache();  // never destroyed
+  return *cache;
+}
+
+constexpr std::size_t kSharedTransientCacheCap = 32;
+
 }  // namespace
+
+void ThermalModel::clearSharedTransientCacheForTest() {
+  SharedTransientCache& shared = sharedTransientCache();
+  const std::scoped_lock lock(shared.mutex);
+  shared.entries.clear();
+}
 
 ThermalModel::ThermalModel(ThermalConfig config)
     : config_(std::move(config)), cores_(config_.floorplan.coreCount()) {
@@ -111,6 +149,26 @@ void ThermalModel::build() {
   }
 
   steadyLu_ = std::make_unique<LuFactorization>(g_);
+
+  // Signature of everything that shaped g_ / cap_ / ambientLoad_ above:
+  // same signature implies identical matrices, so transient operators
+  // are interchangeable across models.
+  signature_ = std::to_string(grid.rows()) + "x" +
+               std::to_string(grid.cols()) + "," + fmtSig(fp.tileWidth()) +
+               "," + fmtSig(fp.tileHeight()) + "," + fmtSig(config_.ambient) +
+               "," + fmtSig(config_.dieThickness) + "," +
+               fmtSig(config_.dieConductivity) + "," +
+               fmtSig(config_.dieVolumetricHeat) + "," +
+               fmtSig(config_.timThickness) + "," +
+               fmtSig(config_.timConductivity) + "," +
+               fmtSig(config_.spreaderThickness) + "," +
+               fmtSig(config_.spreaderConductivity) + "," +
+               fmtSig(config_.spreaderVolumetricHeat) + "," +
+               fmtSig(config_.sinkThickness) + "," +
+               fmtSig(config_.sinkConductivity) + "," +
+               fmtSig(config_.sinkVolumetricHeat) + "," +
+               fmtSig(config_.spreaderSinkResistancePerTile) + "," +
+               fmtSig(config_.convectionResistance);
 }
 
 Vector ThermalModel::expandPower(const Vector& corePower) const {
@@ -149,16 +207,49 @@ const ThermalModel::TransientOperator& ThermalModel::transientOperator(
   for (const auto& op : transientCache_)
     if (op->dt == dt) return *op;
 
-  const int n = nodeCount();
-  Vector capOverDt(static_cast<std::size_t>(n));
-  Matrix a = g_;
-  for (int i = 0; i < n; ++i) {
-    const double c = cap_[static_cast<std::size_t>(i)] / dt;
-    capOverDt[static_cast<std::size_t>(i)] = c;
-    a(i, i) += c;
+  // First time this model sees `dt`: consult the process-wide cache so
+  // Systems with identical thermal geometry reuse one factorization.
+  const std::string key = signature_ + "|dt=" + fmtSig(dt);
+  SharedTransientCache& shared = sharedTransientCache();
+  const std::scoped_lock sharedLock(shared.mutex);
+  for (std::size_t i = 0; i < shared.entries.size(); ++i) {
+    if (shared.entries[i].first != key) continue;
+    auto entry = shared.entries[i];
+    shared.entries.erase(shared.entries.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    shared.entries.push_back(entry);  // refresh LRU position
+    if (telemetry::enabled()) {
+      static telemetry::Counter& hits = telemetry::Registry::global().counter(
+          "hayat_thermal_lu_shared_hits_total");
+      hits.add();
+    }
+    transientCache_.push_back(entry.second);
+    return *transientCache_.back();
   }
-  transientCache_.push_back(
-      std::make_unique<TransientOperator>(dt, std::move(capOverDt), a));
+
+  if (telemetry::enabled()) {
+    static telemetry::Counter& misses = telemetry::Registry::global().counter(
+        "hayat_thermal_lu_shared_misses_total");
+    misses.add();
+  }
+  std::shared_ptr<const TransientOperator> op;
+  {
+    const telemetry::Span span("thermal.lu_factor");
+    const int n = nodeCount();
+    Vector capOverDt(static_cast<std::size_t>(n));
+    Matrix a = g_;
+    for (int i = 0; i < n; ++i) {
+      const double c = cap_[static_cast<std::size_t>(i)] / dt;
+      capOverDt[static_cast<std::size_t>(i)] = c;
+      a(i, i) += c;
+    }
+    op = std::make_shared<const TransientOperator>(dt, std::move(capOverDt),
+                                                   a);
+  }
+  shared.entries.emplace_back(key, op);
+  if (shared.entries.size() > kSharedTransientCacheCap)
+    shared.entries.erase(shared.entries.begin());
+  transientCache_.push_back(std::move(op));
   return *transientCache_.back();
 }
 

@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -119,9 +120,20 @@ class ThermalModel {
   /// first use.  Epoch windows re-create their TransientSolver per
   /// lifetime run but always with the same step size, so the LU — the
   /// hottest setup cost on the simulation path — factors once per
-  /// (model, dt) instead of once per solver.  Thread-safe; the returned
+  /// (geometry, dt) instead of once per solver.  The cache is two-level:
+  /// a per-model list, then a process-wide LRU keyed by configSignature()
+  /// so distinct System instances with identical thermal geometry (every
+  /// task of a sweep) share one factorization.  Thread-safe; the returned
   /// reference stays valid for the model's lifetime.
   const TransientOperator& transientOperator(Seconds dt) const;
+
+  /// Canonical encoding of every ThermalConfig field that influences the
+  /// RC network — equal signatures mean interchangeable operators.
+  const std::string& configSignature() const { return signature_; }
+
+  /// Empties the process-wide transient-operator cache (tests only;
+  /// operators still referenced by live models stay valid).
+  static void clearSharedTransientCacheForTest();
 
  private:
   void build();
@@ -131,10 +143,12 @@ class ThermalModel {
   Matrix g_;
   Vector cap_;
   Vector ambientLoad_;
+  std::string signature_;
   std::unique_ptr<LuFactorization> steadyLu_;
   mutable std::unique_ptr<Matrix> influence_;  // lazily computed
   mutable std::mutex transientMutex_;
-  mutable std::vector<std::unique_ptr<TransientOperator>> transientCache_;
+  mutable std::vector<std::shared_ptr<const TransientOperator>>
+      transientCache_;
 };
 
 }  // namespace hayat

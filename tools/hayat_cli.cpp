@@ -14,6 +14,14 @@
 //   population  print variation statistics of a chip population
 //   aging       dump an aging-table slice (delay factor vs. years) for a
 //               given temperature and duty cycle
+//   trace       `trace export --telemetry-dir DIR [--out PREFIX]` merges
+//               the per-process telemetry exports of a (possibly
+//               distributed) run into one Prometheus file, one Chrome
+//               trace, and one epoch-series CSV
+//
+// `--telemetry DIR` on any simulating subcommand enables the telemetry
+// subsystem (src/telemetry) and exports metrics, spans, and the epoch
+// time series into DIR at exit.
 //
 // Examples:
 //   hayat lifetime --policy hayat --dark 0.5 --years 10 --csv out.csv
@@ -24,10 +32,16 @@
 //   hayat map --policy vaa --dark 0.25 --seed 7
 //   hayat population --chips 25
 //   hayat aging --temperature 358 --duty 0.6
+//   hayat sweep --chips 4 --workers proc:2 --telemetry /tmp/hayat-trace
+//   hayat trace export --telemetry-dir /tmp/hayat-trace --out /tmp/merged
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "common/cli.hpp"
@@ -43,6 +57,9 @@
 #include "engine/worker_proc.hpp"
 #include "runtime/policy_registry.hpp"
 #include "runtime/thermal_predictor.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/telemetry.hpp"
 #include "variation/population.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace_io.hpp"
@@ -132,6 +149,11 @@ int cmdSweep(FlagParser& flags) {
   engine::EngineConfig engineConfig;
   if (flags.provided("workers"))
     engineConfig.dispatch = flags.getString("workers");
+  if (flags.provided("cache-max-bytes"))
+    engineConfig.cacheMaxBytes = std::strtoull(
+        flags.getString("cache-max-bytes").c_str(), nullptr, 10);
+  if (flags.provided("cache-max-age"))
+    engineConfig.cacheMaxAgeSeconds = flags.getDouble("cache-max-age");
   const engine::ExperimentEngine eng(engineConfig);
   if (!eng.dispatchSpec().empty())
     std::printf("Running spec %s (%d tasks) on workers '%s'...\n",
@@ -253,6 +275,87 @@ int cmdWorker(FlagParser& flags) {
   throw Error("worker needs --stdio or --listen PORT");
 }
 
+/// `hayat trace export` — fold the per-process telemetry exports of one
+/// run (coordinator plus any proc:/exec: workers that shared the
+/// directory) into one Prometheus file, one validated Chrome trace, and
+/// one epoch-series CSV.
+int cmdTrace(FlagParser& flags) {
+  const auto& pos = flags.positional();
+  HAYAT_REQUIRE(pos.size() >= 2 && pos[1] == "export",
+                "usage: hayat trace export --telemetry-dir DIR "
+                "[--out PREFIX]");
+  const std::string dir = flags.getString("telemetry-dir");
+  HAYAT_REQUIRE(!dir.empty(), "trace export needs --telemetry-dir DIR");
+  HAYAT_REQUIRE(std::filesystem::is_directory(dir),
+                "telemetry directory not found: " + dir);
+  const std::string prefix =
+      flags.provided("out") ? flags.getString("out") : dir + "/merged";
+  const std::string promPath = prefix + ".metrics.prom";
+  const std::string tracePath = prefix + ".trace.json";
+  const std::string epochPath = prefix + ".epochs.csv";
+
+  auto endsWith = [](const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  std::vector<std::string> promFiles, traceFiles, epochFiles;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    // Re-exporting must not fold a previous merge back in.
+    if (path == promPath || path == tracePath || path == epochPath) continue;
+    if (endsWith(path, ".metrics.prom")) promFiles.push_back(path);
+    if (endsWith(path, ".trace.json")) traceFiles.push_back(path);
+    if (endsWith(path, ".epochs.bin")) epochFiles.push_back(path);
+  }
+  std::sort(promFiles.begin(), promFiles.end());
+  std::sort(traceFiles.begin(), traceFiles.end());
+  std::sort(epochFiles.begin(), epochFiles.end());
+  HAYAT_REQUIRE(!promFiles.empty() || !traceFiles.empty() ||
+                    !epochFiles.empty(),
+                "no telemetry exports found in " + dir);
+
+  if (!promFiles.empty()) {
+    std::ostringstream merged;
+    HAYAT_REQUIRE(telemetry::mergePrometheusFiles(promFiles, merged),
+                  "cannot merge Prometheus exports");
+    std::ofstream out(promPath);
+    HAYAT_REQUIRE(out.is_open(), "cannot write " + promPath);
+    out << merged.str();
+    std::printf("Merged %zu metrics file(s) into %s\n", promFiles.size(),
+                promPath.c_str());
+  }
+  if (!traceFiles.empty()) {
+    std::ostringstream merged;
+    HAYAT_REQUIRE(telemetry::mergeChromeTraceFiles(traceFiles, merged),
+                  "cannot merge Chrome trace exports");
+    HAYAT_REQUIRE(telemetry::validateJson(merged.str()),
+                  "merged trace is not valid JSON");
+    std::ofstream out(tracePath);
+    HAYAT_REQUIRE(out.is_open(), "cannot write " + tracePath);
+    out << merged.str();
+    std::printf("Merged %zu trace file(s) into %s\n", traceFiles.size(),
+                tracePath.c_str());
+  }
+  if (!epochFiles.empty()) {
+    std::vector<telemetry::EpochRow> rows;
+    for (const std::string& path : epochFiles) {
+      std::ifstream in(path, std::ios::binary);
+      HAYAT_REQUIRE(in.is_open(), "cannot read " + path);
+      std::vector<telemetry::EpochRow> fileRows;
+      HAYAT_REQUIRE(telemetry::readEpochSeriesBinary(in, fileRows),
+                    "malformed epoch series: " + path);
+      rows.insert(rows.end(), fileRows.begin(), fileRows.end());
+    }
+    std::ofstream out(epochPath);
+    HAYAT_REQUIRE(out.is_open(), "cannot write " + epochPath);
+    telemetry::writeEpochSeriesCsv(out, rows);
+    std::printf("Converted %zu epoch series file(s) (%zu rows) into %s\n",
+                epochFiles.size(), rows.size(), epochPath.c_str());
+  }
+  return 0;
+}
+
 int cmdAging(FlagParser& flags) {
   SystemConfig config;
   System system = System::create(
@@ -277,7 +380,7 @@ int main(int argc, char** argv) {
   FlagParser flags(
       "hayat",
       "command-line driver (subcommands: lifetime, sweep, map, "
-      "population, aging, export-trace, worker)");
+      "population, aging, export-trace, worker, trace)");
   flags.addFlag("policy", "mapping policy: hayat|vaa|random|coolest", "hayat");
   flags.addFlag("dark", "minimum dark-silicon fraction", "0.5");
   flags.addFlag("years", "simulated lifetime horizon", "10");
@@ -306,11 +409,28 @@ int main(int argc, char** argv) {
   flags.addFlag("listen",
                 "worker subcommand: serve coordinators on this TCP port "
                 "(0 picks one)");
+  flags.addFlag("telemetry",
+                "enable telemetry and export metrics/trace/epoch series "
+                "into this directory at exit");
+  flags.addFlag("cache-max-bytes",
+                "sweep subcommand: evict oldest result-cache entries "
+                "beyond this many bytes (0 = unbounded)", "0");
+  flags.addFlag("cache-max-age",
+                "sweep subcommand: evict result-cache entries older than "
+                "this many seconds (0 = unbounded)", "0");
+  flags.addFlag("telemetry-dir",
+                "trace subcommand: directory holding telemetry exports");
+  flags.addFlag("out", "trace subcommand: output path prefix for the "
+                       "merged files (default: <telemetry-dir>/merged)");
 
   try {
     if (!flags.parse(argc, argv)) return 0;
     const auto& pos = flags.positional();
     const std::string cmd = pos.empty() ? "lifetime" : pos.front();
+    // `trace export` only reads existing exports; configuring telemetry
+    // there would pollute the directory it is merging.
+    if (flags.provided("telemetry") && cmd != "trace")
+      telemetry::configure(flags.getString("telemetry"), cmd);
     if (cmd == "lifetime") return cmdLifetime(flags);
     if (cmd == "sweep") return cmdSweep(flags);
     if (cmd == "map") return cmdMap(flags);
@@ -318,6 +438,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-trace") return cmdExportTrace(flags);
     if (cmd == "aging") return cmdAging(flags);
     if (cmd == "worker") return cmdWorker(flags);
+    if (cmd == "trace") return cmdTrace(flags);
     std::fprintf(stderr, "unknown subcommand '%s'\n%s", cmd.c_str(),
                  flags.helpText().c_str());
     return 2;
