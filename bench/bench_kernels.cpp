@@ -1,0 +1,329 @@
+// Tracked perf harness for the sparse thermal kernels (DESIGN.md §3.8).
+//
+// For each configuration it times the banded RCM solver against the
+// dense reference LU of the *same* permuted system (the two backends of
+// common/sparse.hpp's RcSolver, selectable at run time with
+// HAYAT_DENSE_SOLVER=1) across four levels:
+//
+//   factorize   banded-RCM RcSolver construction vs the pre-sparse
+//               reference — a dense LuFactorization of the
+//               natural-ordered conductance matrix, exactly what the
+//               models built before the sparse migration (block models
+//               4x4/8x8/16x16 and grid-mode refinements of the 8x8 die)
+//   step        one implicit-Euler transient step (the epoch hot loop's
+//               inner kernel, TransientSolver::stepInPlace)
+//   epoch       one full EpochSimulator window (power, leakage, DTM,
+//               accounting — everything around the solve)
+//   lifetime    a short LifetimeSimulator run under the Hayat policy
+//
+// Results go to stdout as a table and to a machine-readable JSON file
+// (default BENCH_kernels.json, committed at the repo root so speedups
+// are tracked in version control; see EXPERIMENTS.md).
+//
+// Usage: bench_kernels [--small] [--out <path>]
+//   --small    CI mode: smallest configs only, short repetitions
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/sparse.hpp"
+#include "core/hayat_policy.hpp"
+#include "core/lifetime.hpp"
+#include "core/system.hpp"
+#include "runtime/epoch.hpp"
+#include "runtime/mapping.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/thermal_model.hpp"
+#include "thermal/transient.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace hayat;
+using Clock = std::chrono::steady_clock;
+
+/// Forces one RcSolver backend for the models built inside a scope
+/// (models resolve HAYAT_DENSE_SOLVER once, at build()).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(bool dense) {
+    setenv("HAYAT_DENSE_SOLVER", dense ? "1" : "0", 1);
+  }
+  ~ScopedBackend() { unsetenv("HAYAT_DENSE_SOLVER"); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+};
+
+double elapsedNs(const Clock::time_point& t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+/// Best-of-`reps` mean ns/iteration, with the iteration count calibrated
+/// so one repetition runs for at least `minRepNs`.
+double timeNs(const std::function<void()>& fn, double minRepNs,
+              int reps = 3) {
+  fn();  // warm-up (first-touch, lazy caches)
+  const Clock::time_point c0 = Clock::now();
+  fn();
+  const double single = elapsedNs(c0);
+  long iters = 1;
+  if (single > 0.0 && single < minRepNs)
+    iters = static_cast<long>(minRepNs / single) + 1;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double perIter = elapsedNs(t0) / static_cast<double>(iters);
+    if (best < 0.0 || perIter < best) best = perIter;
+  }
+  return best;
+}
+
+struct Entry {
+  std::string section;  ///< factorize | step | epoch | lifetime
+  std::string model;    ///< block | grid
+  std::string config;   ///< e.g. "8x8" or "8x8/sub4"
+  int nodes = 0;
+  double bandedNs = 0.0;
+  double denseNs = 0.0;
+
+  double speedup() const { return bandedNs > 0.0 ? denseNs / bandedNs : 0.0; }
+};
+
+ThermalConfig blockConfig(int rows, int cols) {
+  ThermalConfig tc;
+  // The paper's tile: 1.70 x 1.75 mm^2 Alpha-like cores (Fig. 2).
+  tc.floorplan = FloorPlan(GridShape(rows, cols), 1.70e-3, 1.75e-3);
+  return tc;
+}
+
+std::string gridLabel(int rows, int cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+/// Alternate-core ~3 W load (half the cores powered, the dark-silicon
+/// operating point the policies run at).
+Vector alternatePower(int cores) {
+  Vector p(static_cast<std::size_t>(cores), 0.0);
+  for (int i = 0; i < cores; i += 2) p[static_cast<std::size_t>(i)] = 3.0;
+  return p;
+}
+
+/// Banded-RCM construction vs the seed-era reference: LuFactorization of
+/// the natural-ordered dense conductance matrix (what ThermalModel and
+/// GridThermalModel factored before the sparse migration).
+Entry benchFactorization(const std::string& model, const std::string& config,
+                         const SparseMatrix& a, const std::vector<int>& perm,
+                         double minRepNs) {
+  Entry e{"factorize", model, config, a.rows(), 0.0, 0.0};
+  e.bandedNs = timeNs(
+      [&] { const RcSolver s(a, perm, RcSolver::Mode::Banded); }, minRepNs);
+  const Matrix dense = a.toDense();
+  e.denseNs = timeNs([&] { const LuFactorization lu(dense); }, minRepNs);
+  return e;
+}
+
+Entry benchBlockFactorization(int rows, int cols, double minRepNs) {
+  const ThermalModel model(blockConfig(rows, cols));
+  return benchFactorization("block", gridLabel(rows, cols),
+                            model.conductanceSparse(), model.nodeOrdering(),
+                            minRepNs);
+}
+
+Entry benchGridFactorization(int rows, int cols, int subdivision,
+                             double minRepNs) {
+  GridThermalConfig gc;
+  gc.base = blockConfig(rows, cols);
+  gc.subdivision = subdivision;
+  const GridThermalModel model(gc);
+  return benchFactorization(
+      "grid", gridLabel(rows, cols) + "/sub" + std::to_string(subdivision),
+      model.conductanceSparse(), model.nodeOrdering(), minRepNs);
+}
+
+double timeTransientStep(const ThermalModel& model, double minRepNs) {
+  const TransientSolver solver(model, 6.6e-3);
+  const Vector power = alternatePower(model.coreCount());
+  Vector temps = solver.initialState(power);
+  Vector scratch(static_cast<std::size_t>(model.nodeCount()));
+  return timeNs([&] { solver.stepInPlace(temps, power, scratch); }, minRepNs,
+                5);
+}
+
+Entry benchTransientStep(int rows, int cols, double minRepNs) {
+  Entry e{"step", "block", gridLabel(rows, cols), 0, 0.0, 0.0};
+  {
+    const ScopedBackend banded(false);
+    const ThermalModel model(blockConfig(rows, cols));
+    e.nodes = model.nodeCount();
+    e.bandedNs = timeTransientStep(model, minRepNs);
+  }
+  {
+    const ScopedBackend dense(true);
+    const ThermalModel model(blockConfig(rows, cols));
+    e.denseNs = timeTransientStep(model, minRepNs);
+  }
+  return e;
+}
+
+SystemConfig benchSystemConfig(int rows, int cols) {
+  SystemConfig sc;
+  sc.population.coreGrid = GridShape(rows, cols);
+  sc.pathsPerCore = 3;
+  sc.elementsPerPath = 12;
+  sc.epoch.window = 0.3;
+  return sc;
+}
+
+double timeEpochWindow(const SystemConfig& sc, double minRepNs) {
+  System system = System::create(sc, 2015);
+  Rng rng(7);
+  const int budget = system.chip().coreCount() / 2;
+  const WorkloadMix mix = ParsecLikeSuite::makeMix(rng, budget, 3.0e9);
+  const auto threads = runnableThreads(mix, chooseParallelism(mix, budget));
+  Mapping mapping(system.chip().coreCount());
+  int core = 0;
+  for (const RunnableThread& t : threads) {
+    mapping.assign(t.ref, core,
+                   std::min(t.minFrequency, system.chip().currentFmax(core)),
+                   t.minFrequency);
+    core += 2;  // alternate cores: the dark half stays off
+  }
+  const EpochSimulator sim(system.chip(), system.thermal(), system.leakage(),
+                           sc.epoch);
+  return timeNs([&] { sim.run(mapping, mix); }, minRepNs, 2);
+}
+
+Entry benchEpochWindow(int rows, int cols, double minRepNs) {
+  const SystemConfig sc = benchSystemConfig(rows, cols);
+  Entry e{"epoch", "block", gridLabel(rows, cols), 3 * rows * cols, 0.0, 0.0};
+  {
+    const ScopedBackend banded(false);
+    e.bandedNs = timeEpochWindow(sc, minRepNs);
+  }
+  {
+    const ScopedBackend dense(true);
+    e.denseNs = timeEpochWindow(sc, minRepNs);
+  }
+  return e;
+}
+
+double timeLifetimeRun(const SystemConfig& sc) {
+  System system = System::create(sc, 2015);
+  LifetimeConfig lc;
+  lc.horizon = 0.5;
+  lc.epochLength = 0.25;
+  lc.workloadSeed = 77;
+  const LifetimeSimulator sim(lc);
+  HayatPolicy policy;
+  return timeNs(
+      [&] {
+        system.resetHealth();
+        sim.run(system, policy);
+      },
+      0.0, 2);
+}
+
+Entry benchLifetimeRun(int rows, int cols) {
+  const SystemConfig sc = benchSystemConfig(rows, cols);
+  Entry e{"lifetime", "block", gridLabel(rows, cols), 3 * rows * cols, 0.0,
+          0.0};
+  {
+    const ScopedBackend banded(false);
+    e.bandedNs = timeLifetimeRun(sc);
+  }
+  {
+    const ScopedBackend dense(true);
+    e.denseNs = timeLifetimeRun(sc);
+  }
+  return e;
+}
+
+void writeJson(const std::string& path, const std::string& mode,
+               const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"benchmark\": \"bench_kernels\",\n"
+      << "  \"version\": 1,\n"
+      << "  \"mode\": \"" << mode << "\",\n"
+      << "  \"units\": \"nanoseconds\",\n"
+      << "  \"results\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"section\": \"%s\", \"model\": \"%s\", "
+                  "\"config\": \"%s\", \"nodes\": %d, "
+                  "\"banded_ns\": %.1f, \"dense_ns\": %.1f, "
+                  "\"speedup\": %.2f}%s\n",
+                  e.section.c_str(), e.model.c_str(), e.config.c_str(),
+                  e.nodes, e.bandedNs, e.denseNs, e.speedup(),
+                  i + 1 < entries.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  std::string outPath = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--small] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double minRepNs = small ? 2e6 : 2e7;
+
+  std::vector<Entry> entries;
+  const std::vector<std::pair<int, int>> blockGrids =
+      small ? std::vector<std::pair<int, int>>{{4, 4}, {8, 8}}
+            : std::vector<std::pair<int, int>>{{4, 4}, {8, 8}, {16, 16}};
+  for (const auto& [rows, cols] : blockGrids)
+    entries.push_back(benchBlockFactorization(rows, cols, minRepNs));
+  // Grid-mode die refinements: the paper's 8x8 chip plus the 16x16
+  // validation scale, where the banded profile stays narrow relative to
+  // the node count and the dense reference falls behind the furthest
+  // (4x4 when small).
+  struct GridCase {
+    int rows;
+    int sub;
+  };
+  const std::vector<GridCase> gridCases =
+      small ? std::vector<GridCase>{{4, 2}, {4, 3}}
+            : std::vector<GridCase>{{8, 2}, {8, 4}, {16, 2}, {16, 4}};
+  for (const GridCase& g : gridCases)
+    entries.push_back(benchGridFactorization(g.rows, g.rows, g.sub, minRepNs));
+  for (const auto& [rows, cols] : blockGrids)
+    entries.push_back(benchTransientStep(rows, cols, minRepNs));
+  for (const auto& [rows, cols] : blockGrids)
+    entries.push_back(benchEpochWindow(rows, cols, small ? 0.0 : minRepNs));
+  for (const auto& [rows, cols] : small
+           ? std::vector<std::pair<int, int>>{{4, 4}}
+           : std::vector<std::pair<int, int>>{{4, 4}, {8, 8}})
+    entries.push_back(benchLifetimeRun(rows, cols));
+
+  std::printf("%-10s %-6s %-10s %6s %14s %14s %9s\n", "section", "model",
+              "config", "nodes", "banded [ns]", "dense [ns]", "speedup");
+  for (const Entry& e : entries)
+    std::printf("%-10s %-6s %-10s %6d %14.0f %14.0f %8.2fx\n",
+                e.section.c_str(), e.model.c_str(), e.config.c_str(), e.nodes,
+                e.bandedNs, e.denseNs, e.speedup());
+
+  writeJson(outPath, small ? "small" : "full", entries);
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "common/alloc_counter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HAYAT_NO_ALLOC_COUNTER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HAYAT_NO_ALLOC_COUNTER 1
+#endif
+#endif
+
+namespace hayat {
+namespace {
+
+// Constant-initialized so the counter is usable before any static
+// constructor runs (operator new can be called arbitrarily early).
+thread_local std::uint64_t g_allocCount = 0;
+
+}  // namespace
+
+std::uint64_t heapAllocationCount() { return g_allocCount; }
+
+bool allocCounterActive() {
+#ifdef HAYAT_NO_ALLOC_COUNTER
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace hayat
+
+#ifndef HAYAT_NO_ALLOC_COUNTER
+
+namespace {
+
+void* countedAlloc(std::size_t size) {
+  ++hayat::g_allocCount;
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* countedAlloc(std::size_t size, std::align_val_t align) {
+  ++hayat::g_allocCount;
+  if (size == 0) size = 1;
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) /
+                                   static_cast<std::size_t>(align) *
+                                   static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return countedAlloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return countedAlloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++hayat::g_allocCount;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++hayat::g_allocCount;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // !HAYAT_NO_ALLOC_COUNTER

@@ -1,0 +1,27 @@
+// Thread-local heap-allocation counter.
+//
+// The epoch hot loop is contractually allocation-free (DESIGN.md §3.8);
+// tests and telemetry verify that by sampling this counter around the
+// loop.  The global operator new/delete overrides live in
+// alloc_counter.cpp and bump a thread_local counter on every allocation
+// made by the current thread.
+//
+// Sanitizer builds (ASan/TSan) interpose their own allocator and our
+// replacement operators would fight it, so the overrides are compiled
+// out there; allocCounterActive() tells callers whether the counter is
+// real so assertions can degrade to trivially-true instead of flaky.
+#pragma once
+
+#include <cstdint>
+
+namespace hayat {
+
+/// Number of operator-new calls made by the current thread since start.
+/// Monotonic; take deltas around a region to count its allocations.
+std::uint64_t heapAllocationCount();
+
+/// True when the counting operator new/delete overrides are compiled
+/// in (i.e. not a sanitizer build) and heapAllocationCount() is live.
+bool allocCounterActive();
+
+}  // namespace hayat

@@ -1,0 +1,329 @@
+#include "common/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+// --- SparseMatrix ---------------------------------------------------------
+
+double SparseMatrix::at(int r, int c) const {
+  HAYAT_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "sparse index out of range");
+  const auto begin = colIndex_.begin() + rowStart_[static_cast<std::size_t>(r)];
+  const auto end =
+      colIndex_.begin() + rowStart_[static_cast<std::size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - colIndex_.begin())];
+}
+
+void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
+  HAYAT_REQUIRE(static_cast<int>(x.size()) == cols_,
+                "sparse matrix-vector dimension mismatch");
+  y.resize(static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const int end = rowStart_[static_cast<std::size_t>(r) + 1];
+    for (int k = rowStart_[static_cast<std::size_t>(r)]; k < end; ++k)
+      acc += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(colIndex_[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiplyInto(x, y);
+  return y;
+}
+
+Matrix SparseMatrix::toDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    const int end = rowStart_[static_cast<std::size_t>(r) + 1];
+    for (int k = rowStart_[static_cast<std::size_t>(r)]; k < end; ++k)
+      out(r, colIndex_[static_cast<std::size_t>(k)]) =
+          values_[static_cast<std::size_t>(k)];
+  }
+  return out;
+}
+
+// --- SparseMatrixBuilder --------------------------------------------------
+
+SparseMatrixBuilder::SparseMatrixBuilder(int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  HAYAT_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dimensions");
+}
+
+void SparseMatrixBuilder::add(int r, int c, double value) {
+  HAYAT_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "triplet index out of range");
+  triplets_.push_back({r, c, value});
+}
+
+SparseMatrix SparseMatrixBuilder::build() const {
+  // Stable sort keeps duplicates in insertion order, so summing them
+  // reproduces the equivalent dense `+=` sequence bitwise.
+  std::vector<Triplet> sorted = triplets_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+
+  SparseMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = cols_;
+  out.rowStart_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  for (std::size_t i = 0; i < sorted.size();) {
+    const int r = sorted[i].row;
+    const int c = sorted[i].col;
+    double acc = 0.0;
+    while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c)
+      acc += sorted[i++].value;
+    out.colIndex_.push_back(c);
+    out.values_.push_back(acc);
+    ++out.rowStart_[static_cast<std::size_t>(r) + 1];
+  }
+  for (int r = 0; r < rows_; ++r)
+    out.rowStart_[static_cast<std::size_t>(r) + 1] +=
+        out.rowStart_[static_cast<std::size_t>(r)];
+  return out;
+}
+
+bool denseSolverRequested() {
+  const char* env = std::getenv("HAYAT_DENSE_SOLVER");
+  return env != nullptr && env[0] == '1';
+}
+
+// --- Reverse Cuthill–McKee ------------------------------------------------
+
+namespace {
+
+/// One BFS pass from `start` over the CSR pattern; appends visited
+/// vertices to `order` (neighbours by increasing (degree, index)) and
+/// returns the index of a vertex in the last level (an eccentricity
+/// witness, used to find a pseudo-peripheral seed).
+int bfsOrder(const SparseMatrix& a, int start, std::vector<char>& seen,
+             std::vector<int>& order) {
+  const std::vector<int>& rowStart = a.rowStart();
+  const std::vector<int>& colIndex = a.colIndex();
+  auto degree = [&](int v) {
+    return rowStart[static_cast<std::size_t>(v) + 1] -
+           rowStart[static_cast<std::size_t>(v)];
+  };
+
+  const std::size_t first = order.size();
+  order.push_back(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  std::size_t head = first;
+  std::vector<int> neighbours;
+  while (head < order.size()) {
+    const int v = order[head++];
+    neighbours.clear();
+    const int end = rowStart[static_cast<std::size_t>(v) + 1];
+    for (int k = rowStart[static_cast<std::size_t>(v)]; k < end; ++k) {
+      const int u = colIndex[static_cast<std::size_t>(k)];
+      if (u == v || seen[static_cast<std::size_t>(u)]) continue;
+      seen[static_cast<std::size_t>(u)] = 1;
+      neighbours.push_back(u);
+    }
+    std::sort(neighbours.begin(), neighbours.end(), [&](int x, int y) {
+      const int dx = degree(x);
+      const int dy = degree(y);
+      return dx != dy ? dx < dy : x < y;
+    });
+    order.insert(order.end(), neighbours.begin(), neighbours.end());
+  }
+  return order.back();
+}
+
+}  // namespace
+
+std::vector<int> reverseCuthillMcKee(const SparseMatrix& a) {
+  HAYAT_REQUIRE(a.rows() == a.cols(), "RCM requires a square matrix");
+  const int n = a.rows();
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+
+  const std::vector<int>& rowStart = a.rowStart();
+  auto degree = [&](int v) {
+    return rowStart[static_cast<std::size_t>(v) + 1] -
+           rowStart[static_cast<std::size_t>(v)];
+  };
+
+  for (int root = 0; root < n; ++root) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    // Pick the minimum-degree unvisited vertex of this component, then
+    // hop to a far vertex once — a cheap pseudo-peripheral heuristic.
+    int seed = root;
+    for (int v = root; v < n; ++v)
+      if (!seen[static_cast<std::size_t>(v)] && degree(v) < degree(seed))
+        seed = v;
+    std::vector<char> probe = seen;
+    std::vector<int> probeOrder;
+    seed = bfsOrder(a, seed, probe, probeOrder);
+    bfsOrder(a, seed, seen, order);
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+int bandwidthOf(const SparseMatrix& a, const std::vector<int>& perm) {
+  HAYAT_REQUIRE(a.rows() == a.cols(), "bandwidth requires a square matrix");
+  const int n = a.rows();
+  std::vector<int> newIndexOf(static_cast<std::size_t>(n));
+  if (perm.empty()) {
+    for (int i = 0; i < n; ++i) newIndexOf[static_cast<std::size_t>(i)] = i;
+  } else {
+    HAYAT_REQUIRE(static_cast<int>(perm.size()) == n,
+                  "permutation size mismatch");
+    for (int i = 0; i < n; ++i)
+      newIndexOf[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+          i;
+  }
+  int band = 0;
+  for (int r = 0; r < n; ++r) {
+    const int end = a.rowStart()[static_cast<std::size_t>(r) + 1];
+    for (int k = a.rowStart()[static_cast<std::size_t>(r)]; k < end; ++k) {
+      const int c = a.colIndex()[static_cast<std::size_t>(k)];
+      band = std::max(band, std::abs(newIndexOf[static_cast<std::size_t>(r)] -
+                                     newIndexOf[static_cast<std::size_t>(c)]));
+    }
+  }
+  return band;
+}
+
+// --- BandedFactorization --------------------------------------------------
+
+BandedFactorization::BandedFactorization(const SparseMatrix& a, int band)
+    : n_(a.rows()),
+      band_(band),
+      band_data_(static_cast<std::size_t>(a.rows()) *
+                     static_cast<std::size_t>(2 * band + 1),
+                 0.0) {
+  HAYAT_REQUIRE(a.rows() == a.cols(), "banded LU requires a square matrix");
+  HAYAT_REQUIRE(band >= 0, "negative bandwidth");
+
+  for (int r = 0; r < n_; ++r) {
+    const int end = a.rowStart()[static_cast<std::size_t>(r) + 1];
+    for (int k = a.rowStart()[static_cast<std::size_t>(r)]; k < end; ++k) {
+      const int c = a.colIndex()[static_cast<std::size_t>(k)];
+      HAYAT_REQUIRE(std::abs(r - c) <= band_,
+                    "matrix entry outside the declared band");
+      at(r, c) = a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+
+  // Right-looking elimination restricted to the band.  Loop structure,
+  // update expressions, and zero-factor skips replicate
+  // LuFactorization's no-swap path exactly (see sparse.hpp) so the
+  // factors match the dense reference bitwise.
+  for (int k = 0; k < n_; ++k) {
+    const double pivot = at(k, k);
+    HAYAT_REQUIRE(std::fabs(pivot) > 1e-300,
+                  "zero pivot in banded LU (matrix not diagonally "
+                  "dominant?)");
+    const double inv = 1.0 / pivot;
+    const int rEnd = std::min(n_ - 1, k + band_);
+    const int cEnd = rEnd;
+    for (int r = k + 1; r <= rEnd; ++r) {
+      const double factor = at(r, k) * inv;
+      at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (int c = k + 1; c <= cEnd; ++c) at(r, c) -= factor * at(k, c);
+    }
+  }
+}
+
+void BandedFactorization::solveInPlace(Vector& x) const {
+  HAYAT_REQUIRE(static_cast<int>(x.size()) == n_, "rhs size mismatch");
+  // Forward substitution (unit lower triangle).
+  for (int i = 0; i < n_; ++i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    const int jBegin = std::max(0, i - band_);
+    for (int j = jBegin; j < i; ++j)
+      acc -= at(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back substitution.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    const int jEnd = std::min(n_ - 1, i + band_);
+    for (int j = i + 1; j <= jEnd; ++j)
+      acc -= at(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / at(i, i);
+  }
+}
+
+Vector BandedFactorization::solve(const Vector& b) const {
+  Vector x = b;
+  solveInPlace(x);
+  return x;
+}
+
+// --- RcSolver -------------------------------------------------------------
+
+RcSolver::RcSolver(const SparseMatrix& a, std::vector<int> perm, Mode mode)
+    : n_(a.rows()), perm_(std::move(perm)) {
+  HAYAT_REQUIRE(a.rows() == a.cols(), "RcSolver requires a square matrix");
+  if (perm_.empty()) perm_ = reverseCuthillMcKee(a);
+  HAYAT_REQUIRE(static_cast<int>(perm_.size()) == n_,
+                "permutation size mismatch");
+  band_ = bandwidthOf(a, perm_);
+
+  // Permute A into new labels: Ap(i, j) = A(perm[i], perm[j]).
+  std::vector<int> newIndexOf(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i)
+    newIndexOf[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+        i;
+  SparseMatrixBuilder builder(n_, n_);
+  for (int r = 0; r < n_; ++r) {
+    const int end = a.rowStart()[static_cast<std::size_t>(r) + 1];
+    for (int k = a.rowStart()[static_cast<std::size_t>(r)]; k < end; ++k)
+      builder.add(newIndexOf[static_cast<std::size_t>(r)],
+                  newIndexOf[static_cast<std::size_t>(
+                      a.colIndex()[static_cast<std::size_t>(k)])],
+                  a.values()[static_cast<std::size_t>(k)]);
+  }
+  const SparseMatrix permuted = builder.build();
+
+  const bool dense =
+      mode == Mode::Dense || (mode == Mode::Auto && denseSolverRequested());
+  if (dense) {
+    dense_ = std::make_unique<LuFactorization>(permuted.toDense());
+  } else {
+    banded_ = std::make_unique<BandedFactorization>(permuted, band_);
+  }
+}
+
+void RcSolver::solveInPlace(Vector& x, Vector& scratch) const {
+  HAYAT_REQUIRE(static_cast<int>(x.size()) == n_, "rhs size mismatch");
+  scratch.resize(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i)
+    scratch[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+  if (banded_ != nullptr) {
+    banded_->solveInPlace(scratch);
+  } else {
+    scratch = dense_->solve(scratch);  // reference path; allocates
+  }
+  for (int i = 0; i < n_; ++i)
+    x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+        scratch[static_cast<std::size_t>(i)];
+}
+
+Vector RcSolver::solve(const Vector& b) const {
+  Vector x = b;
+  Vector scratch;
+  solveInPlace(x, scratch);
+  return x;
+}
+
+}  // namespace hayat

@@ -1,6 +1,7 @@
 #include "core/lifetime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <cmath>
 
@@ -131,9 +132,12 @@ Years LifetimeResult::yearsUntilAverageFmaxBelow(Hertz threshold) const {
   HAYAT_REQUIRE(!epochs.empty(), "empty lifetime result");
   Hertz prev = mean(initialFmax);
   Years prevYear = 0.0;
+  // With a single epoch its startYear is 0.0, so the spacing must come
+  // from the horizon — epochs[0].startYear would collapse the
+  // interpolated crossing to year 0.
   const Years epochLen =
       epochs.size() > 1 ? epochs[1].startYear - epochs[0].startYear
-                        : epochs[0].startYear;
+                        : horizon / static_cast<double>(epochs.size());
   for (const EpochRecord& e : epochs) {
     const Years endYear = e.startYear + epochLen;
     if (e.averageFmax < threshold) {
@@ -211,7 +215,9 @@ LifetimeResult LifetimeSimulator::run(System& system,
   std::vector<std::pair<int, int>> pendingArrivals;
 
   for (int e = 0; e < epochCount; ++e) {
-    const telemetry::Span epochSpan("lifetime.epoch");
+    static std::atomic<std::uint64_t> epochSpanSite{0};
+    const telemetry::Span epochSpan(
+        "lifetime.epoch", telemetry::sampleSpanSite(epochSpanSite));
     if (telemetry::enabled()) {
       static telemetry::Counter& epochs =
           telemetry::Registry::global().counter("hayat_lifetime_epochs_total");

@@ -25,8 +25,11 @@ namespace hayat::engine {
 
 /// On-disk cache format version.  Every entry is stamped with it; loading
 /// an entry written by a different format is a miss that also deletes the
-/// stale file (see loadCachedTable).
-inline constexpr int kCacheFormatVersion = 2;
+/// stale file (see loadCachedTable).  v3: thermal solves moved to the
+/// RCM-ordered sparse kernels, which shifts results at the last few ulps
+/// — entries computed with the dense pre-sparse numerics must not be
+/// served as hits.
+inline constexpr int kCacheFormatVersion = 3;
 
 /// Canonical text record of one RunResult (identity columns + the full
 /// lifetime trace, doubles at %.17g so values round-trip exactly).  The

@@ -33,7 +33,11 @@ CoupledOperatingPoint solveCoupledSteadyState(const ThermalModel& thermal,
                                                poweredOn[s]);
       op.corePower[s] = dynamicPower[s] + op.leakagePower[s];
     }
-    Vector next = thermal.steadyStateCoreTemperatures(op.corePower);
+    // Solve the full network once and keep the node vector: the last
+    // iteration's solve *is* steadyState(op.corePower), which the epoch
+    // warm start would otherwise recompute.
+    op.nodeTemperatures = thermal.steadyState(op.corePower);
+    Vector next = thermal.coreTemperatures(op.nodeTemperatures);
     const double delta = maxAbsDiff(next, op.coreTemperatures);
     // Mild under-relaxation keeps the iteration contractive even for
     // chips whose leakiest cores sit near the thermal-runaway gain limit.

@@ -22,6 +22,10 @@ namespace hayat {
 /// Result of the coupled solve.
 struct CoupledOperatingPoint {
   Vector coreTemperatures;  ///< [K], per core
+  /// All node temperatures from the final iteration's steady solve at
+  /// `corePower` — identical to thermal.steadyState(corePower), handed
+  /// out so callers (the epoch warm start) need no duplicate solve.
+  Vector nodeTemperatures;
   Vector corePower;         ///< total power per core (dynamic + leakage)
   Vector leakagePower;      ///< leakage component per core
   int iterations = 0;       ///< fixed-point iterations used

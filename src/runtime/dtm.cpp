@@ -44,7 +44,8 @@ int DtmManager::enforce(Mapping& mapping, const Vector& coreTemperatures,
   }
 
   // Hot cores, hottest first.
-  std::vector<int> hot;
+  std::vector<int>& hot = hotScratch_;
+  hot.clear();
   for (int i = 0; i < n; ++i) {
     if (!mapping.coreBusy(i)) continue;
     if (coreTemperatures[static_cast<std::size_t>(i)] >= config_.tsafe)

@@ -67,6 +67,10 @@ class DtmManager {
   long tick_ = 0;
   /// Last migration tick per thread, keyed by (app, thread).
   std::map<std::pair<int, int>, long> lastMigration_;
+  /// Hot-core work list, kept as a member so quiescent enforce() calls
+  /// (no core at Tsafe — the steady-state epoch common case) allocate
+  /// nothing.
+  std::vector<int> hotScratch_;
 };
 
 }  // namespace hayat

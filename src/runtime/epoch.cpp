@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <utility>
 
+#include "common/alloc_counter.hpp"
 #include "common/error.hpp"
 #include "power/thermal_coupling.hpp"
 #include "telemetry/metrics.hpp"
@@ -13,9 +15,12 @@ namespace hayat {
 
 namespace {
 std::atomic<long> runCount{0};
+std::atomic<std::uint64_t> stepLoopAllocs{0};
 }  // namespace
 
 long epochSimulatorRunCount() { return runCount.load(); }
+
+std::uint64_t epochStepLoopAllocs() { return stepLoopAllocs.load(); }
 
 EpochSimulator::EpochSimulator(const Chip& chip, const ThermalModel& thermal,
                                const LeakageModel& leakage, EpochConfig config)
@@ -34,7 +39,9 @@ EpochSimulator::EpochSimulator(const Chip& chip, const ThermalModel& thermal,
 EpochResult EpochSimulator::run(const Mapping& initialMapping,
                                 const WorkloadMix& mix) const {
   runCount.fetch_add(1, std::memory_order_relaxed);
-  const telemetry::Span windowSpan("epoch.window");
+  static std::atomic<std::uint64_t> windowSpanSite{0};
+  const telemetry::Span windowSpan("epoch.window",
+                                   telemetry::sampleSpanSite(windowSpanSite));
   const std::uint64_t windowT0 =
       telemetry::enabled() ? telemetry::nowNanos() : 0;
   const int n = chip_->coreCount();
@@ -49,17 +56,18 @@ EpochResult EpochSimulator::run(const Mapping& initialMapping,
   Rng sensorRng(config_.thermalSensorSeed);
 
   // Warm start: the chip has been executing this workload, so begin from
-  // the coupled steady state of the mapping's average power.
+  // the coupled steady state of the mapping's average power.  The
+  // coupled solver hands out the node temperatures of its final solve,
+  // so no second full-network solve is needed.
   Vector nodeTemps;
   {
     std::vector<bool> on(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
       on[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
-    const CoupledOperatingPoint op = solveCoupledSteadyState(
+    CoupledOperatingPoint op = solveCoupledSteadyState(
         *thermal_, *leakage_,
         mapping.averageDynamicPower(mix, config_.nominalFrequency), on);
-    // Node temperatures: re-solve the full network at the converged power.
-    nodeTemps = thermal_->steadyState(op.corePower);
+    nodeTemps = std::move(op.nodeTemperatures);
   }
 
   EpochResult result{Vector(static_cast<std::size_t>(n), 0.0),
@@ -78,42 +86,54 @@ EpochResult EpochSimulator::run(const Mapping& initialMapping,
                                     std::llround(config_.window / config_.step)));
   double tempTimeAccum = 0.0;
 
+  // Pre-warm every buffer the step loop touches so the loop itself is
+  // allocation-free in steady state (the DESIGN.md §3.8 contract; the
+  // delta is tracked in epochStepLoopAllocs / hayat_epoch_step_allocs).
+  Vector corePower;
+  Vector coreTemps;
+  Vector readings;
+  Vector stepScratch;
+  mapping.dynamicPowerInto(mix, 0.0, config_.nominalFrequency, corePower);
+  thermal_->coreTemperaturesInto(nodeTemps, coreTemps);
+  if (noisySensors) readings.resize(static_cast<std::size_t>(n));
+  stepScratch.resize(static_cast<std::size_t>(thermal_->nodeCount()));
+  const std::uint64_t allocsBefore = heapAllocationCount();
+
   for (int s = 0; s < steps; ++s) {
     const Seconds now = s * config_.step;
 
     // Per-core power for this step: phased dynamic power plus leakage at
     // the present temperatures (the 6.6 ms leakage update of Section V).
-    Vector corePower =
-        mapping.dynamicPowerAt(mix, now, config_.nominalFrequency);
-    const Vector coreTemps = thermal_->coreTemperatures(nodeTemps);
+    mapping.dynamicPowerInto(mix, now, config_.nominalFrequency, corePower);
     for (int i = 0; i < n; ++i) {
       const auto si = static_cast<std::size_t>(i);
       corePower[si] += leakage_->coreLeakage(i, coreTemps[si],
                                              mapping.coreBusy(i));
     }
 
-    nodeTemps = solver_.step(nodeTemps, corePower);
-    const Vector newTemps = thermal_->coreTemperatures(nodeTemps);
+    solver_.stepInPlace(nodeTemps, corePower, stepScratch);
+    thermal_->coreTemperaturesInto(nodeTemps, coreTemps);
 
     // DTM check at the sensor temperatures (noisy if configured; the
     // accounting below always records the true temperatures).
     if (noisySensors) {
-      Vector readings = newTemps;
-      for (double& r : readings) r = thermalSensor.read(r, sensorRng);
+      for (int i = 0; i < n; ++i)
+        readings[static_cast<std::size_t>(i)] = thermalSensor.read(
+            coreTemps[static_cast<std::size_t>(i)], sensorRng);
       dtm.enforce(mapping, readings, chip_->health());
     } else {
-      dtm.enforce(mapping, newTemps, chip_->health());
+      dtm.enforce(mapping, coreTemps, chip_->health());
     }
 
     // Accounting.
     bool throttled = false;
     for (int i = 0; i < n; ++i) {
       const auto si = static_cast<std::size_t>(i);
-      result.averageTemperature[si] += newTemps[si];
+      result.averageTemperature[si] += coreTemps[si];
       result.peakTemperature[si] =
-          std::max(result.peakTemperature[si], newTemps[si]);
-      result.chipPeak = std::max(result.chipPeak, newTemps[si]);
-      tempTimeAccum += newTemps[si];
+          std::max(result.peakTemperature[si], coreTemps[si]);
+      result.chipPeak = std::max(result.chipPeak, coreTemps[si]);
+      tempTimeAccum += coreTemps[si];
       const auto& slot = mapping.onCore(i);
       if (slot.has_value()) {
         const Application& app =
@@ -129,6 +149,9 @@ EpochResult EpochSimulator::run(const Mapping& initialMapping,
     if (throttled) ++result.throttledSteps;
   }
 
+  const std::uint64_t loopAllocs = heapAllocationCount() - allocsBefore;
+  stepLoopAllocs.fetch_add(loopAllocs, std::memory_order_relaxed);
+
   for (int i = 0; i < n; ++i) {
     const auto si = static_cast<std::size_t>(i);
     result.averageTemperature[si] /= steps;
@@ -143,11 +166,14 @@ EpochResult EpochSimulator::run(const Mapping& initialMapping,
   if (telemetry::enabled()) {
     static telemetry::Counter& windows =
         telemetry::Registry::global().counter("hayat_epoch_windows_total");
+    static telemetry::Counter& stepAllocs =
+        telemetry::Registry::global().counter("hayat_epoch_step_allocs");
     static telemetry::Histogram& duration =
         telemetry::Registry::global().histogram(
             "hayat_epoch_window_seconds",
             {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0});
     windows.add();
+    if (loopAllocs > 0) stepAllocs.add(loopAllocs);
     if (windowT0 != 0)
       duration.observe(static_cast<double>(telemetry::nowNanos() - windowT0) *
                        1e-9);

@@ -15,6 +15,8 @@
 // sensor-style summary in EpochResult.
 #pragma once
 
+#include <cstdint>
+
 #include "arch/chip.hpp"
 #include "arch/sensors.hpp"
 #include "power/leakage.hpp"
@@ -71,6 +73,14 @@ struct EpochResult {
 /// calls"; this counter is how tests (and the engine's own stats) verify
 /// that without instrumenting call sites.  Monotonic, thread-safe.
 long epochSimulatorRunCount();
+
+/// Process-wide count of heap allocations observed inside epoch step
+/// loops (after buffer warm-up).  The hot loop is contractually
+/// allocation-free in steady state — a steady window adds exactly zero
+/// here; DTM actions (migration bookkeeping) are the only expected
+/// contributors.  Always zero when allocCounterActive() is false
+/// (sanitizer builds).  Monotonic, thread-safe.
+std::uint64_t epochStepLoopAllocs();
 
 /// Ground-truth fine-grained simulator.
 class EpochSimulator {

@@ -92,8 +92,15 @@ DarkCoreMap Mapping::toDarkCoreMap(const GridShape& grid) const {
 
 Vector Mapping::dynamicPowerAt(const WorkloadMix& mix, Seconds traceTime,
                                Hertz nominalFrequency) const {
+  Vector power;
+  dynamicPowerInto(mix, traceTime, nominalFrequency, power);
+  return power;
+}
+
+void Mapping::dynamicPowerInto(const WorkloadMix& mix, Seconds traceTime,
+                               Hertz nominalFrequency, Vector& out) const {
   HAYAT_REQUIRE(nominalFrequency > 0.0, "nominal frequency must be positive");
-  Vector power(coreThread_.size(), 0.0);
+  out.assign(coreThread_.size(), 0.0);
   for (std::size_t i = 0; i < coreThread_.size(); ++i) {
     const auto& slot = coreThread_[i];
     if (!slot.has_value()) continue;
@@ -101,9 +108,8 @@ Vector Mapping::dynamicPowerAt(const WorkloadMix& mix, Seconds traceTime,
         mix.applications[static_cast<std::size_t>(slot->ref.app)];
     const ThreadPhase& phase =
         app.thread(slot->ref.thread).phaseAt(traceTime);
-    power[i] = phase.dynamicPower * (slot->frequency / nominalFrequency);
+    out[i] = phase.dynamicPower * (slot->frequency / nominalFrequency);
   }
-  return power;
 }
 
 Vector Mapping::averageDynamicPower(const WorkloadMix& mix,

@@ -97,8 +97,29 @@ std::vector<SpanEvent> collectAllSpans() {
   return all;
 }
 
-Span::Span(const char* name) {
-  if (!enabled()) return;
+namespace {
+std::atomic<std::uint32_t> g_spanSampleEvery{1};
+}  // namespace
+
+void setSpanSampling(std::uint32_t everyN) {
+  g_spanSampleEvery.store(everyN == 0 ? 1 : everyN,
+                          std::memory_order_relaxed);
+}
+
+std::uint32_t spanSampleEvery() {
+  return g_spanSampleEvery.load(std::memory_order_relaxed);
+}
+
+bool sampleSpanSite(std::atomic<std::uint64_t>& siteCounter) {
+  const std::uint32_t every = spanSampleEvery();
+  if (every <= 1) return true;
+  return siteCounter.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+Span::Span(const char* name) : Span(name, true) {}
+
+Span::Span(const char* name, bool record) {
+  if (!record || !enabled()) return;
   name_ = name;
   startNs_ = nowNanos();
   ThreadState& state = threadState();

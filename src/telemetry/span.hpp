@@ -9,8 +9,12 @@
 // Span names must be string literals (the ring stores the pointer, not a
 // copy).  When telemetry is disabled a Span is two branches and no clock
 // reads; events are only recorded while enabled.
+// High-frequency sites (epoch.window, lifetime.epoch — thousands per
+// lifetime run) can be sampled: setSpanSampling(N) / HAYAT_SPAN_SAMPLE=N
+// keeps 1-in-N of them so multi-hour sweeps don't churn the rings.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +24,18 @@ namespace hayat::telemetry {
 
 /// Monotonic nanoseconds (steady clock) used for all span timestamps.
 std::uint64_t nowNanos();
+
+/// Keep 1-in-N spans at sampled span sites (1 = keep all, the default).
+/// Only sites that opt in via sampleSpanSite() are affected.
+void setSpanSampling(std::uint32_t everyN);
+
+/// Current sampling divisor (>= 1).
+std::uint32_t spanSampleEvery();
+
+/// Call at a sampled span site with a per-site counter; returns true
+/// when this occurrence should be recorded (every N-th, starting with
+/// the first).  Pass the result to the Span(name, record) overload.
+bool sampleSpanSite(std::atomic<std::uint64_t>& siteCounter);
 
 /// One completed span.
 struct SpanEvent {
@@ -67,6 +83,9 @@ std::vector<SpanEvent> collectAllSpans();
 class Span {
  public:
   explicit Span(const char* name);
+  /// Sampled-site overload: records only when `record` is true (see
+  /// sampleSpanSite()); a false `record` costs one branch.
+  Span(const char* name, bool record);
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;

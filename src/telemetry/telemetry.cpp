@@ -11,6 +11,7 @@
 
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/series.hpp"
 #include "telemetry/span.hpp"
 
@@ -70,6 +71,13 @@ void configure(const std::string& dir, const std::string& role) {
       std::atexit(atexitFlush);
       s.previousTerminate = std::set_terminate(terminateWithDump);
     }
+  }
+  // HAYAT_SPAN_SAMPLE=N keeps 1-in-N spans at sampled sites (epoch
+  // windows, lifetime epochs) so long sweeps don't flood the recorders.
+  if (const char* sample = std::getenv("HAYAT_SPAN_SAMPLE");
+      sample != nullptr && sample[0] != '\0') {
+    const long every = std::strtol(sample, nullptr, 10);
+    if (every > 0) setSpanSampling(static_cast<std::uint32_t>(every));
   }
   setEnabled(true);
 }

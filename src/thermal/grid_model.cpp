@@ -49,15 +49,15 @@ void GridThermalModel::build() {
   const int sprBase = dieNodes_;
   const int sinkBase = dieNodes_ + cores_;
 
-  g_ = Matrix::zero(n);
+  SparseMatrixBuilder builder(n, n);
   ambientLoad_.assign(static_cast<std::size_t>(n), 0.0);
 
   auto addConductance = [&](int a, int b, double gval) {
     HAYAT_DCHECK(gval > 0.0);
-    g_(a, a) += gval;
-    g_(b, b) += gval;
-    g_(a, b) -= gval;
-    g_(b, a) -= gval;
+    builder.add(a, a, gval);
+    builder.add(b, b, gval);
+    builder.add(a, b, -gval);
+    builder.add(b, a, -gval);
   };
 
   // Fine die grid: lateral conduction between adjacent sub-blocks.
@@ -121,12 +121,16 @@ void GridThermalModel::build() {
   const double gConvPerTile = 1.0 / (base.convectionResistance * cores_);
   for (int i = 0; i < cores_; ++i) {
     addConductance(sprBase + i, sinkBase + i, gSprSink);
-    g_(sinkBase + i, sinkBase + i) += gConvPerTile;
+    builder.add(sinkBase + i, sinkBase + i, gConvPerTile);
     ambientLoad_[static_cast<std::size_t>(sinkBase + i)] =
         gConvPerTile * base.ambient;
   }
 
-  steadyLu_ = std::make_unique<LuFactorization>(g_);
+  g_ = builder.build();
+  perm_ = reverseCuthillMcKee(g_);
+  steadySolver_ = std::make_unique<RcSolver>(
+      g_, perm_,
+      denseSolverRequested() ? RcSolver::Mode::Dense : RcSolver::Mode::Banded);
 }
 
 Vector GridThermalModel::steadyStateSubBlocks(
@@ -140,7 +144,9 @@ Vector GridThermalModel::steadyStateSubBlocks(
     rhs[static_cast<std::size_t>(i)] +=
         subBlockPower[static_cast<std::size_t>(i)];
   }
-  return steadyLu_->solve(rhs);
+  Vector scratch;
+  steadySolver_->solveInPlace(rhs, scratch);
+  return rhs;
 }
 
 Vector GridThermalModel::steadyState(const Vector& corePower) const {

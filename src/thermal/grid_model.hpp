@@ -13,9 +13,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/geometry.hpp"
 #include "common/matrix.hpp"
+#include "common/sparse.hpp"
 #include "thermal/thermal_model.hpp"
 
 namespace hayat {
@@ -62,6 +64,13 @@ class GridThermalModel {
   /// Fine-grid sub-block indices covered by a core.
   std::vector<int> coreSubBlocks(int core) const;
 
+  /// The assembled conductance matrix in CSR form.  The fine die grid
+  /// can reach thousands of nodes, so no dense copy is kept.
+  const SparseMatrix& conductanceSparse() const { return g_; }
+
+  /// Bandwidth-reducing node ordering used by the steady solver.
+  const std::vector<int>& nodeOrdering() const { return perm_; }
+
  private:
   void build();
 
@@ -69,9 +78,10 @@ class GridThermalModel {
   int cores_ = 0;
   int dieNodes_ = 0;
   GridShape subGrid_;
-  Matrix g_;
+  SparseMatrix g_;
+  std::vector<int> perm_;
   Vector ambientLoad_;
-  std::unique_ptr<LuFactorization> steadyLu_;
+  std::unique_ptr<RcSolver> steadySolver_;
 };
 
 }  // namespace hayat

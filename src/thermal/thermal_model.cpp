@@ -68,16 +68,16 @@ void ThermalModel::build() {
   const GridShape& grid = fp.shape();
   const double tileArea = fp.tileArea();
 
-  g_ = Matrix::zero(n);
+  SparseMatrixBuilder builder(n, n);
   cap_.assign(static_cast<std::size_t>(n), 0.0);
   ambientLoad_.assign(static_cast<std::size_t>(n), 0.0);
 
   auto addConductance = [&](int a, int b, double gval) {
     HAYAT_DCHECK(gval > 0.0);
-    g_(a, a) += gval;
-    g_(b, b) += gval;
-    g_(a, b) -= gval;
-    g_(b, a) -= gval;
+    builder.add(a, a, gval);
+    builder.add(b, b, gval);
+    builder.add(a, b, -gval);
+    builder.add(b, a, -gval);
   };
 
   // Lateral conductance between adjacent tiles inside one layer:
@@ -136,7 +136,7 @@ void ThermalModel::build() {
     addConductance(sprBase + i, sinkBase + i, gSprSink);
     // Convection is a conductance to the fixed ambient temperature: it
     // contributes to the diagonal and to the constant load vector.
-    g_(sinkBase + i, sinkBase + i) += gConvPerTile;
+    builder.add(sinkBase + i, sinkBase + i, gConvPerTile);
     ambientLoad_[static_cast<std::size_t>(sinkBase + i)] =
         gConvPerTile * config_.ambient;
 
@@ -148,7 +148,14 @@ void ThermalModel::build() {
         config_.sinkVolumetricHeat * tileArea * config_.sinkThickness;
   }
 
-  steadyLu_ = std::make_unique<LuFactorization>(g_);
+  sparse_ = builder.build();
+  g_ = sparse_.toDense();
+  perm_ = reverseCuthillMcKee(sparse_);
+  // The backend is resolved once per model so the steady solver, the
+  // transient operators, and the shared-cache key all agree.
+  mode_ = denseSolverRequested() ? RcSolver::Mode::Dense
+                                 : RcSolver::Mode::Banded;
+  steadySolver_ = std::make_unique<RcSolver>(sparse_, perm_, mode_);
 
   // Signature of everything that shaped g_ / cap_ / ambientLoad_ above:
   // same signature implies identical matrices, so transient operators
@@ -187,13 +194,25 @@ Vector ThermalModel::expandPower(const Vector& corePower) const {
 Vector ThermalModel::steadyState(const Vector& corePower) const {
   Vector rhs = expandPower(corePower);
   for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += ambientLoad_[i];
-  return steadyLu_->solve(rhs);
+  Vector scratch;
+  steadySolver_->solveInPlace(rhs, scratch);
+  return rhs;
 }
 
 Vector ThermalModel::coreTemperatures(const Vector& nodeTemperatures) const {
   HAYAT_REQUIRE(static_cast<int>(nodeTemperatures.size()) == nodeCount(),
                 "node temperature vector size mismatch");
   return Vector(nodeTemperatures.begin(), nodeTemperatures.begin() + cores_);
+}
+
+void ThermalModel::coreTemperaturesInto(const Vector& nodeTemperatures,
+                                        Vector& out) const {
+  HAYAT_REQUIRE(static_cast<int>(nodeTemperatures.size()) == nodeCount(),
+                "node temperature vector size mismatch");
+  out.resize(static_cast<std::size_t>(cores_));
+  for (int i = 0; i < cores_; ++i)
+    out[static_cast<std::size_t>(i)] =
+        nodeTemperatures[static_cast<std::size_t>(i)];
 }
 
 Vector ThermalModel::steadyStateCoreTemperatures(const Vector& corePower) const {
@@ -209,7 +228,11 @@ const ThermalModel::TransientOperator& ThermalModel::transientOperator(
 
   // First time this model sees `dt`: consult the process-wide cache so
   // Systems with identical thermal geometry reuse one factorization.
-  const std::string key = signature_ + "|dt=" + fmtSig(dt);
+  // The backend is part of the key so banded and dense-reference runs
+  // in one process never hand each other the wrong operator.
+  const std::string key =
+      signature_ + "|dt=" + fmtSig(dt) +
+      (mode_ == RcSolver::Mode::Dense ? "|solver=dense" : "|solver=band");
   SharedTransientCache& shared = sharedTransientCache();
   const std::scoped_lock sharedLock(shared.mutex);
   for (std::size_t i = 0; i < shared.entries.size(); ++i) {
@@ -237,14 +260,20 @@ const ThermalModel::TransientOperator& ThermalModel::transientOperator(
     const telemetry::Span span("thermal.lu_factor");
     const int n = nodeCount();
     Vector capOverDt(static_cast<std::size_t>(n));
-    Matrix a = g_;
+    SparseMatrix a = sparse_;
+    std::vector<double>& values = a.mutableValues();
     for (int i = 0; i < n; ++i) {
       const double c = cap_[static_cast<std::size_t>(i)] / dt;
       capOverDt[static_cast<std::size_t>(i)] = c;
-      a(i, i) += c;
+      const int end = a.rowStart()[static_cast<std::size_t>(i) + 1];
+      for (int k = a.rowStart()[static_cast<std::size_t>(i)]; k < end; ++k) {
+        if (a.colIndex()[static_cast<std::size_t>(k)] != i) continue;
+        values[static_cast<std::size_t>(k)] += c;
+        break;
+      }
     }
     op = std::make_shared<const TransientOperator>(dt, std::move(capOverDt),
-                                                   a);
+                                                   a, perm_, mode_);
   }
   shared.entries.emplace_back(key, op);
   if (shared.entries.size() > kSharedTransientCacheCap)
@@ -256,11 +285,12 @@ const ThermalModel::TransientOperator& ThermalModel::transientOperator(
 const Matrix& ThermalModel::coreInfluenceMatrix() const {
   if (!influence_) {
     auto k = std::make_unique<Matrix>(cores_, cores_);
-    Vector unit(static_cast<std::size_t>(nodeCount()), 0.0);
+    Vector response;
+    Vector scratch;
     for (int j = 0; j < cores_; ++j) {
-      unit[static_cast<std::size_t>(j)] = 1.0;
-      const Vector response = steadyLu_->solve(unit);
-      unit[static_cast<std::size_t>(j)] = 0.0;
+      response.assign(static_cast<std::size_t>(nodeCount()), 0.0);
+      response[static_cast<std::size_t>(j)] = 1.0;
+      steadySolver_->solveInPlace(response, scratch);
       for (int i = 0; i < cores_; ++i)
         (*k)(i, j) = response[static_cast<std::size_t>(i)];
     }

@@ -14,11 +14,14 @@
 //     steady state:  G * T = P + b_ambient
 //     transient:     C * dT/dt = P + b_ambient - G * T
 //
-// Dense LU at these sizes (3 nodes per core tile, 192 nodes for an 8x8
-// chip) factors in well under a millisecond, so no sparse machinery is
-// needed.  Package parameters default to HotSpot-like values calibrated so
-// that the paper's workloads produce the 325-345 K steady-state band of
-// Fig. 2 (see DESIGN.md §1).
+// The network is structurally sparse (≤7 nonzeros per row), so all
+// solves go through the banded kernels of common/sparse.hpp under a
+// reverse Cuthill–McKee ordering; HAYAT_DENSE_SOLVER=1 selects the
+// dense reference LU of the same permuted matrix, which produces
+// bitwise-identical results (see DESIGN.md §3.8).  Package parameters
+// default to HotSpot-like values calibrated so that the paper's
+// workloads produce the 325-345 K steady-state band of Fig. 2 (see
+// DESIGN.md §1).
 #pragma once
 
 #include <memory>
@@ -28,6 +31,7 @@
 
 #include "common/geometry.hpp"
 #include "common/matrix.hpp"
+#include "common/sparse.hpp"
 #include "common/units.hpp"
 
 namespace hayat {
@@ -83,6 +87,11 @@ class ThermalModel {
   /// Extracts the die (core) temperatures from a node-temperature vector.
   Vector coreTemperatures(const Vector& nodeTemperatures) const;
 
+  /// Allocation-free variant: writes the die temperatures into `out`
+  /// (resized to coreCount()).
+  void coreTemperaturesInto(const Vector& nodeTemperatures,
+                            Vector& out) const;
+
   /// Convenience: steady-state core temperatures directly.
   Vector steadyStateCoreTemperatures(const Vector& corePower) const;
 
@@ -92,8 +101,16 @@ class ThermalModel {
   /// online thermal-profile predictor superposes (Section IV-B step 2).
   const Matrix& coreInfluenceMatrix() const;
 
-  /// Conductance matrix (exposed for the transient solver and tests).
+  /// Dense copy of the conductance matrix (tests and reference paths).
   const Matrix& conductance() const { return g_; }
+
+  /// The assembled conductance matrix in CSR form — what the solvers
+  /// actually factor.
+  const SparseMatrix& conductanceSparse() const { return sparse_; }
+
+  /// Bandwidth-reducing node ordering shared by every solver of this
+  /// model (perm[newIndex] = oldIndex).
+  const std::vector<int>& nodeOrdering() const { return perm_; }
 
   /// Per-node heat capacities [J/K].
   const Vector& capacitance() const { return cap_; }
@@ -106,14 +123,19 @@ class ThermalModel {
 
   /// The factored implicit-Euler operator (C/dt + G) for a fixed step.
   /// The conductance matrix is constant for the lifetime of the model, so
-  /// the factorization only depends on dt.
+  /// the factorization only depends on dt (and on the solver backend,
+  /// which is part of the shared-cache key).
   struct TransientOperator {
     Seconds dt = 0.0;
     Vector capOverDt;  ///< per-node C/dt [W/K]
-    LuFactorization lu;
+    RcSolver solver;
 
-    TransientOperator(Seconds step, Vector capacityOverDt, const Matrix& a)
-        : dt(step), capOverDt(std::move(capacityOverDt)), lu(a) {}
+    TransientOperator(Seconds step, Vector capacityOverDt,
+                      const SparseMatrix& a, std::vector<int> perm,
+                      RcSolver::Mode mode)
+        : dt(step),
+          capOverDt(std::move(capacityOverDt)),
+          solver(a, std::move(perm), mode) {}
   };
 
   /// Returns the cached (C/dt + G) factorization for `dt`, building it on
@@ -140,11 +162,14 @@ class ThermalModel {
 
   ThermalConfig config_;
   int cores_ = 0;
-  Matrix g_;
+  Matrix g_;            ///< dense copy of sparse_, for tests/reference
+  SparseMatrix sparse_;
+  std::vector<int> perm_;  ///< RCM ordering, shared by all solvers
   Vector cap_;
   Vector ambientLoad_;
   std::string signature_;
-  std::unique_ptr<LuFactorization> steadyLu_;
+  RcSolver::Mode mode_ = RcSolver::Mode::Banded;  ///< resolved at build()
+  std::unique_ptr<RcSolver> steadySolver_;
   mutable std::unique_ptr<Matrix> influence_;  // lazily computed
   mutable std::mutex transientMutex_;
   mutable std::vector<std::shared_ptr<const TransientOperator>>

@@ -32,6 +32,13 @@ class TransientSolver {
   /// power vector (held constant across the step).
   Vector step(const Vector& nodeTemperatures, const Vector& corePower) const;
 
+  /// Allocation-free step: advances `nodeTemperatures` in place, using
+  /// `scratch` (resized to nodeCount() once, then reused) for the
+  /// right-hand side.  With warm buffers this performs zero heap
+  /// allocations — the epoch hot-loop contract of DESIGN.md §3.8.
+  void stepInPlace(Vector& nodeTemperatures, const Vector& corePower,
+                   Vector& scratch) const;
+
   /// Advances by `steps` steps with constant power (convenience).
   Vector run(Vector nodeTemperatures, const Vector& corePower,
              int steps) const;

@@ -412,5 +412,27 @@ TEST(ExperimentEngineTest, UnknownPolicyParameterThrows) {
   EXPECT_THROW(engine.run(spec), Error);
 }
 
+TEST(ExperimentEngineTest, SparseAndDenseSolverSweepsAreByteIdentical) {
+  // The A/B contract of the sparse migration: a sweep run on the banded
+  // kernels serializes byte-for-byte like one run on the dense
+  // reference LU (HAYAT_DENSE_SOLVER=1), including the cache records.
+  const ExperimentSpec spec = tinySpec();
+  setenv("HAYAT_DENSE_SOLVER", "0", 1);
+  const SweepTable banded = ExperimentEngine(noCache(1)).run(spec);
+  setenv("HAYAT_DENSE_SOLVER", "1", 1);
+  const SweepTable dense = ExperimentEngine(noCache(1)).run(spec);
+  unsetenv("HAYAT_DENSE_SOLVER");
+
+  expectIdentical(banded, dense);
+  ASSERT_EQ(banded.runs.size(), dense.runs.size());
+  for (std::size_t i = 0; i < banded.runs.size(); ++i) {
+    std::ostringstream a;
+    std::ostringstream b;
+    writeRunResult(a, banded.runs[i]);
+    writeRunResult(b, dense.runs[i]);
+    EXPECT_EQ(a.str(), b.str()) << "run " << i;
+  }
+}
+
 }  // namespace
 }  // namespace hayat::engine

@@ -148,6 +148,28 @@ TEST_F(LifetimeFixture, LifetimeThresholdInterpolates) {
   EXPECT_DOUBLE_EQ(r.yearsUntilAverageFmaxBelow(0.1 * fEnd), 4.0);
 }
 
+TEST(LifetimeResultTest, SingleEpochThresholdInterpolatesFromHorizon) {
+  // Regression: with exactly one epoch, startYear is 0.0 and the epoch
+  // spacing cannot be read off epochs[1] — it must come from the
+  // horizon, or the interpolated crossing collapses to year 0.
+  LifetimeResult r;
+  r.horizon = 2.0;
+  r.initialFmax = {2.0e9, 2.0e9};
+  r.finalFmax = {1.0e9, 1.0e9};
+  EpochRecord e;
+  e.startYear = 0.0;
+  e.averageFmax = 1.0e9;
+  e.chipFmax = 1.0e9;
+  r.epochs = {e};
+  // Threshold midway between initial (2 GHz) and end-of-epoch (1 GHz)
+  // average fmax: the crossing interpolates to the middle of (0, 2.0].
+  const Years t = r.yearsUntilAverageFmaxBelow(1.5e9);
+  EXPECT_GT(t, 0.0);
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  // Never-reached thresholds still return the horizon.
+  EXPECT_DOUBLE_EQ(r.yearsUntilAverageFmaxBelow(0.5e9), 2.0);
+}
+
 TEST_F(LifetimeFixture, IdenticalWorkloadSequencesAcrossPolicies) {
   // Determinism check: the same policy twice gives identical results
   // (workload stream and silicon reset correctly).

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "common/alloc_counter.hpp"
 #include "common/error.hpp"
 #include "core/system.hpp"
 #include "power/thermal_coupling.hpp"
@@ -600,6 +602,27 @@ TEST_F(EpochFixture, ThermalSensorNoiseKeepsTrueAccounting) {
   }
   // And the noisy run still satisfies basic bounds.
   for (double t : b.peakTemperature) EXPECT_LT(t, 500.0);
+}
+
+TEST_F(EpochFixture, SteadyStateStepLoopIsAllocationFree) {
+  if (!allocCounterActive()) {
+    GTEST_SKIP() << "allocation counter compiled out (sanitizer build)";
+  }
+  const WorkloadMix mix = smallMix(8, 5);
+  EpochConfig ec;
+  ec.window = 0.3;
+  // Keep DTM quiescent: a triggered migration legitimately allocates
+  // (mapping churn), but the steady-state contract is about the step
+  // loop itself.
+  ec.dtm.tsafe = 1000.0;
+  const EpochSimulator sim(system_.chip(), system_.thermal(),
+                           system_.leakage(), ec);
+  const Mapping m = spreadMapping(mix);
+  const std::uint64_t before = epochStepLoopAllocs();
+  const EpochResult r = sim.run(m, mix);
+  EXPECT_GT(r.totalSteps, 1);
+  EXPECT_EQ(epochStepLoopAllocs() - before, 0u)
+      << "steady-state epoch step loop performed heap allocations";
 }
 
 TEST_F(EpochFixture, DeterministicRuns) {

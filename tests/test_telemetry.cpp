@@ -19,6 +19,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -179,6 +180,30 @@ TEST(SpanTest, NestedSpansRecordDepthAndOrdering) {
   EXPECT_GE(inner.startNs, outer.startNs);
   EXPECT_LE(inner.durationNs, outer.durationNs);
   EXPECT_EQ(inner.threadId, outer.threadId);
+}
+
+TEST(SpanSamplingTest, SampleSiteKeepsOneInNStartingWithTheFirst) {
+  setSpanSampling(3);
+  std::atomic<std::uint64_t> site{0};
+  std::vector<bool> kept;
+  for (int i = 0; i < 7; ++i) kept.push_back(sampleSpanSite(site));
+  setSpanSampling(1);  // restore the keep-everything default
+  const std::vector<bool> expected{true, false, false, true,
+                                   false, false, true};
+  EXPECT_EQ(kept, expected);
+  EXPECT_EQ(spanSampleEvery(), 1u);
+  // A divisor of 0 is nonsense and clamps to 1.
+  setSpanSampling(0);
+  EXPECT_EQ(spanSampleEvery(), 1u);
+}
+
+TEST(SpanSamplingTest, UnsampledSpansAreNotRecorded) {
+  const ScopedTelemetry on;
+  const std::uint64_t before = threadRecorder().recorded();
+  { const Span dropped("test.sampled", false); }
+  EXPECT_EQ(threadRecorder().recorded(), before);
+  { const Span recorded("test.sampled", true); }
+  EXPECT_EQ(threadRecorder().recorded(), before + 1);
 }
 
 TEST(FlightRecorderTest, RingRetainsTheLastCapacityEvents) {

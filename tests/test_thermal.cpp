@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/sparse.hpp"
 #include "thermal/grid_model.hpp"
 #include "thermal/thermal_model.hpp"
 #include "thermal/transient.hpp"
@@ -463,6 +465,103 @@ TEST_P(SubdivisionSweep, PeakAtLeastAverage) {
 
 INSTANTIATE_TEST_SUITE_P(Subdivisions, SubdivisionSweep,
                          ::testing::Values(1, 2, 3, 4));
+
+// --- Sparse vs dense solver paths ----------------------------------------
+
+/// Sets HAYAT_DENSE_SOLVER for the lifetime of one scope.
+class ScopedDenseSolver {
+ public:
+  explicit ScopedDenseSolver(bool dense) {
+    setenv("HAYAT_DENSE_SOLVER", dense ? "1" : "0", 1);
+  }
+  ~ScopedDenseSolver() { unsetenv("HAYAT_DENSE_SOLVER"); }
+};
+
+TEST(SolverPaths, BlockModelSteadyStateBitwiseIdentical) {
+  Vector power(64, 0.0);
+  for (int i = 0; i < 64; ++i)
+    power[static_cast<std::size_t>(i)] = (i % 3 == 0) ? 6.0 : 1.5;
+  Vector banded;
+  Vector dense;
+  {
+    const ScopedDenseSolver env(false);
+    banded = ThermalModel(paperConfig()).steadyState(power);
+  }
+  {
+    const ScopedDenseSolver env(true);
+    dense = ThermalModel(paperConfig()).steadyState(power);
+  }
+  ASSERT_EQ(banded.size(), dense.size());
+  for (std::size_t i = 0; i < banded.size(); ++i)
+    EXPECT_EQ(banded[i], dense[i]) << "node " << i;
+}
+
+TEST(SolverPaths, BlockModelTransientBitwiseIdentical) {
+  ThermalModel::clearSharedTransientCacheForTest();
+  Vector power(16, 4.0);
+  Vector banded;
+  Vector dense;
+  {
+    const ScopedDenseSolver env(false);
+    const ThermalModel m(paperConfig(4, 4));
+    const TransientSolver solver(m, 6.6e-3);
+    banded = solver.run(m.steadyState(Vector(16, 0.0)), power, 50);
+  }
+  {
+    const ScopedDenseSolver env(true);
+    const ThermalModel m(paperConfig(4, 4));
+    const TransientSolver solver(m, 6.6e-3);
+    dense = solver.run(m.steadyState(Vector(16, 0.0)), power, 50);
+  }
+  ASSERT_EQ(banded.size(), dense.size());
+  for (std::size_t i = 0; i < banded.size(); ++i)
+    EXPECT_EQ(banded[i], dense[i]) << "node " << i;
+}
+
+TEST(SolverPaths, GridModelBitwiseIdentical) {
+  GridThermalConfig gc;
+  gc.base = paperConfig(4, 4);
+  gc.subdivision = 3;
+  Vector power(16, 0.0);
+  for (int i = 0; i < 16; ++i)
+    power[static_cast<std::size_t>(i)] = 1.0 + 0.25 * i;
+  Vector banded;
+  Vector dense;
+  {
+    const ScopedDenseSolver env(false);
+    banded = GridThermalModel(gc).steadyState(power);
+  }
+  {
+    const ScopedDenseSolver env(true);
+    dense = GridThermalModel(gc).steadyState(power);
+  }
+  ASSERT_EQ(banded.size(), dense.size());
+  for (std::size_t i = 0; i < banded.size(); ++i)
+    EXPECT_EQ(banded[i], dense[i]) << "node " << i;
+}
+
+TEST(SolverPaths, SparseAssemblyMatchesDenseCopy) {
+  const ThermalModel m(paperConfig(4, 4));
+  const SparseMatrix& sparse = m.conductanceSparse();
+  const Matrix& dense = m.conductance();
+  ASSERT_EQ(sparse.rows(), dense.rows());
+  for (int r = 0; r < sparse.rows(); ++r)
+    for (int c = 0; c < sparse.cols(); ++c)
+      EXPECT_EQ(sparse.at(r, c), dense(r, c)) << r << "," << c;
+  // ≤7 nonzeros per row: 4 lateral + up + down + diagonal.
+  for (int r = 0; r < sparse.rows(); ++r)
+    EXPECT_LE(sparse.rowStart()[static_cast<std::size_t>(r) + 1] -
+                  sparse.rowStart()[static_cast<std::size_t>(r)],
+              7);
+}
+
+TEST(SolverPaths, RcmOrderingShrinksModelBandwidth) {
+  const ThermalModel m(paperConfig());
+  const int natural = bandwidthOf(m.conductanceSparse(), {});
+  const int rcm = bandwidthOf(m.conductanceSparse(), m.nodeOrdering());
+  // Layer-stacked layout has bandwidth ~2N; RCM interleaves the layers.
+  EXPECT_LT(rcm, natural / 2);
+}
 
 }  // namespace
 }  // namespace hayat
