@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "engine/fault.hpp"
 #include "engine/task_pool.hpp"
 #include "engine/wire.hpp"
 #include "engine/worker_proc.hpp"
@@ -98,11 +99,24 @@ std::vector<WorkerEndpoint> parseWorkerSpec(const std::string& text) {
 
 Dispatcher::Dispatcher(DispatchConfig config) : config_(std::move(config)) {
   ignoreSigpipe();
+  // Install the coordinator side of any fault plan now, resetting the
+  // frame counter, so a fixed plan names the same frames on every run of
+  // this dispatcher.  Worker-side rules travel via the environment.
+  std::string planText = config_.faultPlan;
+  if (planText.empty())
+    if (const char* env = std::getenv("HAYAT_FAULT_PLAN")) planText = env;
+  if (!planText.empty()) {
+    installCoordinatorFaults(parseFaultPlan(planText));
+    faultsInstalled_ = true;
+  }
 }
 
-Dispatcher::~Dispatcher() { shutdown(); }
+Dispatcher::~Dispatcher() {
+  shutdown();
+  if (faultsInstalled_) clearCoordinatorFaults();
+}
 
-bool Dispatcher::spawn(Worker& worker) {
+bool Dispatcher::spawn(Worker& worker, int slot) {
   int fd = -1;
   pid_t pid = -1;
   switch (worker.endpoint.kind) {
@@ -112,11 +126,11 @@ bool Dispatcher::spawn(Worker& worker) {
       std::vector<int> siblings;
       for (const Worker& other : workers_)
         if (other.fd >= 0) siblings.push_back(other.fd);
-      pid = spawnForkWorker(fd, siblings);
+      pid = spawnForkWorker(fd, siblings, slot);
       break;
     }
     case WorkerEndpoint::Kind::Exec:
-      pid = spawnExecWorker(execBinary(), fd);
+      pid = spawnExecWorker(execBinary(), fd, slot);
       break;
     case WorkerEndpoint::Kind::Tcp:
       fd = connectTcpWorker(worker.endpoint.host, worker.endpoint.port,
@@ -142,7 +156,7 @@ bool Dispatcher::spawn(Worker& worker) {
   }
   worker.fd = fd;
   worker.pid = pid;
-  worker.inflight = -1;
+  worker.queue.clear();
   return true;
 }
 
@@ -153,14 +167,37 @@ void Dispatcher::reap(Worker& worker, bool force) {
   worker.pid = -1;
 }
 
-void Dispatcher::markDead(Worker& worker, std::vector<int>& pending,
+bool Dispatcher::assignedElsewhere(int index, const Worker* except) const {
+  for (const Worker& w : workers_) {
+    if (&w == except || w.fd < 0) continue;
+    if (std::find(w.queue.begin(), w.queue.end(), index) != w.queue.end())
+      return true;
+  }
+  return false;
+}
+
+void Dispatcher::resolveQueued(Worker& worker, int index) {
+  const auto it =
+      std::find(worker.queue.begin(), worker.queue.end(), index);
+  if (it == worker.queue.end()) return;
+  const bool wasHead = it == worker.queue.begin();
+  worker.queue.erase(it);
+  if (wasHead && !worker.queue.empty()) worker.headSince = Clock::now();
+}
+
+void Dispatcher::markDead(Worker& worker, const std::vector<char>& have,
+                          std::vector<int>& pending,
                           std::vector<int>& attempts,
                           std::vector<int>& local) {
   ++stats_.workerDeaths;
   countDispatch("hayat_dispatch_worker_deaths_total");
-  if (worker.inflight >= 0) {
-    const int index = worker.inflight;
-    worker.inflight = -1;
+  for (const int index : worker.queue) {
+    if (index < 0 || static_cast<std::size_t>(index) >= have.size())
+      continue;
+    if (have[static_cast<std::size_t>(index)]) continue;
+    // A stolen copy of this index may still be running on a live worker;
+    // re-queueing it here would triple-compute it for nothing.
+    if (assignedElsewhere(index, &worker)) continue;
     ++attempts[static_cast<std::size_t>(index)];
     ++stats_.tasksRetried;
     countDispatch("hayat_dispatch_tasks_retried_total");
@@ -169,6 +206,7 @@ void Dispatcher::markDead(Worker& worker, std::vector<int>& pending,
     else
       pending.push_back(index);
   }
+  worker.queue.clear();
   if (worker.fd >= 0) {
     ::close(worker.fd);
     worker.fd = -1;
@@ -181,6 +219,84 @@ void Dispatcher::markDead(Worker& worker, std::vector<int>& pending,
   worker.nextRespawn =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(backoff));
+}
+
+void Dispatcher::stealTasks(const std::vector<char>& have,
+                            std::vector<int>& stolen,
+                            std::vector<int>& pending,
+                            std::vector<int>& attempts,
+                            std::vector<int>& local) {
+  if (workers_.size() < 2) return;
+  const auto now = Clock::now();
+  const int stealCap = static_cast<int>(workers_.size());
+  const auto headAfter = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.stealHeadAfterSeconds));
+
+  for (Worker& thief : workers_) {
+    if (thief.fd < 0 || !thief.queue.empty()) continue;
+
+    // Preferred: take the tail (not-yet-started) task of the deepest
+    // queue.  The bookkeeping moves with it — the victim will still
+    // compute the task (it already crossed the wire), but the first
+    // Result to arrive wins and the duplicate is dropped by index.
+    int index = -1;
+    {
+      std::vector<Worker*> victims;
+      for (Worker& v : workers_)
+        if (&v != &thief && v.fd >= 0 && v.queue.size() >= 2)
+          victims.push_back(&v);
+      std::stable_sort(victims.begin(), victims.end(),
+                       [](const Worker* a, const Worker* b) {
+                         return a->queue.size() > b->queue.size();
+                       });
+      for (Worker* victim : victims) {
+        // Tails satisfied by a duplicate elsewhere are dead bookkeeping;
+        // shed them while looking for a live candidate.
+        while (victim->queue.size() >= 2 &&
+               have[static_cast<std::size_t>(victim->queue.back())])
+          victim->queue.pop_back();
+        if (victim->queue.size() < 2) continue;
+        const int candidate = victim->queue.back();
+        if (stolen[static_cast<std::size_t>(candidate)] >= stealCap)
+          continue;
+        victim->queue.pop_back();
+        index = candidate;
+        break;
+      }
+    }
+
+    // Fallback: past the configured patience, speculatively re-dispatch
+    // the oldest stalled *head* — the victim keeps its copy (it is still
+    // presumed computing), so this is a deliberate duplicate.
+    if (index < 0 && config_.stealHeadAfterSeconds > 0.0) {
+      Worker* victim = nullptr;
+      for (Worker& v : workers_) {
+        if (&v == &thief || v.fd < 0 || v.queue.empty()) continue;
+        if (now - v.headSince < headAfter) continue;
+        const int candidate = v.queue.front();
+        if (have[static_cast<std::size_t>(candidate)] ||
+            stolen[static_cast<std::size_t>(candidate)] >= stealCap)
+          continue;
+        if (victim == nullptr || v.headSince < victim->headSince)
+          victim = &v;
+      }
+      if (victim != nullptr) index = victim->queue.front();
+    }
+    if (index < 0) continue;
+
+    ++stolen[static_cast<std::size_t>(index)];
+    thief.queue.push_back(index);
+    thief.headSince = now;
+    ++stats_.tasksStolen;
+    countDispatch("hayat_dispatch_steals_total");
+    if (writeMessage(thief.fd, MsgType::Task,
+                     encodeTask(index, specHash_))) {
+      ++stats_.tasksDispatched;
+      countDispatch("hayat_dispatch_tasks_dispatched_total");
+    } else {
+      markDead(thief, have, pending, attempts, local);
+    }
+  }
 }
 
 int Dispatcher::connect(const ExperimentSpec& spec) {
@@ -205,8 +321,9 @@ int Dispatcher::connect(const ExperimentSpec& spec) {
   }
 
   int alive = 0;
-  for (Worker& w : workers_) {
-    if (spawn(w)) {
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    Worker& w = workers_[slot];
+    if (spawn(w, static_cast<int>(slot))) {
       ++stats_.workersConnected;
       countDispatch("hayat_dispatch_workers_connected_total");
       ++alive;
@@ -232,6 +349,7 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
   std::vector<RunResult> results(n);
   std::vector<char> have(n, 0);
   std::vector<int> attempts(n, 0);
+  std::vector<int> stolen(n, 0);
   std::vector<int> pending;
   pending.reserve(n);
   for (std::size_t i = n; i > 0; --i)
@@ -239,24 +357,40 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
   std::vector<int> local;
   std::size_t done = 0;
 
+  const int queueDepth = std::max(1, config_.workerQueueDepth);
   const auto taskTimeout = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(config_.taskTimeoutSeconds));
 
   while (done + local.size() < n) {
     const auto now = Clock::now();
 
+    // Work a *new* worker could take: pending tasks, or queued/stalled
+    // tasks on a sibling it could steal.
+    bool workRemains = !pending.empty();
+    if (!workRemains) {
+      for (const Worker& w : workers_) {
+        if (w.fd < 0) continue;
+        if (w.queue.size() >= 2 ||
+            (config_.stealHeadAfterSeconds > 0.0 && !w.queue.empty())) {
+          workRemains = true;
+          break;
+        }
+      }
+    }
+
     // Respawn dead slots that are due, while work remains for them.
     bool anyAlive = false;
     bool anyRespawnable = false;
-    for (Worker& w : workers_) {
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      Worker& w = workers_[slot];
       if (w.fd >= 0) {
         anyAlive = true;
         continue;
       }
       if (w.deaths > config_.maxRespawns) continue;
       anyRespawnable = true;
-      if (!pending.empty() && now >= w.nextRespawn) {
-        if (spawn(w)) {
+      if (workRemains && now >= w.nextRespawn) {
+        if (spawn(w, static_cast<int>(slot))) {
           ++stats_.workerRespawns;
           countDispatch("hayat_dispatch_worker_respawns_total");
           anyAlive = true;
@@ -283,24 +417,44 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
       continue;
     }
 
-    // Hand pending tasks to idle workers.
+    // Fill worker queues from the pending list.
     for (Worker& w : workers_) {
-      if (w.fd < 0 || w.inflight >= 0 || pending.empty()) continue;
-      const int index = pending.back();
-      pending.pop_back();
-      w.inflight = index;
-      w.sentAt = Clock::now();
-      if (writeMessage(w.fd, MsgType::Task, encodeTask(index, specHash_))) {
-        ++stats_.tasksDispatched;
-        countDispatch("hayat_dispatch_tasks_dispatched_total");
-      } else {
-        markDead(w, pending, attempts, local);  // re-queues `index`
+      while (w.fd >= 0 &&
+             w.queue.size() < static_cast<std::size_t>(queueDepth) &&
+             !pending.empty()) {
+        const int index = pending.back();
+        pending.pop_back();
+        // Stale entries: satisfied while queued, or re-queued while a
+        // stolen copy still runs elsewhere (that owner resolves it).
+        if (have[static_cast<std::size_t>(index)] ||
+            assignedElsewhere(index, nullptr))
+          continue;
+        w.queue.push_back(index);
+        if (w.queue.size() == 1) w.headSince = Clock::now();
+        if (writeMessage(w.fd, MsgType::Task,
+                         encodeTask(index, specHash_))) {
+          ++stats_.tasksDispatched;
+          countDispatch("hayat_dispatch_tasks_dispatched_total");
+        } else {
+          markDead(w, have, pending, attempts, local);  // re-queues it
+        }
       }
     }
+
+    // Only once the pending list is drained is imbalance worth fixing.
+    if (pending.empty()) stealTasks(have, stolen, pending, attempts, local);
+
     if (telemetry::enabled()) {
-      static telemetry::Gauge& queueDepth =
+      static telemetry::Gauge& queueDepthGauge =
           telemetry::Registry::global().gauge("hayat_dispatch_pending_tasks");
-      queueDepth.set(static_cast<double>(pending.size()));
+      queueDepthGauge.set(static_cast<double>(pending.size()));
+      static telemetry::Gauge& inflightGauge =
+          telemetry::Registry::global().gauge(
+              "hayat_dispatch_inflight_tasks");
+      double inflight = 0.0;
+      for (const Worker& w : workers_)
+        if (w.fd >= 0) inflight += static_cast<double>(w.queue.size());
+      inflightGauge.set(inflight);
     }
 
     std::vector<struct pollfd> pfds;
@@ -312,11 +466,11 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
     }
     if (pfds.empty()) continue;
 
-    // Wake for the earliest task deadline or respawn due date.
+    // Wake for the earliest head-task deadline or respawn due date.
     int timeoutMs = 200;
     for (const Worker& w : workers_) {
-      if (w.fd >= 0 && w.inflight >= 0) {
-        const auto left = (w.sentAt + taskTimeout) - Clock::now();
+      if (w.fd >= 0 && !w.queue.empty()) {
+        const auto left = (w.headSince + taskTimeout) - Clock::now();
         timeoutMs = std::min(
             timeoutMs,
             static_cast<int>(
@@ -334,28 +488,37 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
         if (w.fd < 0) continue;  // killed earlier in this sweep of pfds
         Message msg;
         if (!readMessage(w.fd, msg)) {
-          markDead(w, pending, attempts, local);
+          markDead(w, have, pending, attempts, local);
           continue;
         }
         if (msg.type == MsgType::Result) {
           int index = -1;
           RunResult result;
-          std::vector<std::pair<std::string, std::uint64_t>> deltas;
+          telemetry::MetricDeltas deltas;
           try {
             decodeResult(msg.payload, index, result, &deltas);
           } catch (const std::exception&) {
-            markDead(w, pending, attempts, local);
+            markDead(w, have, pending, attempts, local);
             continue;
           }
-          if (!deltas.empty()) telemetry::mergeWorkerCounters(deltas);
-          if (index == w.inflight) w.inflight = -1;
-          if (index >= 0 && static_cast<std::size_t>(index) < n &&
-              !have[static_cast<std::size_t>(index)]) {
-            results[static_cast<std::size_t>(index)] = std::move(result);
-            have[static_cast<std::size_t>(index)] = 1;
-            ++done;
-            ++stats_.tasksCompletedRemotely;
-            countDispatch("hayat_dispatch_tasks_completed_remote_total");
+          if (!deltas.counters.empty())
+            telemetry::mergeWorkerCounters(deltas.counters);
+          if (!deltas.histograms.empty())
+            telemetry::mergeWorkerHistograms(deltas.histograms);
+          resolveQueued(w, index);
+          if (index >= 0 && static_cast<std::size_t>(index) < n) {
+            if (!have[static_cast<std::size_t>(index)]) {
+              results[static_cast<std::size_t>(index)] = std::move(result);
+              have[static_cast<std::size_t>(index)] = 1;
+              ++done;
+              ++stats_.tasksCompletedRemotely;
+              countDispatch("hayat_dispatch_tasks_completed_remote_total");
+            } else {
+              // The losing copy of a stolen task: same index, and (by
+              // the deterministic task contract) byte-identical payload.
+              ++stats_.duplicateResults;
+              countDispatch("hayat_dispatch_duplicate_results_total");
+            }
           }
         } else if (msg.type == MsgType::TaskError) {
           int index = -1;
@@ -363,10 +526,10 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
           try {
             decodeTaskError(msg.payload, index, error);
           } catch (const std::exception&) {
-            markDead(w, pending, attempts, local);
+            markDead(w, have, pending, attempts, local);
             continue;
           }
-          if (index == w.inflight) w.inflight = -1;
+          resolveQueued(w, index);
           if (index >= 0 && static_cast<std::size_t>(index) < n &&
               !have[static_cast<std::size_t>(index)]) {
             std::fprintf(stderr, "[dispatch] task %d failed remotely: %s\n",
@@ -380,23 +543,23 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
               pending.push_back(index);
           }
         } else {
-          markDead(w, pending, attempts, local);  // protocol violation
+          markDead(w, have, pending, attempts, local);  // protocol violation
         }
       }
     }
 
-    // Per-task timeout: a worker holding a task too long is presumed
-    // wedged — kill it and re-queue.
+    // Per-task timeout: a worker whose *head* task has been in flight
+    // too long is presumed wedged — kill it and re-queue its queue.
     const auto checkpoint = Clock::now();
     for (Worker& w : workers_) {
-      if (w.fd >= 0 && w.inflight >= 0 &&
-          checkpoint - w.sentAt > taskTimeout) {
+      if (w.fd >= 0 && !w.queue.empty() &&
+          checkpoint - w.headSince > taskTimeout) {
         std::fprintf(stderr,
                      "[dispatch] task %d timed out on worker pid %d; "
                      "re-queueing\n",
-                     w.inflight, static_cast<int>(w.pid));
+                     w.queue.front(), static_cast<int>(w.pid));
         countDispatch("hayat_dispatch_task_timeouts_total");
-        markDead(w, pending, attempts, local);
+        markDead(w, have, pending, attempts, local);
       }
     }
   }
@@ -426,6 +589,24 @@ std::vector<RunResult> Dispatcher::run(const ExperimentSpec& spec,
     }
   }
   return results;
+}
+
+int Dispatcher::pushCacheEntry(const std::string& specName,
+                               std::uint64_t hash,
+                               const std::string& fileBytes) {
+  const std::string payload = encodeCachePush(specName, hash, fileBytes);
+  int sent = 0;
+  for (Worker& w : workers_) {
+    if (w.fd < 0 || w.endpoint.kind != WorkerEndpoint::Kind::Tcp) continue;
+    if (writeMessage(w.fd, MsgType::CachePush, payload)) {
+      ++sent;
+      ++stats_.cachePushes;
+      countDispatch("hayat_dispatch_cache_pushes_total");
+    }
+    // A failed push is not a death sentence here: the next run-loop or
+    // shutdown interaction with this fd detects the broken pipe.
+  }
+  return sent;
 }
 
 void Dispatcher::shutdown() {

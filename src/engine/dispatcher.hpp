@@ -10,19 +10,31 @@
 // It is built to survive workers, not just use them:
 //   - per-task timeout: a worker that holds a task too long is killed
 //     (or disconnected) and its task re-queued;
-//   - death detection: EOF / write errors re-queue the in-flight task
-//     and respawn the worker slot with exponential backoff, up to
-//     maxRespawns per slot;
+//   - death detection: EOF / write errors re-queue every task queued on
+//     the dead worker and respawn the slot with exponential backoff, up
+//     to maxRespawns per slot;
 //   - bounded retry: a task that keeps failing (maxTaskRetries attempts,
 //     counting both worker deaths and TaskError replies) is pulled back
 //     and executed locally, where a genuine error can propagate;
+//   - work stealing: each worker holds a short queue (workerQueueDepth)
+//     so it never starves between results; once the pending list drains,
+//     idle workers steal queued tasks from the deepest queue — and, past
+//     stealHeadAfterSeconds, speculatively re-dispatch a stalled head
+//     task.  A steal can make two workers compute the same index; the
+//     first Result wins and later duplicates are dropped by index, so
+//     the merged table stays byte-identical to a serial run;
 //   - graceful degradation: with zero reachable workers (or once every
 //     slot is permanently dead) the remaining tasks run on the local
 //     thread pool, so a sweep never fails because a fleet did.
+//
+// The wire layer underneath carries a deterministic fault-injection
+// shim (fault.hpp, HAYAT_FAULT_PLAN) so each of those recovery paths is
+// pinned by name in tests/test_dispatch.cpp.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -66,6 +78,18 @@ struct DispatchConfig {
   int localFallbackWorkers = 0;
   /// Dial timeout for TCP endpoints.
   int connectTimeoutMs = 2000;
+  /// Tasks queued per worker (front = running).  Depth > 1 pipelines the
+  /// next task behind the running one and gives stealing something to
+  /// take; 1 restores the one-at-a-time v2 behavior.
+  int workerQueueDepth = 2;
+  /// Once the pending list is empty, an idle worker may re-dispatch a
+  /// *running* (head) task that has been in flight longer than this —
+  /// the speculative re-steal path for stalled-but-alive workers.
+  /// <= 0 disables head stealing (tail stealing is always on).
+  double stealHeadAfterSeconds = 0.0;
+  /// Fault-injection plan for tests ("": use HAYAT_FAULT_PLAN).  Parsed
+  /// and installed at construction; see fault.hpp for the grammar.
+  std::string faultPlan;
 };
 
 /// Observability counters (the crash-recovery tests assert on these).
@@ -74,8 +98,11 @@ struct DispatchStats {
   int workersConnected = 0;  ///< endpoints that accepted the spec
   int workerDeaths = 0;      ///< EOFs, write failures, and timeout kills
   int workerRespawns = 0;    ///< successful replacements after a death
-  int tasksDispatched = 0;   ///< Task messages sent
+  int tasksDispatched = 0;   ///< Task messages sent (steals included)
   int tasksRetried = 0;      ///< re-queues after a death/error/timeout
+  int tasksStolen = 0;       ///< tasks re-assigned from one worker to another
+  int duplicateResults = 0;  ///< Results dropped because the index was done
+  int cachePushes = 0;       ///< CachePush frames sent to TCP workers
   int tasksCompletedRemotely = 0;
   int tasksCompletedLocally = 0;  ///< degraded / retry-exhausted tasks
 };
@@ -99,6 +126,14 @@ class Dispatcher {
   std::vector<RunResult> run(const ExperimentSpec& spec,
                              const std::vector<RunTask>& tasks);
 
+  /// Pushes one result-cache entry (the raw cache-file bytes plus its
+  /// identity) to every live TCP worker so a remote fleet's caches stay
+  /// warm — fork/exec workers share the coordinator's filesystem and are
+  /// skipped.  Returns the number of workers that accepted the frame.
+  /// Requires connect() to have run.
+  int pushCacheEntry(const std::string& specName, std::uint64_t hash,
+                     const std::string& fileBytes);
+
   /// Sends Shutdown to every live worker and reaps the children.
   void shutdown();
 
@@ -111,16 +146,31 @@ class Dispatcher {
     WorkerEndpoint endpoint;  ///< count collapsed to 1 (one slot each)
     int fd = -1;              ///< -1 while dead
     pid_t pid = -1;           ///< forked/exec'd workers only
-    int inflight = -1;        ///< task index, -1 when idle
-    Clock::time_point sentAt{};
+    /// Task indices sent and unresolved, oldest first; front is the one
+    /// the worker is (presumed) computing now.
+    std::deque<int> queue;
+    Clock::time_point headSince{};  ///< when queue.front() became head
     int deaths = 0;
     Clock::time_point nextRespawn{};
   };
 
-  bool spawn(Worker& worker);
-  void markDead(Worker& worker, std::vector<int>& pending,
-                std::vector<int>& attempts, std::vector<int>& local);
+  bool spawn(Worker& worker, int slot);
+  void markDead(Worker& worker, const std::vector<char>& have,
+                std::vector<int>& pending, std::vector<int>& attempts,
+                std::vector<int>& local);
   void reap(Worker& worker, bool force);
+  /// True when `index` sits in the queue of a live worker other than
+  /// `except` (the task is still owned; a death elsewhere must not
+  /// re-queue it).
+  bool assignedElsewhere(int index, const Worker* except) const;
+  /// One stealing pass: gives each idle worker a task taken from the
+  /// deepest queue (or a stalled head, past stealHeadAfterSeconds).
+  void stealTasks(const std::vector<char>& have, std::vector<int>& stolen,
+                  std::vector<int>& pending, std::vector<int>& attempts,
+                  std::vector<int>& local);
+  /// Removes a resolved index from `worker`'s queue, restarting the head
+  /// timer if the head changed.
+  void resolveQueued(Worker& worker, int index);
 
   DispatchConfig config_;
   DispatchStats stats_;
@@ -128,6 +178,7 @@ class Dispatcher {
   std::string specPayload_;
   std::uint64_t specHash_ = 0;
   bool connected_ = false;
+  bool faultsInstalled_ = false;
 };
 
 }  // namespace hayat::engine

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "engine/builtin_policies.hpp"
@@ -54,6 +56,29 @@ void recordSweepSeries(const SweepTable& table) {
       telemetry::EpochSeries::global().append(std::move(row));
     }
   }
+}
+
+bool hasTcpEndpoint(const std::vector<WorkerEndpoint>& endpoints) {
+  for (const WorkerEndpoint& e : endpoints)
+    if (e.kind == WorkerEndpoint::Kind::Tcp) return true;
+  return false;
+}
+
+/// Pushes the on-disk cache entry for `spec` to every live TCP worker of
+/// an already-connected dispatcher (warm-cache push; fork/exec workers
+/// share the coordinator's filesystem and are skipped inside
+/// pushCacheEntry).  Best-effort: an unreadable file is a silent no-op.
+void pushCacheEntryToWorkers(Dispatcher& dispatcher, const std::string& dir,
+                             const ExperimentSpec& spec) {
+  std::ifstream in(cachePath(dir, spec), std::ios::binary);
+  if (!in) return;
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  const int sent =
+      dispatcher.pushCacheEntry(spec.name, specHash(spec), bytes.str());
+  if (sent > 0)
+    std::fprintf(stderr, "[engine] %s: pushed cache entry to %d worker%s\n",
+                 spec.name.c_str(), sent, sent == 1 ? "" : "s");
 }
 
 }  // namespace
@@ -130,10 +155,10 @@ std::uint64_t ExperimentEngine::cacheMaxBytes() const {
 }
 
 double ExperimentEngine::cacheMaxAgeSeconds() const {
-  if (config_.cacheMaxAgeSeconds > 0.0) return config_.cacheMaxAgeSeconds;
+  if (config_.cacheMaxAgeSeconds >= 0.0) return config_.cacheMaxAgeSeconds;
   if (const char* env = std::getenv("HAYAT_CACHE_MAX_AGE"))
     if (*env) return std::strtod(env, nullptr);
-  return 0.0;
+  return -1.0;
 }
 
 std::vector<RunTask> ExperimentEngine::expand(
@@ -225,6 +250,17 @@ SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
       std::fprintf(stderr, "[engine] %s: loaded %zu runs from %s\n",
                    spec.name.c_str(), cached->runs.size(),
                    cachePath(cacheDir(), spec).c_str());
+      if (hasTcpEndpoint(endpoints)) {
+        // Warm-cache push: the local hit costs the remote fleet nothing,
+        // so spend a connection warming every TCP worker's cache — the
+        // entry this coordinator would otherwise recompute for them.
+        DispatchConfig dc;
+        dc.endpoints = endpoints;
+        Dispatcher dispatcher(dc);
+        if (dispatcher.connect(spec) > 0)
+          pushCacheEntryToWorkers(dispatcher, cacheDir(), spec);
+        dispatcher.shutdown();
+      }
       if (telemetry::enabled()) recordSweepSeries(*cached);
       return *std::move(cached);
     }
@@ -239,23 +275,26 @@ SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
   SweepTable table;
 
   bool dispatched = false;
+  std::unique_ptr<Dispatcher> dispatcher;
   if (!endpoints.empty() && !spec.lifetime.fixedMix.has_value()) {
     // An unreachable fleet degrades to the in-process pool below.
     DispatchConfig dc;
     dc.endpoints = endpoints;
     dc.localFallbackWorkers = workers();
-    Dispatcher dispatcher(dc);
-    if (dispatcher.connect(spec) > 0) {
-      table.runs = dispatcher.run(spec, tasks);
+    dispatcher = std::make_unique<Dispatcher>(dc);
+    if (dispatcher->connect(spec) > 0) {
+      table.runs = dispatcher->run(spec, tasks);
       dispatched = true;
     } else {
       std::fprintf(stderr,
                    "[engine] %s: no workers reachable for '%s'; falling "
                    "back to in-process threads\n",
                    spec.name.c_str(), dispatch.c_str());
+      dispatcher.reset();
     }
   }
   if (!dispatched) {
+    dispatcher.reset();
     table.runs = parallelMap<RunResult>(
         static_cast<int>(tasks.size()), workers(), [&](int i) {
           return runTask(tasks[static_cast<std::size_t>(i)],
@@ -265,9 +304,13 @@ SweepTable ExperimentEngine::run(const ExperimentSpec& spec) const {
 
   if (cacheable) {
     storeCachedTable(cacheDir(), spec, table);
+    // The workers that just computed the table get its cache entry back,
+    // so a coordinator restart against the same fleet starts warm even
+    // if this host's cache directory is lost.
+    if (dispatcher) pushCacheEntryToWorkers(*dispatcher, cacheDir(), spec);
     const std::uint64_t maxBytes = cacheMaxBytes();
     const double maxAge = cacheMaxAgeSeconds();
-    if (maxBytes > 0 || maxAge > 0.0) {
+    if (maxBytes > 0 || maxAge >= 0.0) {
       const CacheEvictionStats ev =
           evictResultCache(cacheDir(), maxBytes, maxAge);
       if (ev.evictedByAge + ev.evictedBySize > 0) {

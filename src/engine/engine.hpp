@@ -99,8 +99,9 @@ struct EngineConfig {
   /// until the directory fits.  0: HAYAT_CACHE_MAX_BYTES, else unbounded.
   std::uint64_t cacheMaxBytes = 0;
   /// Cache age bound [seconds]; entries older than this are evicted
-  /// after each store.  0: HAYAT_CACHE_MAX_AGE, else unbounded.
-  double cacheMaxAgeSeconds = 0.0;
+  /// after each store.  0 evicts everything (the `--cache-max-age=0`
+  /// flush idiom); negative: HAYAT_CACHE_MAX_AGE, else unbounded.
+  double cacheMaxAgeSeconds = -1.0;
 };
 
 class ExperimentEngine {
@@ -133,6 +134,7 @@ class ExperimentEngine {
   std::string cacheDir() const;
   std::string dispatchSpec() const;
   std::uint64_t cacheMaxBytes() const;
+  /// Negative when no age bound is configured (see EngineConfig).
   double cacheMaxAgeSeconds() const;
 
  private:

@@ -139,17 +139,53 @@ bool readRunResult(std::istream& in, RunResult& result) {
   }
 }
 
-std::string cachePath(const std::string& dir, const ExperimentSpec& spec) {
-  char hash[32];
-  std::snprintf(hash, sizeof(hash), "%016" PRIx64, specHash(spec));
-  std::string name;
-  for (const char c : spec.name) {
+std::string cacheEntryPath(const std::string& dir, const std::string& name,
+                           std::uint64_t hash) {
+  char hashHex[32];
+  std::snprintf(hashHex, sizeof(hashHex), "%016" PRIx64, hash);
+  std::string safeName;
+  for (const char c : name) {
     const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '-' || c == '_';
-    name += safe ? c : '_';
+    safeName += safe ? c : '_';
   }
-  if (name.empty()) name = "experiment";
-  return dir + "/" + name + "-" + hash + ".csv";
+  if (safeName.empty()) safeName = "experiment";
+  return dir + "/" + safeName + "-" + hashHex + ".csv";
+}
+
+std::string cachePath(const std::string& dir, const ExperimentSpec& spec) {
+  return cacheEntryPath(dir, spec.name, specHash(spec));
+}
+
+bool storePushedCacheEntry(const std::string& dir, const std::string& name,
+                           std::uint64_t hash,
+                           const std::string& fileBytes) {
+  // The push already crossed decodeCachePush's version check, but the
+  // bytes themselves carry the authoritative stamp — reject anything
+  // that does not open with this build's magic line.
+  const std::string magic = magicLine() + '\n';
+  if (fileBytes.compare(0, magic.size(), magic) != 0) return false;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  const std::string path = cacheEntryPath(dir, name, hash);
+  const std::string tmp = path + ".push.tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(fileBytes.data(),
+              static_cast<std::streamsize>(fileBytes.size()));
+    if (!out) return false;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (!ec && telemetry::enabled()) {
+    static telemetry::Counter& stored = telemetry::Registry::global().counter(
+        "hayat_result_cache_push_stored_total");
+    stored.add();
+  }
+  return !ec;
 }
 
 std::optional<SweepTable> loadCachedTable(const std::string& dir,
@@ -305,7 +341,7 @@ CacheEvictionStats evictResultCache(const std::string& dir,
     totalBytes -= e.bytes;
   };
 
-  if (maxAgeSeconds > 0.0) {
+  if (maxAgeSeconds >= 0.0) {
     const auto now = fs::file_time_type::clock::now();
     std::vector<Entry> kept;
     for (const Entry& e : entries) {
@@ -313,7 +349,9 @@ CacheEvictionStats evictResultCache(const std::string& dir,
           std::chrono::duration_cast<std::chrono::duration<double>>(now -
                                                                     e.mtime)
               .count();
-      if (age > maxAgeSeconds) {
+      // maxAge == 0 is the evict-all flush: every entry goes, including
+      // one written within the current clock tick (age == 0).
+      if (maxAgeSeconds == 0.0 || age > maxAgeSeconds) {
         remove(e, stats.evictedByAge);
       } else {
         kept.push_back(e);

@@ -43,6 +43,22 @@ bool readRunResult(std::istream& in, RunResult& result);
 /// Cache file path for a spec inside `dir`.
 std::string cachePath(const std::string& dir, const ExperimentSpec& spec);
 
+/// Cache file path from the entry identity alone (sanitized name +
+/// hash16) — what a worker storing a pushed entry uses, since it has the
+/// bytes and identity but not necessarily the expanded spec.
+std::string cacheEntryPath(const std::string& dir, const std::string& name,
+                           std::uint64_t hash);
+
+/// Stores a cache entry pushed over the wire (wire.hpp CachePush):
+/// validates the leading format-version magic, then writes the bytes
+/// atomically (tmp + rename) under cacheEntryPath().  Returns false —
+/// without touching the cache — on a version mismatch or any I/O
+/// failure; the next loadCachedTable() still verifies the embedded
+/// signature before serving it, so a hostile or stale push can waste
+/// disk but never poison results.
+bool storePushedCacheEntry(const std::string& dir, const std::string& name,
+                           std::uint64_t hash, const std::string& fileBytes);
+
 /// Loads the cached table for `spec`, or nullopt on miss (no file,
 /// unreadable file, version or signature mismatch, or corruption).  A
 /// file that exists but cannot serve the spec is an orphan — a previous
@@ -69,8 +85,11 @@ struct CacheEvictionStats {
 /// keep `dir` bounded: first every `.csv` entry whose mtime is older than
 /// `maxAgeSeconds`, then oldest-first until the directory fits in
 /// `maxBytes`.  Oldest-first means the entry just written by the current
-/// run survives unless maxBytes is smaller than that single file.  A
-/// limit of 0 disables that bound; missing directories are a no-op.
+/// run survives unless maxBytes is smaller than that single file.
+/// `maxBytes == 0` disables the size bound.  `maxAgeSeconds` is a
+/// tri-state: negative disables the age bound, exactly 0 evicts every
+/// entry (the `--cache-max-age=0` flush idiom), positive evicts entries
+/// older than the limit.  Missing directories are a no-op.
 CacheEvictionStats evictResultCache(const std::string& dir,
                                     std::uint64_t maxBytes,
                                     double maxAgeSeconds);

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "engine/fault.hpp"
 #include "engine/result_cache.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -144,7 +145,29 @@ int parseIndexLine(std::istream& in, const char* what) {
 
 bool writeMessage(int fd, MsgType type, const std::string& payload) {
   if (payload.size() > kMaxPayload) return false;
-  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  // Fault-injection hook (tests only; one relaxed load when inactive).
+  // A Drop reports success without touching the socket — the peer sees
+  // the same silence as a lost frame.  A Corrupt keeps the framing valid
+  // but mangles the payload so the peer hits a decode error, not a
+  // framing error.
+  std::string mangled;
+  const std::string* body = &payload;
+  if (faultsInstalled()) {
+    switch (nextWriteFault()) {
+      case WriteFault::None:
+        break;
+      case WriteFault::Drop:
+        return true;
+      case WriteFault::Corrupt:
+        mangled = payload;
+        if (mangled.empty()) mangled = "!";
+        for (std::size_t i = 0; i < mangled.size() && i < 16; ++i)
+          mangled[i] = static_cast<char>(mangled[i] ^ 0x5A);
+        body = &mangled;
+        break;
+    }
+  }
+  const std::uint32_t size = static_cast<std::uint32_t>(body->size());
   char header[8];
   header[0] = 'H';
   header[1] = 'W';
@@ -155,14 +178,14 @@ bool writeMessage(int fd, MsgType type, const std::string& payload) {
   header[6] = static_cast<char>((size >> 8) & 0xFF);
   header[7] = static_cast<char>(size & 0xFF);
   const bool ok = writeAll(fd, header, sizeof(header)) &&
-                  writeAll(fd, payload.data(), payload.size());
+                  writeAll(fd, body->data(), body->size());
   if (ok && telemetry::enabled()) {
     static telemetry::Counter& messages =
         telemetry::Registry::global().counter("hayat_wire_messages_sent_total");
     static telemetry::Counter& bytes =
         telemetry::Registry::global().counter("hayat_wire_bytes_sent_total");
     messages.add();
-    bytes.add(sizeof(header) + payload.size());
+    bytes.add(sizeof(header) + body->size());
   }
   return ok;
 }
@@ -279,9 +302,8 @@ std::string encodeResult(int index, const RunResult& result,
   return out.str();
 }
 
-void decodeResult(
-    const std::string& payload, int& index, RunResult& result,
-    std::vector<std::pair<std::string, std::uint64_t>>* metricDeltas) {
+void decodeResult(const std::string& payload, int& index, RunResult& result,
+                  telemetry::MetricDeltas* metricDeltas) {
   std::istringstream in(payload);
   index = parseIndexLine(in, "wire result");
   HAYAT_REQUIRE(readRunResult(in, result), "wire result: malformed run record");
@@ -303,10 +325,56 @@ void decodeResult(
   }
   HAYAT_REQUIRE(!std::getline(in, line),
                 "wire result: trailing data after metrics section");
-  std::vector<std::pair<std::string, std::uint64_t>> deltas;
-  HAYAT_REQUIRE(telemetry::decodeCounterDeltas(text, deltas),
+  telemetry::MetricDeltas deltas;
+  HAYAT_REQUIRE(telemetry::decodeMetricDeltas(text, deltas),
                 "wire result: malformed metrics section");
   if (metricDeltas != nullptr) *metricDeltas = std::move(deltas);
+}
+
+std::string encodeCachePush(const std::string& specName, std::uint64_t hash,
+                            const std::string& fileBytes) {
+  std::ostringstream out;
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "hash=%016" PRIx64 "\nbytes=%zu\n", hash,
+                fileBytes.size());
+  out << "cache.version=" << kCacheFormatVersion << '\n'
+      << "name=" << specName << '\n'
+      << buf << fileBytes;
+  return out.str();
+}
+
+void decodeCachePush(const std::string& payload, std::string& specName,
+                     std::uint64_t& hash, std::string& fileBytes) {
+  std::istringstream in(payload);
+  std::string line;
+  HAYAT_REQUIRE(
+      std::getline(in, line) && line.rfind("cache.version=", 0) == 0,
+      "wire cache-push: missing cache.version line");
+  char* end = nullptr;
+  const long version = std::strtol(line.c_str() + 14, &end, 10);
+  HAYAT_REQUIRE(end == line.c_str() + line.size(),
+                "wire cache-push: bad cache.version");
+  HAYAT_REQUIRE(version == kCacheFormatVersion,
+                "wire cache-push: cache format v" + std::to_string(version) +
+                    " does not match this build's v" +
+                    std::to_string(kCacheFormatVersion));
+  HAYAT_REQUIRE(std::getline(in, line) && line.rfind("name=", 0) == 0,
+                "wire cache-push: missing name line");
+  specName = line.substr(5);
+  HAYAT_REQUIRE(std::getline(in, line) && line.rfind("hash=", 0) == 0,
+                "wire cache-push: missing hash line");
+  hash = std::strtoull(line.c_str() + 5, nullptr, 16);
+  HAYAT_REQUIRE(std::getline(in, line) && line.rfind("bytes=", 0) == 0,
+                "wire cache-push: missing bytes line");
+  end = nullptr;
+  const unsigned long long count =
+      std::strtoull(line.c_str() + 6, &end, 10);
+  HAYAT_REQUIRE(end == line.c_str() + line.size(),
+                "wire cache-push: bad byte count");
+  const std::size_t offset = static_cast<std::size_t>(in.tellg());
+  HAYAT_REQUIRE(payload.size() - offset == count,
+                "wire cache-push: byte count does not match payload");
+  fileBytes = payload.substr(offset);
 }
 
 std::string encodeTaskError(int index, const std::string& message) {

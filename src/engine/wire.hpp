@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hayat::engine {
 
@@ -30,7 +31,9 @@ namespace hayat::engine {
 /// different builds must not exchange half-understood tasks).
 /// v2: TelemetryOn message; Result frames may carry a trailing metrics
 /// section (counter deltas for coordinator-side merge).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: CachePush frame (coordinator warms remote result caches); the
+/// Result metrics section may also carry histogram deltas ("h," lines).
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /// Message types.
 enum class MsgType : std::uint8_t {
@@ -40,6 +43,7 @@ enum class MsgType : std::uint8_t {
   TaskError = 4,    ///< worker -> coordinator: task index + error text
   Shutdown = 5,     ///< coordinator -> worker: finish and exit cleanly
   TelemetryOn = 6,  ///< coordinator -> worker: start metrics collection
+  CachePush = 7,    ///< coordinator -> worker: one result-cache entry
 };
 
 struct Message {
@@ -92,13 +96,25 @@ std::string encodeResult(int index, const RunResult& result,
                          const std::string& metricsText = "");
 
 /// Decodes a Result payload.  When `metricDeltas` is non-null, any
-/// metrics section is parsed into it (cleared first; absent section
-/// leaves it empty); a malformed metrics section throws like any other
-/// malformed payload.
-void decodeResult(
-    const std::string& payload, int& index, RunResult& result,
-    std::vector<std::pair<std::string, std::uint64_t>>* metricDeltas =
-        nullptr);
+/// metrics section (counter and histogram deltas) is parsed into it
+/// (cleared first; absent section leaves it empty); a malformed metrics
+/// section throws like any other malformed payload.
+void decodeResult(const std::string& payload, int& index, RunResult& result,
+                  telemetry::MetricDeltas* metricDeltas = nullptr);
+
+/// CachePush payload: cache format version + entry identity + the raw
+/// cache-file bytes.  Workers that receive one store it into their own
+/// result-cache directory so a restarted fleet never recomputes a sweep
+/// the coordinator already has.  Stamped with kCacheFormatVersion (not
+/// just the wire version): a worker must reject an entry its cache
+/// reader cannot parse even if the wire protocol matches.
+std::string encodeCachePush(const std::string& specName, std::uint64_t hash,
+                            const std::string& fileBytes);
+
+/// Decodes a CachePush payload; throws hayat::Error on a malformed
+/// payload, a cache-format-version mismatch, or a byte-count mismatch.
+void decodeCachePush(const std::string& payload, std::string& specName,
+                     std::uint64_t& hash, std::string& fileBytes);
 
 /// TaskError payload: task index line + one free-form message line.
 std::string encodeTaskError(int index, const std::string& message);

@@ -9,15 +9,23 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "engine/builtin_policies.hpp"
 #include "engine/engine.hpp"
+#include "engine/fault.hpp"
+#include "engine/result_cache.hpp"
 #include "engine/wire.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hayat::engine {
 
@@ -38,7 +46,113 @@ void ignoreSigpipe() {
   }
 }
 
+/// Cache directory this worker stores pushed entries into — the same
+/// resolution the coordinator-side engine uses.
+std::string workerCacheDir() {
+  if (const char* env = std::getenv("HAYAT_CACHE_DIR"))
+    if (*env) return env;
+  return "hayat_cache";
+}
+
+bool workerCacheDisabled() {
+  return std::getenv("HAYAT_NO_CACHE") != nullptr ||
+         std::getenv("HAYAT_NO_SWEEP_CACHE") != nullptr;
+}
+
+void countWorker(const char* name) {
+  telemetry::Registry::global().counter(name).add();
+}
+
+/// A pushed entry is best-effort cache warming: malformed frames and
+/// failed stores are counted and dropped, never fatal — a corrupt push
+/// must not cost the fleet a worker.
+void handleCachePush(const std::string& payload) {
+  std::string name;
+  std::uint64_t hash = 0;
+  std::string fileBytes;
+  try {
+    decodeCachePush(payload, name, hash, fileBytes);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[worker %d] rejecting cache push: %s\n", ::getpid(),
+                 e.what());
+    countWorker("hayat_worker_cache_push_rejected_total");
+    return;
+  }
+  if (workerCacheDisabled()) {
+    countWorker("hayat_worker_cache_push_rejected_total");
+    return;
+  }
+  if (storePushedCacheEntry(workerCacheDir(), name, hash, fileBytes)) {
+    countWorker("hayat_worker_cache_push_stored_total");
+  } else {
+    countWorker("hayat_worker_cache_push_rejected_total");
+  }
+}
+
+/// Writes all of `data`; plain blocking loop (HTTP responses are small).
+void writeAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Answers one already-accepted HTTP connection: reads the request head
+/// (bounded), serves workerMetricsHttpResponse for the target.
+void serveHttpRequest(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 16 * 1024 &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  // Request line: "GET <target> HTTP/1.x".
+  std::string target = "/";
+  const std::size_t sp1 = head.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = head.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) target = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  writeAll(fd, workerMetricsHttpResponse(target));
+}
+
 }  // namespace
+
+std::string workerHttpResponse(int status, const std::string& body) {
+  std::ostringstream out;
+  if (status == 200) {
+    out << "HTTP/1.0 200 OK\r\n"
+        << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  } else {
+    out << "HTTP/1.0 404 Not Found\r\n"
+        << "Content-Type: text/plain; charset=utf-8\r\n";
+  }
+  out << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+std::string workerMetricsHttpResponse(const std::string& target) {
+  // Advances even with telemetry disabled, so /metrics always has at
+  // least one sample and a scrape of an idle worker is distinguishable
+  // from a scrape of nothing.
+  countWorker("hayat_worker_metrics_requests_total");
+  if (target != "/metrics") return workerHttpResponse(404, "not found\n");
+  std::ostringstream body;
+  telemetry::writePrometheus(body, telemetry::Registry::global().snapshot(),
+                             telemetry::workerCounters(),
+                             telemetry::workerHistograms());
+  return workerHttpResponse(200, body.str());
+}
 
 int runWorkerLoop(int inFd, int outFd) {
   ignoreSigpipe();
@@ -56,17 +170,26 @@ int runWorkerLoop(int inFd, int outFd) {
   const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
   const std::uint64_t hash = specHash(spec);
 
+  // Fault injection, two vintages: the legacy single-purpose envs and
+  // the HAYAT_FAULT_PLAN grammar (fault.hpp); legacy wins where both
+  // address the same behavior so old tests keep their exit codes.
+  const WorkerFaults faults = workerFaultsFromEnv();
   const long exitAfter = envLong("HAYAT_WORKER_EXIT_AFTER", -1);
-  const long stallAfter = envLong("HAYAT_WORKER_STALL_AFTER", -1);
+  const long dieAfter = faults.dieAfter;
+  const long stallAfter =
+      envLong("HAYAT_WORKER_STALL_AFTER", faults.stallAfter);
+  const long delayMs = faults.delayMs;
   long served = 0;
 
-  // Counter values already reported to the coordinator; Result frames
-  // carry only what advanced since (telemetry::encodeCounterDeltas).
+  // Metric values already reported to the coordinator; Result frames
+  // carry only what advanced since (telemetry::encode*Deltas).
   std::map<std::string, std::uint64_t> reported;
+  std::map<std::string, telemetry::HistogramSnapshot> reportedHists;
   if (telemetry::enabled()) {
-    // Fork workers inherit the coordinator's counter values wholesale;
+    // Fork workers inherit the coordinator's metric values wholesale;
     // baseline them so only this process's work is reported as deltas.
     telemetry::encodeCounterDeltas(reported);
+    telemetry::encodeHistogramDeltas(reportedHists);
   }
 
   while (readMessage(inFd, msg)) {
@@ -76,6 +199,10 @@ int runWorkerLoop(int inFd, int outFd) {
       // the coordinator turns collection on so counters flow back on the
       // Result frames.  No export directory: workers never write files.
       telemetry::setEnabled(true);
+      continue;
+    }
+    if (msg.type == MsgType::CachePush) {
+      handleCachePush(msg.payload);
       continue;
     }
     if (msg.type != MsgType::Task) return 1;
@@ -103,12 +230,25 @@ int runWorkerLoop(int inFd, int outFd) {
     }
 
     try {
+      const auto started = std::chrono::steady_clock::now();
       const RunResult result =
           ExperimentEngine::runTask(tasks[static_cast<std::size_t>(index)],
                                     spec.populationSeed);
-      const std::string metrics = telemetry::enabled()
-                                      ? telemetry::encodeCounterDeltas(reported)
-                                      : std::string();
+      std::string metrics;
+      if (telemetry::enabled()) {
+        static telemetry::Histogram& taskSeconds =
+            telemetry::Registry::global().histogram(
+                "hayat_worker_task_seconds",
+                {0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0});
+        taskSeconds.observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count());
+        metrics = telemetry::encodeCounterDeltas(reported) +
+                  telemetry::encodeHistogramDeltas(reportedHists);
+      }
+      if (delayMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
       if (!writeMessage(outFd, MsgType::Result,
                         encodeResult(index, result, metrics)))
         return 1;
@@ -120,12 +260,15 @@ int runWorkerLoop(int inFd, int outFd) {
 
     ++served;
     if (exitAfter >= 0 && served >= exitAfter)
-      ::_exit(42);  // fault injection: a crashing worker
+      ::_exit(42);  // fault injection: a crashing worker (legacy hook)
+    if (dieAfter >= 0 && served >= dieAfter)
+      ::_exit(kFaultDeathExitCode);  // fault injection: die:worker=...
   }
   return 0;  // coordinator hung up
 }
 
-pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild) {
+pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild,
+                      int slot) {
   int sv[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
     return -1;
@@ -138,6 +281,12 @@ pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild) {
   if (pid == 0) {
     ::close(sv[0]);
     for (const int other : closeInChild) ::close(other);
+    // The child inherited the coordinator's installed fault plan; only
+    // the write-side coordinator rules must not fire here, the
+    // worker-side rules are re-read from the environment.
+    clearCoordinatorFaults();
+    if (slot >= 0)
+      ::setenv("HAYAT_FAULT_WORKER", std::to_string(slot).c_str(), 1);
     ::_exit(runWorkerLoop(sv[1], sv[1]));
   }
   ::close(sv[1]);
@@ -145,7 +294,7 @@ pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild) {
   return pid;
 }
 
-pid_t spawnExecWorker(const std::string& binary, int& fd) {
+pid_t spawnExecWorker(const std::string& binary, int& fd, int slot) {
   int sv[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
     return -1;
@@ -159,6 +308,8 @@ pid_t spawnExecWorker(const std::string& binary, int& fd) {
     // dup2 clears CLOEXEC, so exactly stdin/stdout survive the exec.
     ::dup2(sv[1], STDIN_FILENO);
     ::dup2(sv[1], STDOUT_FILENO);
+    if (slot >= 0)
+      ::setenv("HAYAT_FAULT_WORKER", std::to_string(slot).c_str(), 1);
     ::execlp(binary.c_str(), binary.c_str(), "worker", "--stdio",
              static_cast<char*>(nullptr));
     std::fprintf(stderr, "[worker] cannot exec '%s'\n", binary.c_str());
@@ -176,7 +327,20 @@ int serveWorkerOnListenSocket(int listenFd) {
       if (errno == EINTR) continue;
       return 1;
     }
-    runWorkerLoop(fd, fd);
+    // One listen port, two protocols: wire coordinators open with the
+    // 'H''W' magic, HTTP scrapers with "GET ".  Peek without consuming
+    // so the wire codec still sees the full frame.
+    char peek[4] = {0};
+    ssize_t got;
+    do {
+      got = ::recv(fd, peek, sizeof(peek), MSG_PEEK | MSG_WAITALL);
+    } while (got < 0 && errno == EINTR);
+    if (got == static_cast<ssize_t>(sizeof(peek)) &&
+        std::memcmp(peek, "GET ", 4) == 0) {
+      serveHttpRequest(fd);
+    } else {
+      runWorkerLoop(fd, fd);
+    }
     ::close(fd);
   }
 }

@@ -4,8 +4,10 @@
 // re-expands it into RunTasks (expansion is deterministic, so the spec
 // hash is the complete work-partitioning key), then answers Task messages
 // with Result messages until it is shut down or its connection closes.
-// Workers never touch the result cache — caching is coordinator-side
-// only, so a worker host needs no shared filesystem.
+// Workers never *compute into* the result cache — but they do accept
+// CachePush frames (wire.hpp): the coordinator pushes entries it already
+// has into each remote worker's cache directory, so a restarted fleet
+// does not recompute sweeps its coordinator can answer from disk.
 //
 // Three transports, all speaking the same wire protocol (wire.hpp):
 //   - fork:  spawnForkWorker() forks the current process; the child runs
@@ -14,12 +16,19 @@
 //            process.  Used by `--workers=exec:N` (HAYAT_WORKER_BIN
 //            selects the binary, default "hayat" from PATH).
 //   - tcp:   `hayat worker --listen PORT` serves coordinators that dial
-//            in with `--workers=tcp:host:port`.
+//            in with `--workers=tcp:host:port`.  The same listen socket
+//            doubles as a plain-HTTP endpoint: a connection that opens
+//            with "GET " is answered with Prometheus text for /metrics
+//            (404 otherwise) and closed — `curl host:port/metrics`
+//            scrapes a live worker with no extra port.
 //
 // Test hooks (fault injection for the crash-recovery tests; unset in
 // normal operation):
 //   HAYAT_WORKER_EXIT_AFTER=N   _exit(42) after serving N results
 //   HAYAT_WORKER_STALL_AFTER=N  hang forever instead of serving task N+1
+//   HAYAT_FAULT_PLAN + HAYAT_FAULT_WORKER  the richer schedule grammar
+//     (fault.hpp): delay:worker=W,ms=M / die:worker=W,after=K /
+//     stall:worker=W,after=K address the worker spawned into slot W.
 #pragma once
 
 #include <sys/types.h>
@@ -35,20 +44,38 @@ int runWorkerLoop(int inFd, int outFd);
 
 /// Forks a worker child running runWorkerLoop over a socketpair; the
 /// child closes every fd in `closeInChild` first (sibling workers'
-/// sockets, so their EOFs stay observable).  Returns the child pid and
-/// stores the coordinator-side fd, or returns -1.
-pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild = {});
+/// sockets, so their EOFs stay observable) and clears any inherited
+/// coordinator-side fault plan.  `slot >= 0` is exported to the child as
+/// HAYAT_FAULT_WORKER so worker-addressed fault rules find it.  Returns
+/// the child pid and stores the coordinator-side fd, or returns -1.
+pid_t spawnForkWorker(int& fd, const std::vector<int>& closeInChild = {},
+                      int slot = -1);
 
 /// Fork/execs `binary worker --stdio` with the socketpair on its
-/// stdin/stdout.  Returns the child pid and stores the coordinator-side
+/// stdin/stdout (HAYAT_FAULT_WORKER=slot in its environment when
+/// `slot >= 0`).  Returns the child pid and stores the coordinator-side
 /// fd, or returns -1 (a missing binary surfaces as an immediate child
 /// exit, i.e. a worker death).
-pid_t spawnExecWorker(const std::string& binary, int& fd);
+pid_t spawnExecWorker(const std::string& binary, int& fd, int slot = -1);
 
-/// Serves coordinator connections one at a time on an already-listening
-/// socket (used by the TCP worker and the tests).  Returns when accept
+/// Serves connections one at a time on an already-listening socket (used
+/// by the TCP worker and the tests): wire-protocol coordinators run the
+/// worker loop, "GET "-prefixed connections get one HTTP response (see
+/// workerMetricsHttpResponse) and are closed.  Returns when accept
 /// fails, e.g. when the socket is closed.
 int serveWorkerOnListenSocket(int listenFd);
+
+/// Full HTTP/1.0 response for a request target: /metrics gets a 200
+/// whose body is this process's live Prometheus text (including any
+/// merged worker counters/histograms), everything else a 404.  The
+/// request counter hayat_worker_metrics_requests_total advances even
+/// with telemetry disabled, so a scrape is never an empty document.
+std::string workerMetricsHttpResponse(const std::string& target);
+
+/// The HTTP envelope around `body` (status 200 or 404; Prometheus
+/// text/plain version 0.0.4 content type on 200).  Split out so the
+/// exact bytes are golden-testable with a fixed body.
+std::string workerHttpResponse(int status, const std::string& body);
 
 /// `hayat worker --stdio`: serves the coordinator on stdin/stdout.
 /// Stray stdout writes from library code would corrupt the protocol, so

@@ -61,10 +61,34 @@ std::string jsonEscape(const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+/// One histogram's {source="worker"} sample lines (cumulative buckets,
+/// sum, count), appended inside or after the owner's # TYPE block.
+void writeWorkerHistogramLines(std::ostream& out,
+                               const HistogramSnapshot& h) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    cumulative += h.counts[i];
+    const std::string le =
+        i < h.upperBounds.size() ? fmt(h.upperBounds[i]) : "+Inf";
+    out << h.name << "_bucket{source=\"worker\",le=\"" << le << "\"} "
+        << fmtU64(cumulative) << '\n';
+  }
+  out << h.name << "_sum{source=\"worker\"} " << fmt(h.sum) << '\n';
+  out << h.name << "_count{source=\"worker\"} " << fmtU64(h.count) << '\n';
+}
+
+}  // namespace
+
 void writePrometheus(
     std::ostream& out, const MetricsSnapshot& snapshot,
-    const std::map<std::string, std::uint64_t>& workerCounters) {
+    const std::map<std::string, std::uint64_t>& workerCounters,
+    const std::vector<HistogramSnapshot>& workerHistograms) {
   std::map<std::string, std::uint64_t> workerOnly = workerCounters;
+  std::map<std::string, const HistogramSnapshot*> workerHistOnly;
+  for (const HistogramSnapshot& h : workerHistograms)
+    workerHistOnly[h.name] = &h;
 
   for (const auto& [name, value] : snapshot.counters) {
     out << "# TYPE " << name << " counter\n";
@@ -100,6 +124,16 @@ void writePrometheus(
     }
     out << h.name << "_sum " << fmt(h.sum) << '\n';
     out << h.name << "_count " << fmtU64(h.count) << '\n';
+    const auto worker = workerHistOnly.find(h.name);
+    if (worker != workerHistOnly.end()) {
+      writeWorkerHistogramLines(out, *worker->second);
+      workerHistOnly.erase(worker);
+    }
+  }
+  // Histograms only workers reported.
+  for (const auto& [name, h] : workerHistOnly) {
+    out << "# TYPE " << name << " histogram\n";
+    writeWorkerHistogramLines(out, *h);
   }
 }
 

@@ -26,13 +26,14 @@
 
 namespace hayat::telemetry {
 
-/// Prometheus text exposition of a snapshot.  `workerCounters` (summed
-/// deltas received from remote workers) are emitted alongside under the
-/// same names with a {source="worker"} label so one file carries the
-/// whole fleet.
+/// Prometheus text exposition of a snapshot.  `workerCounters` and
+/// `workerHistograms` (summed deltas received from remote workers) are
+/// emitted alongside under the same names with a {source="worker"}
+/// label so one file carries the whole fleet.
 void writePrometheus(
     std::ostream& out, const MetricsSnapshot& snapshot,
-    const std::map<std::string, std::uint64_t>& workerCounters = {});
+    const std::map<std::string, std::uint64_t>& workerCounters = {},
+    const std::vector<HistogramSnapshot>& workerHistograms = {});
 
 /// Chrome trace_event JSON ({"traceEvents": [...]}) of completed spans.
 /// Timestamps are microseconds from the steady-clock epoch; `pid` tags

@@ -183,6 +183,81 @@ std::string encodeCounterDeltas(
   return out;
 }
 
+namespace {
+
+bool parseCounterLine(
+    const std::string& line,
+    std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  const std::size_t comma = line.rfind(',');
+  if (comma <= 2 || comma == std::string::npos) return false;
+  const std::string name = line.substr(2, comma - 2);
+  char* parseEnd = nullptr;
+  const std::uint64_t delta =
+      std::strtoull(line.c_str() + comma + 1, &parseEnd, 10);
+  if (parseEnd == nullptr || *parseEnd != '\0' || name.empty())
+    return false;
+  out.emplace_back(name, delta);
+  return true;
+}
+
+std::vector<std::string> splitOn(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parseU64(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+bool parseDouble(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+/// "h,<name>,<countDelta>,<sumDelta>,<le>:<d>,...,+Inf:<d>"
+bool parseHistogramLine(const std::string& line,
+                        std::vector<HistogramSnapshot>& out) {
+  const std::vector<std::string> parts = splitOn(line.substr(2), ',');
+  if (parts.size() < 4) return false;
+  HistogramSnapshot h;
+  h.name = parts[0];
+  if (h.name.empty()) return false;
+  if (!parseU64(parts[1], h.count)) return false;
+  if (!parseDouble(parts[2], h.sum)) return false;
+  for (std::size_t i = 3; i < parts.size(); ++i) {
+    const std::size_t colon = parts[i].rfind(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    const std::string le = parts[i].substr(0, colon);
+    std::uint64_t bucketDelta = 0;
+    if (!parseU64(parts[i].substr(colon + 1), bucketDelta)) return false;
+    const bool isLast = i + 1 == parts.size();
+    if (isLast) {
+      if (le != "+Inf") return false;
+    } else {
+      double bound = 0.0;
+      if (!parseDouble(le, bound)) return false;
+      if (!h.upperBounds.empty() && bound <= h.upperBounds.back())
+        return false;
+      h.upperBounds.push_back(bound);
+    }
+    h.counts.push_back(bucketDelta);
+  }
+  out.push_back(std::move(h));
+  return true;
+}
+
+}  // namespace
+
 bool decodeCounterDeltas(
     const std::string& text,
     std::vector<std::pair<std::string, std::uint64_t>>& out) {
@@ -195,15 +270,60 @@ bool decodeCounterDeltas(
     start = end + 1;
     if (line.empty()) continue;
     if (line.compare(0, 2, "c,") != 0) return false;
-    const std::size_t comma = line.rfind(',');
-    if (comma <= 2 || comma == std::string::npos) return false;
-    const std::string name = line.substr(2, comma - 2);
-    char* parseEnd = nullptr;
-    const std::uint64_t delta =
-        std::strtoull(line.c_str() + comma + 1, &parseEnd, 10);
-    if (parseEnd == nullptr || *parseEnd != '\0' || name.empty())
+    if (!parseCounterLine(line, out)) return false;
+  }
+  return true;
+}
+
+std::string encodeHistogramDeltas(
+    std::map<std::string, HistogramSnapshot>& lastSent) {
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  std::string out;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    HistogramSnapshot& previous = lastSent[h.name];
+    const bool layoutMatches = previous.upperBounds == h.upperBounds &&
+                               previous.counts.size() == h.counts.size();
+    const std::uint64_t countDelta =
+        layoutMatches ? h.count - previous.count : h.count;
+    if (countDelta == 0) continue;
+    const double sumDelta = layoutMatches ? h.sum - previous.sum : h.sum;
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%.17g", countDelta,
+                  sumDelta);
+    out += "h," + h.name + ',' + buf;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::uint64_t bucketDelta =
+          layoutMatches ? h.counts[i] - previous.counts[i] : h.counts[i];
+      if (i < h.upperBounds.size()) {
+        std::snprintf(buf, sizeof(buf), ",%.17g:%" PRIu64,
+                      h.upperBounds[i], bucketDelta);
+      } else {
+        std::snprintf(buf, sizeof(buf), ",+Inf:%" PRIu64, bucketDelta);
+      }
+      out += buf;
+    }
+    out += '\n';
+    previous = h;
+  }
+  return out;
+}
+
+bool decodeMetricDeltas(const std::string& text, MetricDeltas& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.compare(0, 2, "c,") == 0) {
+      if (!parseCounterLine(line, out.counters)) return false;
+    } else if (line.compare(0, 2, "h,") == 0) {
+      if (!parseHistogramLine(line, out.histograms)) return false;
+    } else {
       return false;
-    out.emplace_back(name, delta);
+    }
   }
   return true;
 }

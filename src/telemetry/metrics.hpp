@@ -159,4 +159,33 @@ bool decodeCounterDeltas(
     const std::string& text,
     std::vector<std::pair<std::string, std::uint64_t>>& out);
 
+/// Encodes the histograms that advanced since `lastSent` as
+///
+///   h,<name>,<countDelta>,<sumDelta>,<le>:<d>,...,+Inf:<d>
+///
+/// lines (one per histogram, every bucket listed so the coordinator can
+/// reconstruct the layout) and updates `lastSent`.  Workers append this
+/// to the counter deltas on Result frames — wire v3's histogram
+/// shipping.
+std::string encodeHistogramDeltas(
+    std::map<std::string, HistogramSnapshot>& lastSent);
+
+/// Counter and histogram deltas decoded from one wire metrics section.
+/// Histogram counts/sums are deltas since the worker's previous send,
+/// not totals.
+struct MetricDeltas {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+  void clear() {
+    counters.clear();
+    histograms.clear();
+  }
+};
+
+/// Parses a metrics section of "c,..." and "h,..." lines; returns false
+/// on any malformed line.
+bool decodeMetricDeltas(const std::string& text, MetricDeltas& out);
+
 }  // namespace hayat::telemetry

@@ -26,6 +26,7 @@ struct RuntimeState {
   std::string dir;
   std::string role;
   std::map<std::string, std::uint64_t> workerCounters;
+  std::map<std::string, HistogramSnapshot> workerHistograms;
   std::terminate_handler previousTerminate = nullptr;
 };
 
@@ -119,15 +120,47 @@ std::map<std::string, std::uint64_t> workerCounters() {
   return s.workerCounters;
 }
 
+void mergeWorkerHistograms(const std::vector<HistogramSnapshot>& deltas) {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  for (const HistogramSnapshot& d : deltas) {
+    HistogramSnapshot& acc = s.workerHistograms[d.name];
+    if (acc.upperBounds != d.upperBounds ||
+        acc.counts.size() != d.counts.size()) {
+      acc = d;
+      acc.name = d.name;
+      continue;
+    }
+    for (std::size_t i = 0; i < d.counts.size(); ++i)
+      acc.counts[i] += d.counts[i];
+    acc.count += d.count;
+    acc.sum += d.sum;
+  }
+}
+
+std::vector<HistogramSnapshot> workerHistograms() {
+  RuntimeState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(s.workerHistograms.size());
+  for (const auto& [name, h] : s.workerHistograms) {
+    out.push_back(h);
+    out.back().name = name;
+  }
+  return out;
+}
+
 void resetWorkerCountersForTest() {
   RuntimeState& s = state();
   const std::scoped_lock lock(s.mutex);
   s.workerCounters.clear();
+  s.workerHistograms.clear();
 }
 
 bool flush() {
   std::string dir, role;
   std::map<std::string, std::uint64_t> remote;
+  std::vector<HistogramSnapshot> remoteHists;
   {
     RuntimeState& s = state();
     const std::scoped_lock lock(s.mutex);
@@ -135,6 +168,11 @@ bool flush() {
     dir = s.dir;
     role = s.role;
     remote = s.workerCounters;
+    remoteHists.reserve(s.workerHistograms.size());
+    for (const auto& [name, h] : s.workerHistograms) {
+      remoteHists.push_back(h);
+      remoteHists.back().name = name;
+    }
   }
   const std::string prefix =
       dir + "/" + role + "-" + std::to_string(::getpid());
@@ -144,7 +182,8 @@ bool flush() {
     std::ofstream out(prefix + ".metrics.prom",
                       std::ios::binary | std::ios::trunc);
     if (out) {
-      writePrometheus(out, Registry::global().snapshot(), remote);
+      writePrometheus(out, Registry::global().snapshot(), remote,
+                      remoteHists);
       ok = ok && static_cast<bool>(out);
     } else {
       ok = false;

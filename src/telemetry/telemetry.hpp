@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace hayat::telemetry {
 
 /// Enables collection, remembers the export directory (created if
@@ -59,7 +61,16 @@ void mergeWorkerCounters(
 /// The worker aggregate accumulated by mergeWorkerCounters().
 std::map<std::string, std::uint64_t> workerCounters();
 
-/// Clears the worker aggregate (tests).
+/// Folds histogram deltas received from a remote worker into this
+/// process's worker aggregate.  Buckets sum per upper bound; a delta
+/// whose bucket layout disagrees with the accumulated one replaces it
+/// (workers of one fleet share a build, so this only happens in tests).
+void mergeWorkerHistograms(const std::vector<HistogramSnapshot>& deltas);
+
+/// The worker histogram aggregate, name-sorted.
+std::vector<HistogramSnapshot> workerHistograms();
+
+/// Clears the worker counter and histogram aggregates (tests).
 void resetWorkerCountersForTest();
 
 /// Writes the three export files now.  Returns false if any file could

@@ -14,16 +14,21 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <csignal>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "engine/dispatcher.hpp"
 #include "engine/engine.hpp"
+#include "engine/fault.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/wire.hpp"
 #include "engine/worker_proc.hpp"
@@ -387,6 +392,607 @@ TEST(DegradationTest, UnreachableFleetFallsBackToLocalThreads) {
   const SweepTable degraded =
       runDispatched(spec, "tcp:127.0.0.1:" + std::to_string(port));
   EXPECT_EQ(tableBytes(serial), tableBytes(degraded));
+}
+
+// ---------------------------------------------------- fault plan grammar
+
+TEST(FaultPlanTest, ParsesEveryVerb) {
+  const FaultPlan plan = parseFaultPlan(
+      "drop:frame=3;delay:worker=1,ms=500;corrupt:frame=7;"
+      "die:worker=2,after=5;stall:worker=0,after=2");
+  ASSERT_EQ(plan.rules.size(), 5u);
+  EXPECT_EQ(plan.rules[0].kind, FaultRule::Kind::Drop);
+  EXPECT_EQ(plan.rules[0].frame, 3);
+  EXPECT_EQ(plan.rules[1].kind, FaultRule::Kind::Delay);
+  EXPECT_EQ(plan.rules[1].worker, 1);
+  EXPECT_EQ(plan.rules[1].ms, 500);
+  EXPECT_EQ(plan.rules[2].kind, FaultRule::Kind::Corrupt);
+  EXPECT_EQ(plan.rules[2].frame, 7);
+  EXPECT_EQ(plan.rules[3].kind, FaultRule::Kind::Die);
+  EXPECT_EQ(plan.rules[3].worker, 2);
+  EXPECT_EQ(plan.rules[3].after, 5);
+  EXPECT_EQ(plan.rules[4].kind, FaultRule::Kind::Stall);
+  EXPECT_EQ(plan.rules[4].worker, 0);
+  EXPECT_EQ(plan.rules[4].after, 2);
+  EXPECT_TRUE(parseFaultPlan("").empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedPlans) {
+  EXPECT_THROW(parseFaultPlan("explode:frame=1"), Error);
+  EXPECT_THROW(parseFaultPlan("drop"), Error);            // no args
+  EXPECT_THROW(parseFaultPlan("drop:worker=1"), Error);   // wrong key
+  EXPECT_THROW(parseFaultPlan("drop:frame=0"), Error);    // 1-based
+  EXPECT_THROW(parseFaultPlan("drop:frame=x"), Error);
+  EXPECT_THROW(parseFaultPlan("delay:worker=1"), Error);  // missing ms
+  EXPECT_THROW(parseFaultPlan("die:worker=-1,after=1"), Error);
+  EXPECT_THROW(parseFaultPlan("die:worker=1,after=1,bogus=2"), Error);
+}
+
+// ----------------------------------------------------- wire codec fuzzing
+
+namespace {
+
+/// Deterministic xorshift64* byte stream — the fuzz tests must replay
+/// identically run after run.
+class FuzzBytes {
+ public:
+  explicit FuzzBytes(std::uint64_t seed) : state_(seed | 1) {}
+  unsigned char next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return static_cast<unsigned char>((state_ * 0x2545F4914F6CDD1Dull) >>
+                                      56);
+  }
+  std::string blob(std::size_t n) {
+    std::string out(n, '\0');
+    for (char& c : out) c = static_cast<char>(next());
+    return out;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Runs `decode` over every truncated prefix (strided for long payloads),
+/// a bit-flipped copy, and pure garbage.  The decoders may accept a
+/// prefix that happens to land on a record boundary; what they must
+/// never do is crash or read out of bounds — which the sanitizer CI job
+/// turns into a hard failure.
+template <typename Decode>
+void fuzzDecoder(const std::string& valid, Decode decode, FuzzBytes& fuzz) {
+  const std::size_t stride = std::max<std::size_t>(1, valid.size() / 64);
+  for (std::size_t len = 0; len < valid.size(); len += stride) {
+    try {
+      decode(valid.substr(0, len));
+    } catch (const std::exception&) {
+    }
+  }
+  std::string flipped = valid;
+  for (int i = 0; i < 8 && !flipped.empty(); ++i)
+    flipped[fuzz.next() % flipped.size()] ^= static_cast<char>(
+        1u << (fuzz.next() % 8));
+  try {
+    decode(flipped);
+  } catch (const std::exception&) {
+  }
+  for (const std::size_t n : {std::size_t{1}, std::size_t{17},
+                              std::size_t{256}}) {
+    try {
+      decode(fuzz.blob(n));
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+}  // namespace
+
+TEST(WireFuzzTest, EveryDecoderSurvivesTruncationAndGarbage) {
+  FuzzBytes fuzz(0x48617961745F5052ull);
+  const ExperimentSpec spec = testSpec();
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  const RunResult computed =
+      ExperimentEngine::runTask(tasks[0], spec.populationSeed);
+
+  fuzzDecoder(encodeSpec(spec), [](const std::string& p) { decodeSpec(p); },
+              fuzz);
+  fuzzDecoder(encodeTask(5, specHash(spec)), [](const std::string& p) {
+    int index;
+    std::uint64_t hash;
+    decodeTask(p, index, hash);
+  }, fuzz);
+  fuzzDecoder(
+      encodeResult(1, computed,
+                   "c,hayat_lifetime_runs_total,3\n"
+                   "h,hayat_worker_task_seconds,2,0.5,0.01:0,1:2,+Inf:0\n"),
+      [](const std::string& p) {
+        int index;
+        RunResult r;
+        telemetry::MetricDeltas deltas;
+        decodeResult(p, index, r, &deltas);
+      },
+      fuzz);
+  fuzzDecoder(encodeTaskError(2, "boom"), [](const std::string& p) {
+    int index;
+    std::string message;
+    decodeTaskError(p, index, message);
+  }, fuzz);
+  fuzzDecoder(encodeCachePush("dispatch-test", specHash(spec),
+                              "# hayat-result-cache v3\npayload\nbytes"),
+              [](const std::string& p) {
+                std::string name;
+                std::uint64_t hash;
+                std::string bytes;
+                decodeCachePush(p, name, hash, bytes);
+              },
+              fuzz);
+
+  // Decoders must reject the trivially hostile inputs loudly, not just
+  // quietly survive them.
+  int index;
+  std::uint64_t hash;
+  RunResult r;
+  std::string text;
+  EXPECT_THROW(decodeTask("", index, hash), Error);
+  EXPECT_THROW(decodeResult("", index, r), Error);
+  EXPECT_THROW(decodeTaskError("", index, text), Error);
+  EXPECT_THROW(decodeCachePush("", text, hash, text), Error);
+  EXPECT_THROW(decodeSpec(""), std::exception);
+}
+
+TEST(WireFuzzTest, FramingRejectsGarbageStreams) {
+  FuzzBytes fuzz(0xDEC0DEDBADC0FFEEull);
+  for (int round = 0; round < 16; ++round) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string noise = fuzz.blob(64);
+    ASSERT_EQ(::write(fds[1], noise.data(), noise.size()),
+              static_cast<ssize_t>(noise.size()));
+    ::close(fds[1]);
+    Message msg;
+    // Random bytes essentially never spell 'H''W'<version>; a frame that
+    // does pass framing still has a bounded, length-checked payload.
+    while (readMessage(fds[0], msg)) {
+    }
+    ::close(fds[0]);
+  }
+}
+
+TEST(WireCodecTest, CachePushRoundTripsAndPinsTheCacheVersion) {
+  // Payload bytes are arbitrary binary: NULs and newlines included.
+  std::string fileBytes = "# hayat-result-cache v" +
+                          std::to_string(kCacheFormatVersion) + "\n";
+  fileBytes += std::string("\0\x01\xff" "binary\nlines\n", 16);
+
+  const std::string payload =
+      encodeCachePush("sweep-a", 0xDEADBEEFCAFEF00Dull, fileBytes);
+  std::string name;
+  std::uint64_t hash = 0;
+  std::string decoded;
+  decodeCachePush(payload, name, hash, decoded);
+  EXPECT_EQ(name, "sweep-a");
+  EXPECT_EQ(hash, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded, fileBytes);
+
+  // A frame stamped with a different cache format version must be
+  // rejected before any bytes reach disk.
+  const std::string stamp =
+      "cache.version=" + std::to_string(kCacheFormatVersion);
+  std::string wrongVersion = payload;
+  ASSERT_EQ(wrongVersion.compare(0, stamp.size(), stamp), 0);
+  wrongVersion.replace(0, stamp.size(),
+                       "cache.version=" +
+                           std::to_string(kCacheFormatVersion + 1));
+  EXPECT_THROW(decodeCachePush(wrongVersion, name, hash, decoded), Error);
+
+  // Truncated payloads (byte count oversells the remaining bytes).
+  EXPECT_THROW(decodeCachePush(payload.substr(0, payload.size() - 4), name,
+                               hash, decoded),
+               Error);
+}
+
+// ----------------------------------------------------------- work stealing
+
+TEST(WorkStealingTest, IdleWorkerStealsFromTheDeepestQueue) {
+  const ExperimentSpec spec = testSpec();  // 4 tasks
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  ASSERT_EQ(tasks.size(), 4u);
+
+  // Two workers, two tasks each, nothing pending.  Worker 1 is slow, so
+  // worker 0 finishes its pair first and must then steal worker 1's
+  // queued (not yet started) tail task instead of idling.
+  const ScopedEnv plan("HAYAT_FAULT_PLAN", "delay:worker=1,ms=1500");
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:2");
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.tasksStolen, 1);
+  EXPECT_EQ(stats.workerDeaths, 0);  // stealing, not timeout-killing
+  EXPECT_EQ(stats.tasksCompletedRemotely, 4);
+}
+
+namespace {
+
+/// Binds a loopback listen socket on an ephemeral port.
+int bindLoopback(int& port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::listen(fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+std::string slurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A hostile-but-plausible worker: serves the protocol correctly except
+/// that every Result is sent twice — the wire-level shape of a stolen
+/// task completing on both its victim and its thief.
+int doubleEchoWorker(int fd) {
+  Message msg;
+  if (!readMessage(fd, msg) || msg.type != MsgType::Spec) return 1;
+  const ExperimentSpec spec = decodeSpec(msg.payload);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  const std::uint64_t hash = specHash(spec);
+  while (readMessage(fd, msg)) {
+    if (msg.type == MsgType::Shutdown) return 0;
+    if (msg.type != MsgType::Task) continue;
+    int index = -1;
+    std::uint64_t taskHash = 0;
+    decodeTask(msg.payload, index, taskHash);
+    if (taskHash != hash) return 1;
+    const RunResult result = ExperimentEngine::runTask(
+        tasks[static_cast<std::size_t>(index)], spec.populationSeed);
+    const std::string payload = encodeResult(index, result);
+    if (!writeMessage(fd, MsgType::Result, payload)) return 1;
+    if (!writeMessage(fd, MsgType::Result, payload)) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(WorkStealingTest, DuplicateResultsAreDroppedByIndex) {
+  const ExperimentSpec spec = testSpec();  // 4 tasks
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+
+  int port = 0;
+  const int listenFd = bindLoopback(port);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    ::_exit(fd < 0 ? 1 : doubleEchoWorker(fd));
+  }
+  ::close(listenFd);
+
+  DispatchConfig config;
+  config.endpoints =
+      parseWorkerSpec("tcp:127.0.0.1:" + std::to_string(port));
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  // Every duplicate before the final Result is observed and dropped; the
+  // table resolves each index exactly once, byte-identical to serial.
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.duplicateResults, 3);
+  EXPECT_EQ(stats.tasksCompletedRemotely, 4);
+
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
+}
+
+TEST(WorkStealingTest, StalledHeadTaskIsReStolenWithoutAKill) {
+  const ExperimentSpec spec = testSpec();  // 4 tasks
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+
+  // Worker 1 wedges before its second task.  With head stealing enabled
+  // and the task timeout far away, worker 0 must speculatively re-run
+  // both of worker 1's queued tasks — the tail by moving it, the stalled
+  // head by duplicating it — and finish the sweep with zero deaths.
+  const ScopedEnv plan("HAYAT_FAULT_PLAN", "stall:worker=1,after=1");
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:2");
+  config.taskTimeoutSeconds = 60.0;
+  config.stealHeadAfterSeconds = 0.25;
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.tasksStolen, 1);
+  EXPECT_EQ(stats.workerDeaths, 0);
+  EXPECT_EQ(stats.tasksCompletedRemotely, 4);
+}
+
+// ------------------------------------------- injected coordinator faults
+
+TEST(FaultInjectionTest, DroppedTaskFrameIsRecoveredByTheTimeout) {
+  ExperimentSpec spec = testSpec();
+  spec.chips = {0};  // 2 tasks
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+
+  // Frame 1 is the Spec; frame 2 is Task 0, swallowed at the transport —
+  // the worker sees silence, so only the coordinator's per-task timeout
+  // can save the task.
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:1");
+  config.faultPlan = "drop:frame=2";
+  config.taskTimeoutSeconds = 1.0;
+  config.respawnBackoffSeconds = 0.02;
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.workerDeaths, 1);  // the timeout kill
+  EXPECT_GE(stats.tasksRetried, 1);
+  EXPECT_GE(stats.workerRespawns, 1);
+}
+
+TEST(FaultInjectionTest, CorruptedTaskFrameKillsAndRespawnsTheWorker) {
+  ExperimentSpec spec = testSpec();
+  spec.chips = {0};  // 2 tasks
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+
+  // Frame 2 (Task 0) keeps valid framing but a mangled payload: the
+  // worker's decoder rejects it and exits, which the coordinator sees as
+  // an EOF death — no timeout wait needed.
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:1");
+  config.faultPlan = "corrupt:frame=2";
+  config.respawnBackoffSeconds = 0.02;
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.workerDeaths, 1);
+  EXPECT_GE(stats.workerRespawns, 1);
+}
+
+TEST(FaultInjectionTest, SoakSweepSurvivesEveryWorkerDying) {
+  ExperimentSpec spec = testSpec();
+  spec.darkFractions = {0.25, 0.5};
+  spec.repetitions = 2;  // 16 tasks
+  const SweepTable serial = serialReference(spec);
+  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
+  ASSERT_EQ(tasks.size(), 16u);
+
+  // Every slot's incarnation _exit(43)s after serving one result, so the
+  // sweep finishes only if all four slots are killed and respawned —
+  // repeatedly — while queued tasks are re-queued or stolen each time.
+  const ScopedEnv plan("HAYAT_FAULT_PLAN",
+                       "die:worker=0,after=1;die:worker=1,after=1;"
+                       "die:worker=2,after=1;die:worker=3,after=1");
+  DispatchConfig config;
+  config.endpoints = parseWorkerSpec("proc:4");
+  config.respawnBackoffSeconds = 0.02;
+  config.maxRespawns = 16;
+  config.localFallbackWorkers = 1;
+  Dispatcher dispatcher(config);
+  ASSERT_GT(dispatcher.connect(spec), 0);
+
+  SweepTable table;
+  table.runs = dispatcher.run(spec, tasks);
+  dispatcher.shutdown();
+
+  EXPECT_EQ(tableBytes(serial), tableBytes(table));
+  const DispatchStats& stats = dispatcher.stats();
+  EXPECT_GE(stats.workerDeaths, 4);    // each slot died at least once
+  EXPECT_GE(stats.workerRespawns, 4);  // and came back
+  EXPECT_EQ(stats.tasksCompletedRemotely + stats.tasksCompletedLocally, 16);
+}
+
+// --------------------------------------------------------- cache pushing
+
+TEST(CachePushTest, CorruptPushIsRejectedWithoutKillingTheWorker) {
+  const std::string dir =
+      testing::TempDir() + "hayat_dispatch_push_corrupt_test";
+  std::filesystem::remove_all(dir);
+  const ScopedEnv cacheDir("HAYAT_CACHE_DIR", dir);
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(sv[0]);
+    ::_exit(runWorkerLoop(sv[1], sv[1]));
+  }
+  ::close(sv[1]);
+  const int fd = sv[0];
+
+  const ExperimentSpec spec = testSpec();
+  ASSERT_TRUE(writeMessage(fd, MsgType::Spec, encodeSpec(spec)));
+
+  // A CachePush whose payload is bit-rotted mid-frame: the worker must
+  // reject it (decode failure) and keep serving tasks on the same
+  // connection.
+  std::string corrupt = encodeCachePush(
+      spec.name, specHash(spec), "# hayat-result-cache v3\nbytes\n");
+  corrupt[corrupt.size() / 2] ^= 0x5A;
+  corrupt[3] ^= 0x5A;
+  ASSERT_TRUE(writeMessage(fd, MsgType::CachePush, corrupt));
+
+  ASSERT_TRUE(
+      writeMessage(fd, MsgType::Task, encodeTask(0, specHash(spec))));
+  Message msg;
+  ASSERT_TRUE(readMessage(fd, msg)) << "worker died on the corrupt push";
+  EXPECT_EQ(msg.type, MsgType::Result);
+
+  // Nothing was stored for the corrupt frame.
+  EXPECT_FALSE(
+      std::filesystem::exists(cacheEntryPath(dir, spec.name,
+                                             specHash(spec))));
+
+  ASSERT_TRUE(writeMessage(fd, MsgType::Shutdown, ""));
+  ::close(fd);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CachePushTest, CoordinatorWarmsTcpWorkerCaches) {
+  const std::string coordDir =
+      testing::TempDir() + "hayat_push_coord_cache";
+  const std::string workerDir =
+      testing::TempDir() + "hayat_push_worker_cache";
+  std::filesystem::remove_all(coordDir);
+  std::filesystem::remove_all(workerDir);
+  ::unsetenv("HAYAT_NO_CACHE");
+  ::unsetenv("HAYAT_NO_SWEEP_CACHE");
+
+  int port = 0;
+  const int listenFd = bindLoopback(port);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The worker host's own cache directory — distinct from the
+    // coordinator's, as on a real remote host.
+    ::setenv("HAYAT_CACHE_DIR", workerDir.c_str(), 1);
+    ::_exit(serveWorkerOnListenSocket(listenFd));
+  }
+  ::close(listenFd);
+
+  ExperimentSpec spec = testSpec();
+  spec.name = "push-test";
+  EngineConfig config;
+  config.workers = 1;
+  config.cacheDir = coordDir;
+  config.dispatch = "tcp:127.0.0.1:" + std::to_string(port);
+  const SweepTable computed = ExperimentEngine(config).run(spec);
+  ASSERT_EQ(computed.runs.size(), 4u);
+
+  // The coordinator stored its own entry and pushed the same bytes to
+  // the worker (which stores asynchronously — poll briefly).
+  const std::string coordEntry = cachePath(coordDir, spec);
+  const std::string workerEntry =
+      cacheEntryPath(workerDir, spec.name, specHash(spec));
+  ASSERT_TRUE(std::filesystem::exists(coordEntry));
+  for (int i = 0; i < 500 && !std::filesystem::exists(workerEntry); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(std::filesystem::exists(workerEntry))
+      << "worker never stored the pushed entry";
+  EXPECT_EQ(slurpFile(coordEntry), slurpFile(workerEntry));
+
+  // A *cache hit* pushes too: delete the worker's copy, re-run, and the
+  // coordinator re-warms it without recomputing anything.
+  std::filesystem::remove(workerEntry);
+  const SweepTable cached = ExperimentEngine(config).run(spec);
+  EXPECT_EQ(tableBytes(computed), tableBytes(cached));
+  for (int i = 0; i < 500 && !std::filesystem::exists(workerEntry); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(std::filesystem::exists(workerEntry))
+      << "cache hit did not re-warm the worker";
+
+  // The pushed entry is a fully valid cache file: an engine pointed at
+  // the worker's directory hits it and loads the identical table.
+  EngineConfig workerSide;
+  workerSide.workers = 1;
+  workerSide.cacheDir = workerDir;
+  const SweepTable loaded = ExperimentEngine(workerSide).run(spec);
+  EXPECT_EQ(tableBytes(computed), tableBytes(loaded));
+
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
+  std::filesystem::remove_all(coordDir);
+  std::filesystem::remove_all(workerDir);
+}
+
+// ------------------------------------------------------ /metrics endpoint
+
+TEST(MetricsEndpointTest, ListenSocketServesPrometheusTextAndWireTraffic) {
+  int port = 0;
+  const int listenFd = bindLoopback(port);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(serveWorkerOnListenSocket(listenFd));
+  ::close(listenFd);
+
+  const auto httpGet = [&](const std::string& target) {
+    const int fd = connectTcpWorker("127.0.0.1", port, 2000);
+    EXPECT_GE(fd, 0);
+    const std::string request =
+        "GET " + target + " HTTP/1.0\r\nHost: x\r\n\r\n";
+    EXPECT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+      response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+  };
+
+  const std::string metrics = httpGet("/metrics");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("hayat_worker_metrics_requests_total"),
+            std::string::npos);
+
+  EXPECT_EQ(httpGet("/nope").rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+
+  // The same port still speaks the wire protocol to coordinators.
+  const ExperimentSpec spec = testSpec();
+  const SweepTable serial = serialReference(spec);
+  const SweepTable dispatched =
+      runDispatched(spec, "tcp:127.0.0.1:" + std::to_string(port));
+  EXPECT_EQ(tableBytes(serial), tableBytes(dispatched));
+
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 // a single EpochSimulator invocation.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -376,6 +378,104 @@ TEST(ResultCacheTest, EmbeddedSignatureMismatchIsAMissThatDeletesTheFile) {
 
   EXPECT_FALSE(loadCachedTable(dir, spec).has_value());
   EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------- eviction
+
+TEST(CacheEvictionTest, EntryExactlyAtMaxBytesSurvives) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  const auto [dir, path] =
+      storedCacheEntry(spec, "hayat_evict_boundary_test");
+  const std::uint64_t size = std::filesystem::file_size(path);
+
+  // The size bound is "directory exceeds maxBytes", so an entry landing
+  // exactly on the limit is kept...
+  const CacheEvictionStats at = evictResultCache(dir, size, -1.0);
+  EXPECT_EQ(at.scannedFiles, 1u);
+  EXPECT_EQ(at.scannedBytes, size);
+  EXPECT_EQ(at.evictedBySize, 0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // ...and one byte less evicts it even though it is the newest entry.
+  const CacheEvictionStats under = evictResultCache(dir, size - 1, -1.0);
+  EXPECT_EQ(under.evictedBySize, 1u);
+  EXPECT_EQ(under.evictedBytes, size);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheEvictionTest, ZeroByteAndCorruptEntriesDoNotDerailTheScan) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  const auto [dir, path] = storedCacheEntry(spec, "hayat_evict_junk_test");
+  const std::uint64_t size = std::filesystem::file_size(path);
+
+  // A torn store (zero bytes) and a garbage blob, both older than the
+  // valid entry.
+  const std::string zero = dir + "/torn-0000000000000000.csv";
+  const std::string junk = dir + "/junk-ffffffffffffffff.csv";
+  overwrite(zero, "");
+  overwrite(junk, "not a cache entry\n");  // 18 bytes
+  const auto old =
+      std::filesystem::last_write_time(path) - std::chrono::hours(1);
+  std::filesystem::last_write_time(zero, old);
+  std::filesystem::last_write_time(junk, old);
+
+  // Fitting the directory to the valid entry's size drops the two junk
+  // files oldest-first; the zero-byte one frees nothing but must still
+  // be removed rather than stall the pass.
+  const CacheEvictionStats stats = evictResultCache(dir, size, -1.0);
+  EXPECT_EQ(stats.scannedFiles, 3u);
+  EXPECT_EQ(stats.evictedBySize, 2u);
+  EXPECT_EQ(stats.evictedBytes, 18u);
+  EXPECT_FALSE(std::filesystem::exists(zero));
+  EXPECT_FALSE(std::filesystem::exists(junk));
+  EXPECT_TRUE(loadCachedTable(dir, spec).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheEvictionTest, MaxAgeZeroFlushesEverythingAndNegativeDisables) {
+  ExperimentSpec spec = tinySpec();
+  spec.lifetime.horizon = 0.25;
+  const auto [dir, path] = storedCacheEntry(spec, "hayat_evict_flush_test");
+
+  // Negative max age: the age pass is off entirely.
+  const CacheEvictionStats off = evictResultCache(dir, 0, -1.0);
+  EXPECT_EQ(off.evictedByAge, 0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // Zero max age: flush-all, including an entry written this clock tick
+  // (an age-> limit comparison would flake on filesystems with coarse
+  // mtime granularity, which is why zero is special-cased).
+  const CacheEvictionStats flush = evictResultCache(dir, 0, 0.0);
+  EXPECT_EQ(flush.evictedByAge, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // A missing directory is a no-op, not an error.
+  std::filesystem::remove_all(dir);
+  const CacheEvictionStats gone = evictResultCache(dir, 0, 0.0);
+  EXPECT_EQ(gone.scannedFiles, 0u);
+}
+
+TEST(ExperimentEngineTest, CacheMaxAgeZeroConfigFlushesAfterEveryRun) {
+  ::unsetenv("HAYAT_NO_CACHE");
+  ::unsetenv("HAYAT_NO_SWEEP_CACHE");
+  ::unsetenv("HAYAT_CACHE_DIR");
+  const std::string dir = testing::TempDir() + "hayat_engine_flush_test";
+  std::filesystem::remove_all(dir);
+
+  const ExperimentSpec spec = tinySpec();
+  EngineConfig config;
+  config.workers = 1;
+  config.cacheDir = dir;
+  config.cacheMaxAgeSeconds = 0.0;  // --cache-max-age=0: keep nothing
+  const SweepTable table = ExperimentEngine(config).run(spec);
+  EXPECT_EQ(table.runs.size(), 4u);
+
+  // The entry was stored, then the post-run eviction pass flushed it.
+  EXPECT_FALSE(std::filesystem::exists(cachePath(dir, spec)));
   std::filesystem::remove_all(dir);
 }
 

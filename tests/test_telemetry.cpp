@@ -33,6 +33,7 @@
 #include "engine/engine.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/wire.hpp"
+#include "engine/worker_proc.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/series.hpp"
@@ -368,6 +369,144 @@ TEST(PrometheusExportTest, BytesArePinned) {
   EXPECT_EQ(out.str(), kGoldenProm);
 }
 
+const char* const kGoldenWorkerHistProm =
+    R"gold(# TYPE hayat_h_seconds histogram
+hayat_h_seconds_bucket{le="0.10000000000000001"} 2
+hayat_h_seconds_bucket{le="1"} 3
+hayat_h_seconds_bucket{le="+Inf"} 4
+hayat_h_seconds_sum 3.25
+hayat_h_seconds_count 4
+hayat_h_seconds_bucket{source="worker",le="0.10000000000000001"} 1
+hayat_h_seconds_bucket{source="worker",le="1"} 1
+hayat_h_seconds_bucket{source="worker",le="+Inf"} 3
+hayat_h_seconds_sum{source="worker"} 2.5
+hayat_h_seconds_count{source="worker"} 3
+# TYPE hayat_worker_task_seconds histogram
+hayat_worker_task_seconds_bucket{source="worker",le="0.25"} 1
+hayat_worker_task_seconds_bucket{source="worker",le="+Inf"} 2
+hayat_worker_task_seconds_sum{source="worker"} 0.75
+hayat_worker_task_seconds_count{source="worker"} 2
+)gold";
+
+TEST(PrometheusExportTest, WorkerHistogramBytesArePinned) {
+  // A histogram both sides report interleaves its {source="worker"}
+  // lines inside the owner's # TYPE block; one only workers report gets
+  // its own block after.
+  MetricsSnapshot snap;
+  HistogramSnapshot h;
+  h.name = "hayat_h_seconds";
+  h.upperBounds = {0.1, 1.0};
+  h.counts = {2, 1, 1};
+  h.count = 4;
+  h.sum = 3.25;
+  snap.histograms = {h};
+
+  HistogramSnapshot shared;
+  shared.name = "hayat_h_seconds";
+  shared.upperBounds = {0.1, 1.0};
+  shared.counts = {1, 0, 2};
+  shared.count = 3;
+  shared.sum = 2.5;
+  HistogramSnapshot workerOnly;
+  workerOnly.name = "hayat_worker_task_seconds";
+  workerOnly.upperBounds = {0.25};
+  workerOnly.counts = {1, 1};
+  workerOnly.count = 2;
+  workerOnly.sum = 0.75;
+
+  std::ostringstream out;
+  writePrometheus(out, snap, {}, {shared, workerOnly});
+  ASSERT_FALSE(dumpIfRegen("worker-hist.prom", out.str()))
+      << "HAYAT_REGEN_GOLDEN is set; paste the dumped bytes";
+  EXPECT_EQ(out.str(), kGoldenWorkerHistProm);
+}
+
+const char* const kGoldenMergedWorkerProm =
+    R"gold(# TYPE hayat_worker_cache_push_stored_total counter
+hayat_worker_cache_push_stored_total{source="worker"} 2
+# TYPE hayat_worker_task_seconds histogram
+hayat_worker_task_seconds_bucket{source="worker",le="0.25"} 1
+hayat_worker_task_seconds_bucket{source="worker",le="1"} 3
+hayat_worker_task_seconds_bucket{source="worker",le="+Inf"} 4
+hayat_worker_task_seconds_sum{source="worker"} 2.25
+hayat_worker_task_seconds_count{source="worker"} 4
+)gold";
+
+TEST(WorkerAggregateTest, MergedHistogramExportBytesArePinned) {
+  // Two workers' histogram deltas fold bucket-wise into one aggregate;
+  // exporting it alone reproduces exactly what a coordinator that did no
+  // local work would serve.
+  resetWorkerCountersForTest();
+  HistogramSnapshot d1;
+  d1.name = "hayat_worker_task_seconds";
+  d1.upperBounds = {0.25, 1.0};
+  d1.counts = {1, 0, 1};
+  d1.count = 2;
+  d1.sum = 1.5;
+  HistogramSnapshot d2 = d1;
+  d2.counts = {0, 2, 0};
+  d2.count = 2;
+  d2.sum = 0.75;
+  mergeWorkerHistograms({d1});
+  mergeWorkerHistograms({d2});
+  mergeWorkerCounters({{"hayat_worker_cache_push_stored_total", 2}});
+
+  std::ostringstream out;
+  writePrometheus(out, MetricsSnapshot{}, workerCounters(),
+                  workerHistograms());
+  resetWorkerCountersForTest();
+  ASSERT_FALSE(dumpIfRegen("merged-worker.prom", out.str()))
+      << "HAYAT_REGEN_GOLDEN is set; paste the dumped bytes";
+  EXPECT_EQ(out.str(), kGoldenMergedWorkerProm);
+}
+
+const char* const kGoldenMetricsEnvelope =
+    "HTTP/1.0 200 OK\r\n"
+    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+    "Content-Length: 5\r\n"
+    "Connection: close\r\n\r\n"
+    "body\n";
+
+const char* const kGoldenNotFoundEnvelope =
+    "HTTP/1.0 404 Not Found\r\n"
+    "Content-Type: text/plain; charset=utf-8\r\n"
+    "Content-Length: 10\r\n"
+    "Connection: close\r\n\r\n"
+    "not found\n";
+
+TEST(MetricsEndpointGoldenTest, HttpEnvelopeBytesArePinned) {
+  EXPECT_EQ(engine::workerHttpResponse(200, "body\n"), kGoldenMetricsEnvelope);
+  EXPECT_EQ(engine::workerHttpResponse(404, "not found\n"),
+            kGoldenNotFoundEnvelope);
+}
+
+TEST(MetricsEndpointGoldenTest, MetricsBodyIsValidPrometheusText) {
+  // The live body carries process-global counter values, so the golden
+  // pins structure rather than bytes: the request counter's # TYPE block
+  // must always be present (it advances on every scrape, telemetry on or
+  // off) and every sample line must parse as <name>[{labels}] <value>.
+  const std::string response = engine::workerMetricsHttpResponse("/metrics");
+  ASSERT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  const std::size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  const std::string body = response.substr(split + 4);
+  EXPECT_NE(
+      body.find("# TYPE hayat_worker_metrics_requests_total counter\n"),
+      std::string::npos);
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("hayat_", 0), 0u) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+
+  EXPECT_EQ(engine::workerMetricsHttpResponse("/else"),
+            kGoldenNotFoundEnvelope);
+}
+
 std::vector<SpanEvent> traceEvents() {
   SpanEvent a;
   a.name = "alpha";
@@ -556,12 +695,12 @@ TEST(WireResultMetricsTest, DeltasRideTheResultFrame) {
       encodeResult(2, computed, "c,hayat_lifetime_runs_total,5\n");
   int index = -1;
   RunResult decoded;
-  std::vector<std::pair<std::string, std::uint64_t>> deltas;
+  telemetry::MetricDeltas deltas;
   decodeResult(payload, index, decoded, &deltas);
   EXPECT_EQ(index, 2);
-  ASSERT_EQ(deltas.size(), 1u);
-  EXPECT_EQ(deltas[0].first, "hayat_lifetime_runs_total");
-  EXPECT_EQ(deltas[0].second, 5u);
+  ASSERT_EQ(deltas.counters.size(), 1u);
+  EXPECT_EQ(deltas.counters[0].first, "hayat_lifetime_runs_total");
+  EXPECT_EQ(deltas.counters[0].second, 5u);
 
   std::ostringstream a, b;
   writeRunResult(a, computed);

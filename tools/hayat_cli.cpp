@@ -8,7 +8,9 @@
 //               --workers=proc:N|exec:N|tcp:host:port distributes the
 //               tasks across worker processes/hosts
 //   worker      serve sweep tasks for a remote coordinator: --stdio
-//               (spawned by a coordinator) or --listen PORT (TCP)
+//               (spawned by a coordinator) or --listen PORT (TCP; the
+//               same port answers HTTP GET /metrics with live
+//               Prometheus text, so the worker is a scrape target)
 //   map         compute one epoch's mapping and show the DCM + predicted
 //               temperatures
 //   population  print variation statistics of a chip population
@@ -408,7 +410,8 @@ int main(int argc, char** argv) {
                 "false");
   flags.addFlag("listen",
                 "worker subcommand: serve coordinators on this TCP port "
-                "(0 picks one)");
+                "(0 picks one); GET /metrics on the same port returns "
+                "live Prometheus text");
   flags.addFlag("telemetry",
                 "enable telemetry and export metrics/trace/epoch series "
                 "into this directory at exit");
@@ -417,7 +420,8 @@ int main(int argc, char** argv) {
                 "beyond this many bytes (0 = unbounded)", "0");
   flags.addFlag("cache-max-age",
                 "sweep subcommand: evict result-cache entries older than "
-                "this many seconds (0 = unbounded)", "0");
+                "this many seconds (0 = flush every entry; omit the flag "
+                "to disable the age bound)", "0");
   flags.addFlag("telemetry-dir",
                 "trace subcommand: directory holding telemetry exports");
   flags.addFlag("out", "trace subcommand: output path prefix for the "
