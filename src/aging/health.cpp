@@ -1,25 +1,33 @@
 #include "aging/health.hpp"
 
+#include <atomic>
+
+#include "common/alloc_counter.hpp"
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hayat {
 
 namespace {
-/// Below this duty a core is considered unstressed for the epoch.
-constexpr double kDutyEpsilon = 1e-9;
+std::atomic<std::uint64_t> advanceAllocs{0};
 }  // namespace
+
+std::uint64_t healthAdvanceAllocs() { return advanceAllocs.load(); }
 
 void CoreAgingState::advance(const AgingTable& table, Kelvin temperature,
                              double duty, Years duration) {
+  AgingTable::Cursor cursor;
+  advance(table, temperature, duty, duration, cursor);
+}
+
+void CoreAgingState::advance(const AgingTable& table, Kelvin temperature,
+                             double duty, Years duration,
+                             AgingTable::Cursor& cursor) {
   HAYAT_REQUIRE(duration >= 0.0, "negative aging duration");
   HAYAT_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty cycle must be in [0, 1]");
-  if (duration == 0.0 || duty < kDutyEpsilon) return;
-  const Years equivalent =
-      table.equivalentAge(temperature, duty, delayFactor_);
-  const double next =
-      table.delayFactor(temperature, duty, equivalent + duration);
-  // Guard against interpolation wiggle: long-term aging never improves.
-  if (next > delayFactor_) delayFactor_ = next;
+  if (duration == 0.0 || duty < kAgingDutyEpsilon) return;
+  delayFactor_ = table.advanceDelayFactor(temperature, duty, duration,
+                                          delayFactor_, cursor);
 }
 
 CoreAgingState CoreAgingState::fromDelayFactor(double delayFactor) {
@@ -56,6 +64,32 @@ void HealthMap::advance(int core, const AgingTable& table, Kelvin temperature,
   HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
   states_[static_cast<std::size_t>(core)].advance(table, temperature, duty,
                                                   duration);
+}
+
+void HealthMap::advanceAll(const AgingTable& table, const double* temperature,
+                           const double* duty, Years duration) {
+  const int n = coreCount();
+  const auto sn = static_cast<std::size_t>(n);
+  if (cursors_.size() != sn) {
+    cursors_.assign(sn, AgingTable::Cursor{});
+    factors_.resize(sn);
+  }
+  for (std::size_t i = 0; i < sn; ++i)
+    factors_[i] = states_[i].delayFactor();
+
+  const std::uint64_t allocsBefore = heapAllocationCount();
+  table.advanceBatch(temperature, duty, n, duration, factors_.data(),
+                     cursors_.data());
+  const std::uint64_t allocs = heapAllocationCount() - allocsBefore;
+  advanceAllocs.fetch_add(allocs, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < sn; ++i)
+    states_[i] = CoreAgingState::fromDelayFactor(factors_[i]);
+  if (telemetry::enabled() && allocs > 0) {
+    static telemetry::Counter& counter =
+        telemetry::Registry::global().counter("hayat_health_advance_allocs");
+    counter.add(allocs);
+  }
 }
 
 std::vector<Hertz> HealthMap::currentFmaxAll() const {

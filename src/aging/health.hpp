@@ -12,6 +12,7 @@
 // "follow a new 3D-path inside the table" procedure of Section IV-B (3).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "aging/aging_table.hpp"
@@ -36,6 +37,11 @@ class CoreAgingState {
   /// irreversible, Fig. 1(a)).
   void advance(const AgingTable& table, Kelvin temperature, double duty,
                Years duration);
+
+  /// advance() through a caller-held table cursor (the batched run-time
+  /// path); bitwise-identical to the cursorless overload.
+  void advance(const AgingTable& table, Kelvin temperature, double duty,
+               Years duration, AgingTable::Cursor& cursor);
 
   /// Restores a state from a measured delay factor (health sensors D_i).
   static CoreAgingState fromDelayFactor(double delayFactor);
@@ -66,6 +72,14 @@ class HealthMap {
   void advance(int core, const AgingTable& table, Kelvin temperature,
                double duty, Years duration);
 
+  /// Ages every core at once: core i experiences (temperature[i],
+  /// duty[i]) for `duration` years.  One batched AgingTable call through
+  /// per-core cursors kept inside the map — allocation-free in steady
+  /// state (tracked by healthAdvanceAllocs) and bitwise-identical to
+  /// calling advance(i, ...) per core.
+  void advanceAll(const AgingTable& table, const double* temperature,
+                  const double* duty, Years duration);
+
   /// All current frequencies (convenience for maps and metrics).
   std::vector<Hertz> currentFmaxAll() const;
 
@@ -79,6 +93,16 @@ class HealthMap {
  private:
   std::vector<Hertz> initial_;
   std::vector<CoreAgingState> states_;
+  // Buffers reused by advanceAll so the per-epoch advance stays
+  // allocation-free after the first call.
+  std::vector<AgingTable::Cursor> cursors_;
+  std::vector<double> factors_;
 };
+
+/// Heap allocations observed inside HealthMap::advanceAll's batched
+/// kernel across the process (steady-state contract: only the first call
+/// per map may contribute).  Always zero when allocCounterActive() is
+/// false.
+std::uint64_t healthAdvanceAllocs();
 
 }  // namespace hayat

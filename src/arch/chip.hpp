@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "aging/aging_table.hpp"
 #include "aging/delay_model.hpp"
@@ -44,7 +45,7 @@ class Chip {
 
   const VariationMap& variation() const { return variation_; }
   const NbtiModel& nbti() const { return nbti_; }
-  const AgingTable& agingTable() const { return agingTable_; }
+  const AgingTable& agingTable() const { return *agingTable_; }
 
   /// Mutable health map — the epoch manager advances it.
   HealthMap& health() { return health_; }
@@ -62,12 +63,25 @@ class Chip {
   /// Mean present fmax over the chip (the metric of Figs. 10/11).
   Hertz averageFmax() const;
 
+  /// Restores year-0 health on the same silicon.  The variation map,
+  /// critical-path netlist, and aging table are deterministic in
+  /// (config, seed) and immutable, so this is bitwise-equivalent to
+  /// reconstructing the chip — without regenerating the aging table.
+  void resetHealth();
+
+  /// Empties the process-wide shared aging-table cache.  Tables are
+  /// deterministic in (config, seed), so same-recipe chips share one
+  /// immutable table; the scalar reference lane (HAYAT_SCALAR_AGING=1)
+  /// bypasses the cache and always builds fresh, modeling the seed's
+  /// per-task start-up cost.
+  static void clearSharedAgingTableCacheForTest();
+
  private:
   FloorPlan floorplan_;
   VariationMap variation_;
   NbtiModel nbti_;
   CorePathSet paths_;
-  AgingTable agingTable_;
+  std::shared_ptr<const AgingTable> agingTable_;
   HealthMap health_;
 };
 

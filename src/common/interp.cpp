@@ -22,17 +22,6 @@ Axis Axis::linspace(double lo, double hi, int n) {
   return Axis(std::move(pts));
 }
 
-Axis::Bracket Axis::locate(double x) const {
-  if (x <= points_.front()) return {0, 0.0};
-  if (x >= points_.back()) return {static_cast<int>(points_.size()) - 2, 1.0};
-  const auto it = std::upper_bound(points_.begin(), points_.end(), x);
-  const int hi = static_cast<int>(it - points_.begin());
-  const int lo = hi - 1;
-  const double p0 = points_[static_cast<std::size_t>(lo)];
-  const double p1 = points_[static_cast<std::size_t>(hi)];
-  return {lo, (x - p0) / (p1 - p0)};
-}
-
 Table3::Table3(Axis a0, Axis a1, Axis a2)
     : a0_(std::move(a0)),
       a1_(std::move(a1)),
@@ -55,6 +44,10 @@ std::size_t Table3::flat(int i, int j, int k) const {
 double& Table3::at(int i, int j, int k) { return values_[flat(i, j, k)]; }
 double Table3::at(int i, int j, int k) const { return values_[flat(i, j, k)]; }
 
+const double* Table3::rowPointer(int i, int j) const {
+  return values_.data() + flat(i, j, 0);
+}
+
 double Table3::interpolate(double x0, double x1, double x2) const {
   HAYAT_REQUIRE(!values_.empty(), "interpolating an empty table");
   const auto b0 = a0_.locate(x0);
@@ -76,6 +69,70 @@ double Table3::interpolate(double x0, double x1, double x2) const {
     }
   }
   return acc;
+}
+
+double TrilinearGrid::interpolate(double x0, double x1, double x2,
+                                  Cursor& cursor) const {
+  HAYAT_DCHECK(table_ != nullptr);
+  const Table3& t = *table_;
+  const Axis::Bracket b0 = t.axis0().locate(x0, cursor.i0);
+  const Axis::Bracket b1 = t.axis1().locate(x1, cursor.i1);
+  const Axis::Bracket b2 = t.axis2().locate(x2, cursor.i2);
+  cursor.i0 = b0.index;
+  cursor.i1 = b1.index;
+  cursor.i2 = b2.index;
+
+  // The accumulation below replicates Table3::interpolate term for term
+  // (loop order, weight expressions, zero-weight skips) so the cached
+  // path is bitwise-identical to the scalar one.
+  double acc = 0.0;
+  for (int di = 0; di <= 1; ++di) {
+    const double w0 = di ? b0.frac : 1.0 - b0.frac;
+    if (w0 == 0.0) continue;
+    for (int dj = 0; dj <= 1; ++dj) {
+      const double w1 = dj ? b1.frac : 1.0 - b1.frac;
+      if (w1 == 0.0) continue;
+      const double* row = t.rowPointer(b0.index + di, b1.index + dj);
+      for (int dk = 0; dk <= 1; ++dk) {
+        const double w2 = dk ? b2.frac : 1.0 - b2.frac;
+        if (w2 == 0.0) continue;
+        acc += w0 * w1 * w2 * row[b2.index + dk];
+      }
+    }
+  }
+  return acc;
+}
+
+void TrilinearGrid::interpolateMany(const double* x0, const double* x1,
+                                    const double* x2, int n, double* out,
+                                    Cursor* cursors) const {
+  HAYAT_REQUIRE(n >= 0, "negative batch size");
+  Cursor cold;
+  for (int i = 0; i < n; ++i) {
+    Cursor& cursor = cursors != nullptr ? cursors[i] : cold;
+    out[i] = interpolate(x0[i], x1[i], x2[i], cursor);
+  }
+}
+
+TrilinearGrid::Line TrilinearGrid::line(double x0, double x1,
+                                        Cursor& cursor) const {
+  HAYAT_DCHECK(table_ != nullptr);
+  const Table3& t = *table_;
+  const Axis::Bracket b0 = t.axis0().locate(x0, cursor.i0);
+  const Axis::Bracket b1 = t.axis1().locate(x1, cursor.i1);
+  cursor.i0 = b0.index;
+  cursor.i1 = b1.index;
+
+  Line l;
+  l.w0_[0] = 1.0 - b0.frac;
+  l.w0_[1] = b0.frac;
+  l.w1_[0] = 1.0 - b1.frac;
+  l.w1_[1] = b1.frac;
+  for (int di = 0; di <= 1; ++di)
+    for (int dj = 0; dj <= 1; ++dj)
+      l.rows_[di][dj] = t.rowPointer(b0.index + di, b1.index + dj);
+  l.axis2_ = &t.axis2();
+  return l;
 }
 
 Table1::Table1(Axis axis, std::vector<double> values)

@@ -6,7 +6,10 @@
 // clamping semantics those lookups need; Axis is a monotone sample grid.
 #pragma once
 
+#include <algorithm>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace hayat {
 
@@ -34,7 +37,41 @@ class Axis {
     int index;
     double frac;
   };
-  Bracket locate(double x) const;
+  // locate() and Line::at() are defined inline in this header so the
+  // equivalentAge bisection (60 probes per inverse) pays no call overhead;
+  // the statements are the same ones the out-of-line definitions had, so
+  // every result stays bitwise-identical.
+  Bracket locate(double x) const {
+    if (x <= points_.front()) return {0, 0.0};
+    if (x >= points_.back()) return {static_cast<int>(points_.size()) - 2, 1.0};
+    const auto it = std::upper_bound(points_.begin(), points_.end(), x);
+    const int hi = static_cast<int>(it - points_.begin());
+    const int lo = hi - 1;
+    const double p0 = points_[static_cast<std::size_t>(lo)];
+    const double p1 = points_[static_cast<std::size_t>(hi)];
+    return {lo, (x - p0) / (p1 - p0)};
+  }
+
+  /// locate() with a cached cell hint: when `hint` still brackets x
+  /// (p[hint] <= x < p[hint+1]) the binary search is skipped entirely.
+  /// The returned bracket is identical to locate(x) in every case — the
+  /// hint only changes how the cell is found, never which cell or which
+  /// fraction, so interpolations through hinted lookups stay bitwise
+  /// equal to unhinted ones.  Pass a negative hint to force the search.
+  Bracket locate(double x, int hint) const {
+    // The clamp cases must come first so a stale hint can never shadow
+    // them; past the clamps, an interior x belongs to cell `hint` exactly
+    // when p[hint] <= x < p[hint+1] — the same cell upper_bound would
+    // find, with the same fraction arithmetic.
+    if (x <= points_.front()) return {0, 0.0};
+    if (x >= points_.back()) return {static_cast<int>(points_.size()) - 2, 1.0};
+    if (hint >= 0 && hint + 1 < static_cast<int>(points_.size())) {
+      const double p0 = points_[static_cast<std::size_t>(hint)];
+      const double p1 = points_[static_cast<std::size_t>(hint) + 1];
+      if (p0 <= x && x < p1) return {hint, (x - p0) / (p1 - p0)};
+    }
+    return locate(x);
+  }
 
  private:
   std::vector<double> points_;
@@ -72,11 +109,105 @@ class Table3 {
           at(i, j, k) = f(a0_[i], a1_[j], a2_[k]);
   }
 
+  /// Pointer to the contiguous axis-2 row at fixed (i, j) — the layout
+  /// hook TrilinearGrid's pinned-cell lookups read through (axis 2 is the
+  /// innermost flat index, so values along it are adjacent in memory).
+  const double* rowPointer(int i, int j) const;
+
  private:
   std::size_t flat(int i, int j, int k) const;
 
   Axis a0_, a1_, a2_;
   std::vector<double> values_;
+};
+
+/// Batched, cursor-cached view over a Table3.
+///
+/// The run-time aging path performs millions of trilinear lookups whose
+/// coordinates barely move between calls (a core's temperature, duty and
+/// age evolve slowly across epochs, and the equivalentAge bisection probes
+/// one cell neighbourhood 60 times).  TrilinearGrid keeps the grid search
+/// out of that hot path: a Cursor caches the last cell per tracked entity
+/// (structure-of-arrays — callers hold one cursor array for all cores),
+/// and a Line pins the (x0, x1) cell so repeated x2-only lookups touch
+/// four precomputed rows.  Every lookup performs the identical
+/// floating-point operations, in the identical order, as
+/// Table3::interpolate — cursors and lines change how cells are found,
+/// never the arithmetic — so batched results are bitwise equal to the
+/// scalar reference.
+class TrilinearGrid {
+ public:
+  TrilinearGrid() = default;
+
+  /// The table must outlive the grid view.
+  explicit TrilinearGrid(const Table3& table) : table_(&table) {}
+
+  /// Cached cell indices of one tracked entity (negative = cold).
+  struct Cursor {
+    int i0 = -1;
+    int i1 = -1;
+    int i2 = -1;
+  };
+
+  /// Single lookup through a cursor; updates the cursor's cell hints.
+  /// Bitwise-identical to table.interpolate(x0, x1, x2).
+  double interpolate(double x0, double x1, double x2, Cursor& cursor) const;
+
+  /// Batch lookup: out[i] = interpolate(x0[i], x1[i], x2[i], cursors[i]).
+  /// `cursors` may be null (every element then pays the full search).
+  void interpolateMany(const double* x0, const double* x1, const double* x2,
+                       int n, double* out, Cursor* cursors) const;
+
+  /// A (x0, x1)-pinned restriction of the grid: lookups that vary only
+  /// x2 — the equivalentAge bisection replay — skip both outer searches
+  /// and read through the four rows of the pinned cell.
+  class Line {
+   public:
+    /// Value at (x0, x1, x2) for the pinned (x0, x1); `hint` is an
+    /// axis-2 cell hint updated in place (pass -1 when cold).
+    /// Bitwise-identical to table.interpolate(x0, x1, x2).  Defined
+    /// inline — the bisection replay calls this 60 times per inverse.
+    double at(double x2, int& hint) const {
+      HAYAT_DCHECK(axis2_ != nullptr);
+      const Axis::Bracket b2 = axis2_->locate(x2, hint);
+      hint = b2.index;
+      // Same term order and skips as Table3::interpolate, with the pinned
+      // (x0, x1) weights substituted — the products w0*w1*w2*v associate
+      // identically, so the value is bitwise equal.
+      double acc = 0.0;
+      for (int di = 0; di <= 1; ++di) {
+        const double w0 = w0_[di];
+        if (w0 == 0.0) continue;
+        for (int dj = 0; dj <= 1; ++dj) {
+          const double w1 = w1_[dj];
+          if (w1 == 0.0) continue;
+          const double* row = rows_[di][dj];
+          for (int dk = 0; dk <= 1; ++dk) {
+            const double w2 = dk ? b2.frac : 1.0 - b2.frac;
+            if (w2 == 0.0) continue;
+            acc += w0 * w1 * w2 * row[b2.index + dk];
+          }
+        }
+      }
+      return acc;
+    }
+
+   private:
+    friend class TrilinearGrid;
+    double w0_[2] = {0.0, 0.0};          ///< axis-0 weights (1-f, f)
+    double w1_[2] = {0.0, 0.0};          ///< axis-1 weights
+    const double* rows_[2][2] = {};      ///< axis-2 rows of the cell
+    const Axis* axis2_ = nullptr;
+  };
+
+  /// Pins the (x0, x1) cell, seeding and updating the cursor's i0/i1
+  /// hints.
+  Line line(double x0, double x1, Cursor& cursor) const;
+
+  const Table3& table() const { return *table_; }
+
+ private:
+  const Table3* table_ = nullptr;
 };
 
 /// Linear interpolation over a 1-D table (axis + values).

@@ -221,10 +221,14 @@ BandedFactorization::BandedFactorization(const SparseMatrix& a, int band)
     }
   }
 
-  // Right-looking elimination restricted to the band.  Loop structure,
-  // update expressions, and zero-factor skips replicate
-  // LuFactorization's no-swap path exactly (see sparse.hpp) so the
-  // factors match the dense reference bitwise.
+  // Right-looking elimination restricted to the band.  Update
+  // expressions and zero-factor skips replicate LuFactorization's
+  // no-swap path exactly (see sparse.hpp) so the factors match the dense
+  // reference bitwise.  The inner loop is blocked two rows at a time:
+  // within a fixed pivot k every (r, c) entry receives exactly one
+  // update `at(r,c) -= factor_r * at(k,c)`, so sharing one traversal of
+  // the pivot row between two target rows reorders independent updates
+  // without changing any entry's operation sequence.
   for (int k = 0; k < n_; ++k) {
     const double pivot = at(k, k);
     HAYAT_REQUIRE(std::fabs(pivot) > 1e-300,
@@ -232,12 +236,36 @@ BandedFactorization::BandedFactorization(const SparseMatrix& a, int band)
                   "dominant?)");
     const double inv = 1.0 / pivot;
     const int rEnd = std::min(n_ - 1, k + band_);
+    if (rEnd <= k) continue;  // nothing below the pivot inside the band
     const int cEnd = rEnd;
-    for (int r = k + 1; r <= rEnd; ++r) {
+    const int len = cEnd - k;  // columns k+1..cEnd, contiguous per row
+    const double* rowK = &band_data_[bandIndex(k, k + 1)];
+    int r = k + 1;
+    for (; r + 1 <= rEnd; r += 2) {
+      const double f0 = at(r, k) * inv;
+      const double f1 = at(r + 1, k) * inv;
+      at(r, k) = f0;
+      at(r + 1, k) = f1;
+      double* row0 = &band_data_[bandIndex(r, k + 1)];
+      double* row1 = &band_data_[bandIndex(r + 1, k + 1)];
+      if (f0 != 0.0 && f1 != 0.0) {
+        for (int c = 0; c < len; ++c) {
+          const double p = rowK[c];
+          row0[c] -= f0 * p;
+          row1[c] -= f1 * p;
+        }
+      } else if (f0 != 0.0) {
+        for (int c = 0; c < len; ++c) row0[c] -= f0 * rowK[c];
+      } else if (f1 != 0.0) {
+        for (int c = 0; c < len; ++c) row1[c] -= f1 * rowK[c];
+      }
+    }
+    for (; r <= rEnd; ++r) {
       const double factor = at(r, k) * inv;
       at(r, k) = factor;
       if (factor == 0.0) continue;
-      for (int c = k + 1; c <= cEnd; ++c) at(r, c) -= factor * at(k, c);
+      double* row = &band_data_[bandIndex(r, k + 1)];
+      for (int c = 0; c < len; ++c) row[c] -= factor * rowK[c];
     }
   }
 }
@@ -259,6 +287,36 @@ void BandedFactorization::solveInPlace(Vector& x) const {
     for (int j = i + 1; j <= jEnd; ++j)
       acc -= at(i, j) * x[static_cast<std::size_t>(j)];
     x[static_cast<std::size_t>(i)] = acc / at(i, i);
+  }
+}
+
+void BandedFactorization::solveManyInPlace(double* xs, int count) const {
+  HAYAT_REQUIRE(count >= 0, "negative right-hand-side count");
+  if (count == 0) return;
+  const auto stride = static_cast<std::size_t>(count);
+  // Forward substitution (unit lower triangle).  Per RHS this performs
+  // the exact update sequence of solveInPlace — subtractions in
+  // ascending j — with the k loop innermost over the interleaved RHS.
+  for (int i = 0; i < n_; ++i) {
+    double* xi = xs + static_cast<std::size_t>(i) * stride;
+    const int jBegin = std::max(0, i - band_);
+    for (int j = jBegin; j < i; ++j) {
+      const double lij = at(i, j);
+      const double* xj = xs + static_cast<std::size_t>(j) * stride;
+      for (int k = 0; k < count; ++k) xi[k] -= lij * xj[k];
+    }
+  }
+  // Back substitution.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double* xi = xs + static_cast<std::size_t>(i) * stride;
+    const int jEnd = std::min(n_ - 1, i + band_);
+    for (int j = i + 1; j <= jEnd; ++j) {
+      const double uij = at(i, j);
+      const double* xj = xs + static_cast<std::size_t>(j) * stride;
+      for (int k = 0; k < count; ++k) xi[k] -= uij * xj[k];
+    }
+    const double diag = at(i, i);
+    for (int k = 0; k < count; ++k) xi[k] /= diag;
   }
 }
 
@@ -317,6 +375,40 @@ void RcSolver::solveInPlace(Vector& x, Vector& scratch) const {
   for (int i = 0; i < n_; ++i)
     x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
         scratch[static_cast<std::size_t>(i)];
+}
+
+void RcSolver::solveManyInPlace(std::vector<Vector>& xs,
+                                Vector& scratch) const {
+  const int count = static_cast<int>(xs.size());
+  if (count == 0) return;
+  for (const Vector& x : xs)
+    HAYAT_REQUIRE(static_cast<int>(x.size()) == n_, "rhs size mismatch");
+  if (dense_ != nullptr) {
+    // Reference path: per-RHS dense solves (bitwise the A/B twin of the
+    // batched banded sweep below).
+    for (Vector& x : xs) solveInPlace(x, scratch);
+    return;
+  }
+
+  // Pack the permuted RHS interleaved, sweep once, unpack.
+  scratch.resize(static_cast<std::size_t>(n_) *
+                 static_cast<std::size_t>(count));
+  for (int i = 0; i < n_; ++i) {
+    const auto src = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
+    double* row = scratch.data() +
+                  static_cast<std::size_t>(i) * static_cast<std::size_t>(count);
+    for (int k = 0; k < count; ++k)
+      row[k] = xs[static_cast<std::size_t>(k)][src];
+  }
+  banded_->solveManyInPlace(scratch.data(), count);
+  for (int i = 0; i < n_; ++i) {
+    const auto dst = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
+    const double* row =
+        scratch.data() +
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(count);
+    for (int k = 0; k < count; ++k)
+      xs[static_cast<std::size_t>(k)][dst] = row[k];
+  }
 }
 
 Vector RcSolver::solve(const Vector& b) const {

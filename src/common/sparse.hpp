@@ -126,6 +126,14 @@ class BandedFactorization {
   /// return.  No allocations.
   void solveInPlace(Vector& x) const;
 
+  /// Multi-RHS solve: `count` right-hand sides stored interleaved
+  /// (element i of RHS k at xs[i*count + k]), each replaced by its
+  /// solution.  Every RHS undergoes the identical substitution sequence
+  /// as solveInPlace — the interleaved layout only amortizes the factor
+  /// traversal across RHS — so each solution is bitwise equal to a
+  /// per-RHS solveInPlace.  No allocations.
+  void solveManyInPlace(double* xs, int count) const;
+
   /// Convenience allocating solve.
   Vector solve(const Vector& b) const;
 
@@ -172,6 +180,14 @@ class RcSolver {
   /// return.  `scratch` is resized to size() and clobbered; reusing it
   /// across calls makes the banded path allocation-free.
   void solveInPlace(Vector& x, Vector& scratch) const;
+
+  /// Solves A x = b for every vector in `xs` at once (each holds its b
+  /// on entry and its solution on return).  The banded backend packs the
+  /// permuted RHS interleaved into `scratch` and runs one multi-RHS
+  /// substitution sweep; the dense reference backend falls back to
+  /// per-RHS solves.  Either way each solution is bitwise equal to
+  /// calling solveInPlace per RHS.
+  void solveManyInPlace(std::vector<Vector>& xs, Vector& scratch) const;
 
   /// Convenience allocating solve.
   Vector solve(const Vector& b) const;

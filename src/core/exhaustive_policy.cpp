@@ -9,34 +9,48 @@ namespace hayat {
 
 namespace {
 
-/// Shared scoring: predicted temperatures + per-core next-health sum.
+/// Buffers reused across candidate scorings so the enumeration loop does
+/// not allocate per assignment.
+struct ScoreScratch {
+  Vector dyn;
+  std::vector<bool> on;
+  std::vector<double> duty;
+  Vector temps;
+  Vector predictScratch;
+};
+
+/// Shared scoring: predicted temperatures + per-core next-health sum,
+/// served from the per-map() aging snapshot (bitwise-identical to
+/// querying the estimator against the live health map).
 double scoreMapping(const PolicyContext& ctx, const Mapping& mapping,
                     const ThermalPredictor& predictor,
-                    const HealthEstimator& estimator) {
+                    const AgingSnapshot& snapshot, ScoreScratch& scratch) {
   const Chip& chip = *ctx.chip;
   const int n = chip.coreCount();
-  const Vector dyn = mapping.averageDynamicPower(*ctx.mix,
-                                                 ctx.nominalFrequency);
-  std::vector<bool> on(static_cast<std::size_t>(n));
-  std::vector<double> duty(static_cast<std::size_t>(n), 0.0);
+  mapping.averageDynamicPowerInto(*ctx.mix, ctx.nominalFrequency,
+                                  scratch.dyn);
+  scratch.on.assign(static_cast<std::size_t>(n), false);
+  scratch.duty.assign(static_cast<std::size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
     const auto s = static_cast<std::size_t>(i);
-    on[s] = mapping.coreBusy(i);
+    scratch.on[s] = mapping.coreBusy(i);
     if (const auto& slot = mapping.onCore(i); slot.has_value()) {
-      duty[s] = ctx.mix->applications[static_cast<std::size_t>(slot->ref.app)]
-                    .thread(slot->ref.thread)
-                    .averageDuty();
+      scratch.duty[s] =
+          ctx.mix->applications[static_cast<std::size_t>(slot->ref.app)]
+              .thread(slot->ref.thread)
+              .averageDuty();
     }
   }
-  const Vector temps = predictor.predict(dyn, on);
-  for (double t : temps)
+  predictor.predictInto(scratch.dyn, scratch.on, scratch.temps,
+                        scratch.predictScratch);
+  for (double t : scratch.temps)
     if (t >= ctx.tsafe) return -1.0;  // Eq. (4) violated
 
   double sum = 0.0;
   for (int i = 0; i < n; ++i) {
     const auto s = static_cast<std::size_t>(i);
-    sum += estimator.estimateNextHealth(ctx.health().state(i), temps[s],
-                                        duty[s], ctx.epochYears);
+    sum += snapshot.nextHealth(i, scratch.temps[s], scratch.duty[s],
+                               ctx.epochYears);
   }
   return sum;
 }
@@ -67,7 +81,10 @@ double ExhaustivePolicy::objective(const PolicyContext& ctx,
                 "incomplete policy context");
   const ThermalPredictor predictor(*ctx.thermal, *ctx.leakage);
   const HealthEstimator estimator(ctx.chip->agingTable(), DutyPolicy::Known);
-  return scoreMapping(ctx, mapping, predictor, estimator);
+  AgingSnapshot snapshot;
+  snapshot.capture(estimator, ctx.health());
+  ScoreScratch scratch;
+  return scoreMapping(ctx, mapping, predictor, snapshot, scratch);
 }
 
 Mapping ExhaustivePolicy::map(const PolicyContext& ctx) {
@@ -90,17 +107,22 @@ Mapping ExhaustivePolicy::map(const PolicyContext& ctx) {
 
   const ThermalPredictor predictor(*ctx.thermal, *ctx.leakage);
   const HealthEstimator estimator(chip.agingTable(), config_.dutyPolicy);
+  // The chip's aging state is fixed for the whole enumeration: capture it
+  // once and let every scored assignment read from the snapshot.
+  AgingSnapshot snapshot;
+  snapshot.capture(estimator, ctx.health());
+  ScoreScratch scratch;
 
   // Depth-first enumeration of injective thread->core assignments.
   Mapping best(n);
   double bestScore = -2.0;
   std::vector<int> assignment(static_cast<std::size_t>(t), -1);
   std::vector<bool> used(static_cast<std::size_t>(n), false);
+  Mapping candidate(n);  // reused across leaves
 
   // Recursive lambda via explicit stack-free recursion helper.
   auto place = [&](auto&& self, int depth) -> void {
     if (depth == t) {
-      Mapping candidate(n);
       for (int k = 0; k < t; ++k) {
         const RunnableThread& th = threads[static_cast<std::size_t>(k)];
         const int core = assignment[static_cast<std::size_t>(k)];
@@ -109,11 +131,13 @@ Mapping ExhaustivePolicy::map(const PolicyContext& ctx) {
                          th.minFrequency);
       }
       const double score =
-          scoreMapping(ctx, candidate, predictor, estimator);
+          scoreMapping(ctx, candidate, predictor, snapshot, scratch);
       if (score > bestScore) {
         bestScore = score;
         best = candidate;
       }
+      for (int k = 0; k < t; ++k)
+        candidate.unassign(assignment[static_cast<std::size_t>(k)]);
       return;
     }
     for (int core = 0; core < n; ++core) {

@@ -1,13 +1,23 @@
 #include "core/hayat_policy.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "common/alloc_counter.hpp"
 #include "common/error.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
 namespace hayat {
+
+namespace {
+std::atomic<std::uint64_t> placementLoopAllocs{0};
+}  // namespace
+
+std::uint64_t hayatPlacementLoopAllocs() {
+  return placementLoopAllocs.load();
+}
 
 HayatPolicy::HayatPolicy(HayatConfig config) : config_(config) {
   HAYAT_REQUIRE(config.wmax > 0.0, "wmax must be positive");
@@ -93,7 +103,7 @@ Mapping HayatPolicy::placeApplication(const PolicyContext& context,
 
 void HayatPolicy::placeThreads(const PolicyContext& context,
                                std::vector<RunnableThread> threads,
-                               Mapping& mapping) const {
+                               Mapping& mapping) {
   const Chip& chip = *context.chip;
   const int n = chip.coreCount();
 
@@ -108,88 +118,121 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
                                    config_.leakageIterations);
   const HealthEstimator estimator(chip.agingTable(), config_.dutyPolicy);
 
-  // Baseline reflects whatever is already running in the mapping.
-  Vector dynPower =
-      mapping.averageDynamicPower(*context.mix, context.nominalFrequency);
-  std::vector<bool> on(static_cast<std::size_t>(n), false);
+  // Pre-warm every buffer the placement loop touches so the loop itself
+  // is allocation-free in steady state (the DESIGN.md §3.10 contract; the
+  // delta is tracked in hayatPlacementLoopAllocs).  The baseline reflects
+  // whatever is already running in the mapping; the aging snapshot
+  // captures the chip's current delay factors, which cannot change while
+  // the policy deliberates, so every candidate reads from the copy.
+  Scratch& sc = scratch_;
+  mapping.averageDynamicPowerInto(*context.mix, context.nominalFrequency,
+                                  sc.baseline.dynamicPower);
+  sc.baseline.poweredOn.assign(static_cast<std::size_t>(n), false);
   for (int i = 0; i < n; ++i)
-    on[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
-  ThermalPredictor::Baseline baseline = predictor.makeBaseline(dynPower, on);
+    sc.baseline.poweredOn[static_cast<std::size_t>(i)] = mapping.coreBusy(i);
+  predictor.refreshBaseline(sc.baseline, sc.predictScratch);
+  sc.snapshot.capture(estimator, context.health());
+  sc.candidates.reserve(static_cast<std::size_t>(n));
+  sc.evaluated.reserve(static_cast<std::size_t>(n));
+  sc.survivorCores.reserve(static_cast<std::size_t>(n));
+  sc.survivorTemp.reserve(static_cast<std::size_t>(n));
+  sc.survivorHealth.resize(static_cast<std::size_t>(n));
+  const std::uint64_t allocsBefore = heapAllocationCount();
 
   for (const RunnableThread& t : threads) {
     // Candidate cores: idle and fast enough at their current age; if the
     // requirement is infeasible everywhere, fall back to all idle cores
     // (best effort — the shortfall surfaces as a throughput violation).
-    std::vector<int> candidates;
+    sc.candidates.clear();
     for (int c = 0; c < n; ++c) {
       if (mapping.coreBusy(c)) continue;
-      if (context.observedFmax(c) >= t.minFrequency) candidates.push_back(c);
+      if (context.observedFmax(c) >= t.minFrequency)
+        sc.candidates.push_back(c);
     }
-    if (candidates.empty()) {
+    if (sc.candidates.empty()) {
       for (int c = 0; c < n; ++c)
-        if (!mapping.coreBusy(c)) candidates.push_back(c);
+        if (!mapping.coreBusy(c)) sc.candidates.push_back(c);
     }
-    HAYAT_REQUIRE(!candidates.empty(), "no idle core left");
+    HAYAT_REQUIRE(!sc.candidates.empty(), "no idle core left");
 
     // --- Evaluate candidates (Algorithm 1 lines 5-20). ---
-    std::vector<HayatCandidate> s;
-    s.reserve(candidates.size());
-    for (int cand : candidates) {
+    // Two passes: the thermal what-if and Tsafe guard per candidate
+    // first, then one batched health estimate over the survivors so
+    // their inverse solves interleave (AgingTable::advanceDelayFactorMany).
+    // Candidates touch no shared floating-point state, so reordering
+    // their health estimates after all predictions leaves every result
+    // bitwise-unchanged.
+    std::vector<HayatCandidate>& s = sc.evaluated;
+    s.clear();
+    sc.survivorCores.clear();
+    sc.survivorTemp.clear();
+    for (int cand : sc.candidates) {
       const Hertz freq = operatingFrequency(context, cand, t.minFrequency);
       const Watts addedPower =
           t.averagePower * (freq / context.nominalFrequency);
-      const Vector tNext =
-          predictor.predictWithCandidate(baseline, cand, addedPower);
 
       // Lines 9-13: Tmax bookkeeping and the Tsafe guard.  The guard is
       // evaluated at the thread's *worst-case phase power* (the paper's
       // estimator supports worst-case settings, Section IV-C): an
       // average-power check would admit placements whose phase peaks trip
-      // the DTM all epoch long.
+      // the DTM all epoch long.  One fused pass produces the average-
+      // power sum, the peak-power max, and the candidate's own next
+      // temperature without materializing either predicted vector.
       const Watts peakPower =
           std::max(t.peakPower, t.averagePower) *
           (freq / context.nominalFrequency);
-      const Vector tPeak =
-          predictor.predictWithCandidate(baseline, cand, peakPower);
-      double tMax = 0.0;
-      double tSum = 0.0;
-      for (double temp : tNext) tSum += temp;
-      for (double temp : tPeak) tMax = std::max(tMax, temp);
-      if (tMax >= context.tsafe) continue;  // line 12-13
-
-      // Line 15: candidate's estimated end-of-epoch health.
-      const auto cs = static_cast<std::size_t>(cand);
-      const double hNext = estimator.estimateNextHealth(
-          context.health().state(cand), tNext[cs], t.averageDuty,
-          context.epochYears);
-      const double hNow = context.health().health(cand);
+      const ThermalPredictor::CandidateStats stats =
+          predictor.predictCandidateStats(sc.baseline, cand, addedPower,
+                                          peakPower);
+      if (stats.maxPeak >= context.tsafe) continue;  // line 12-13
 
       HayatCandidate record;
       record.core = cand;
+      record.candidateNextHealth = 0.0;  // filled by the batched pass
+      record.averageNextTemperature = stats.sumNext / n;
+      record.maxNextTemperature = stats.maxPeak;
+      record.weight = 0.0;
+      s.push_back(record);
+      sc.survivorCores.push_back(cand);
+      sc.survivorTemp.push_back(stats.candidateNext);
+    }
+
+    // Line 15 for every survivor at once: estimated end-of-epoch health
+    // from the per-epoch aging snapshot (bitwise-identical to querying
+    // the estimator per candidate against the live health map).
+    const int survivors = static_cast<int>(sc.survivorCores.size());
+    sc.snapshot.nextHealthMany(sc.survivorCores.data(),
+                               sc.survivorTemp.data(), t.averageDuty,
+                               context.epochYears, survivors,
+                               sc.survivorHealth.data());
+    for (int i = 0; i < survivors; ++i) {
+      HayatCandidate& record = s[static_cast<std::size_t>(i)];
+      const int cand = record.core;
+      const double hNext = sc.survivorHealth[static_cast<std::size_t>(i)];
+      const double hNow = sc.snapshot.currentHealth(cand);
       record.candidateNextHealth = hNext;
-      record.averageNextTemperature = tSum / n;
-      record.maxNextTemperature = tMax;
       const double slackGHz =
           (context.observedFmax(cand) - t.minFrequency) / 1e9;
       record.weight =
           weightOf(slackGHz, hNext / hNow, context.elapsedYears,
                    context.observedWearOf(cand));
-      s.push_back(record);
     }
 
     if (s.empty()) {
       // Every candidate trips Tsafe: take the thermally least-bad idle
       // core; the DTM will police the consequence.  (The paper's
       // algorithm cannot leave a runnable thread unmapped.)
-      int coolest = candidates.front();
+      int coolest = sc.candidates.front();
       double bestT = 1e300;
-      for (int cand : candidates) {
-        const Vector tNext = predictor.predictWithCandidate(
-            baseline, cand,
+      for (int cand : sc.candidates) {
+        predictor.predictWithCandidateInto(
+            sc.baseline, cand,
             t.averagePower *
                 (operatingFrequency(context, cand, t.minFrequency) /
-                 context.nominalFrequency));
-        const double tMax = *std::max_element(tNext.begin(), tNext.end());
+                 context.nominalFrequency),
+            sc.tNext);
+        const double tMax =
+            *std::max_element(sc.tNext.begin(), sc.tNext.end());
         if (tMax < bestT) {
           bestT = tMax;
           coolest = cand;
@@ -211,10 +254,19 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
 
     // Fold the placement into the predictor baseline (incremental
     // superposition) so subsequent threads see it.
-    dynPower[static_cast<std::size_t>(chosen)] =
+    sc.baseline.dynamicPower[static_cast<std::size_t>(chosen)] =
         t.averagePower * (freq / context.nominalFrequency);
-    on[static_cast<std::size_t>(chosen)] = true;
-    baseline = predictor.makeBaseline(dynPower, on);
+    sc.baseline.poweredOn[static_cast<std::size_t>(chosen)] = true;
+    predictor.refreshBaseline(sc.baseline, sc.predictScratch);
+  }
+
+  const std::uint64_t loopAllocs = heapAllocationCount() - allocsBefore;
+  placementLoopAllocs.fetch_add(loopAllocs, std::memory_order_relaxed);
+  if (telemetry::enabled() && loopAllocs > 0) {
+    static telemetry::Counter& counter =
+        telemetry::Registry::global().counter(
+            "hayat_policy_placement_allocs");
+    counter.add(loopAllocs);
   }
 }
 

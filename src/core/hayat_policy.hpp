@@ -32,6 +32,8 @@
 // Tsafe check, the resulting DCM keeps Tpeak < Tsafe by construction.
 #pragma once
 
+#include <cstdint>
+
 #include "runtime/health_estimator.hpp"
 #include "runtime/mapping.hpp"
 #include "runtime/thermal_predictor.hpp"
@@ -101,10 +103,34 @@ class HayatPolicy : public MappingPolicy {
   /// Shared Algorithm-1 core: places `threads` into `mapping` (which may
   /// already hold running threads).
   void placeThreads(const PolicyContext& context,
-                    std::vector<RunnableThread> threads,
-                    Mapping& mapping) const;
+                    std::vector<RunnableThread> threads, Mapping& mapping);
+
+  /// Buffers reused across map() calls so the candidate loop is
+  /// allocation-free in steady state (DESIGN §3.10; tracked by
+  /// hayatPlacementLoopAllocs).
+  struct Scratch {
+    ThermalPredictor::Baseline baseline;
+    Vector predictScratch;
+    Vector tNext;
+    Vector tPeak;
+    std::vector<int> candidates;
+    std::vector<HayatCandidate> evaluated;
+    AgingSnapshot snapshot;
+    // Tsafe survivors of one placement round, scored in one batched
+    // nextHealthMany call (their inverse solves interleave).
+    std::vector<int> survivorCores;
+    std::vector<double> survivorTemp;
+    std::vector<double> survivorHealth;
+  };
 
   HayatConfig config_;
+  Scratch scratch_;
 };
+
+/// Heap allocations observed inside HayatPolicy's per-thread placement
+/// loop across the process.  Steady-state contract: after a policy's
+/// first map() on a given chip size, the loop must not contribute.
+/// Always zero when allocCounterActive() is false.
+std::uint64_t hayatPlacementLoopAllocs();
 
 }  // namespace hayat

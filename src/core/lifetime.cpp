@@ -37,6 +37,15 @@ double LifetimeResult::averageTemperatureOverAmbient(Kelvin ambient) const {
 
 namespace {
 
+// Process-wide phase accumulators behind lifetimePhaseNanos().  Always
+// ticking (two steady-clock reads per phase per epoch — noise next to
+// the work they bracket) so the bench breakdown works with telemetry
+// off.
+std::atomic<std::uint64_t> agingPhaseNanos{0};
+std::atomic<std::uint64_t> policyPhaseNanos{0};
+std::atomic<std::uint64_t> thermalPhaseNanos{0};
+std::atomic<std::uint64_t> totalPhaseNanos{0};
+
 /// One epoch's mix evolution under churn: surviving applications keep
 /// their objects (and, in incremental mode, their placements); departures
 /// free budget that fresh arrivals fill.
@@ -96,15 +105,33 @@ MixEvolution evolveMix(const WorkloadMix& previous,
 Hertz metricAt(const LifetimeResult& r, Years year,
                Hertz initialValue, Hertz (*pick)(const EpochRecord&)) {
   if (year <= 0.0 || r.epochs.empty()) return initialValue;
-  Hertz value = initialValue;
-  for (const EpochRecord& e : r.epochs) {
-    if (e.startYear >= year) break;
-    value = pick(e);
-  }
-  return value;
+  // Epochs are appended in start-year order, so the answer is the last
+  // record strictly before `year` (an epoch starting exactly at `year`
+  // has not aged the chip yet as of that instant).
+  const auto it = std::lower_bound(
+      r.epochs.begin(), r.epochs.end(), year,
+      [](const EpochRecord& e, Years y) { return e.startYear < y; });
+  if (it == r.epochs.begin()) return initialValue;
+  return pick(*std::prev(it));
 }
 
 }  // namespace
+
+LifetimePhaseNanos lifetimePhaseNanos() {
+  LifetimePhaseNanos out;
+  out.aging = agingPhaseNanos.load(std::memory_order_relaxed);
+  out.policy = policyPhaseNanos.load(std::memory_order_relaxed);
+  out.thermal = thermalPhaseNanos.load(std::memory_order_relaxed);
+  out.total = totalPhaseNanos.load(std::memory_order_relaxed);
+  return out;
+}
+
+void resetLifetimePhaseNanos() {
+  agingPhaseNanos.store(0, std::memory_order_relaxed);
+  policyPhaseNanos.store(0, std::memory_order_relaxed);
+  thermalPhaseNanos.store(0, std::memory_order_relaxed);
+  totalPhaseNanos.store(0, std::memory_order_relaxed);
+}
 
 Hertz LifetimeResult::chipFmaxAt(Years year) const {
   return metricAt(*this, year, maxOf(initialFmax),
@@ -168,6 +195,7 @@ LifetimeSimulator::LifetimeSimulator(LifetimeConfig config)
 LifetimeResult LifetimeSimulator::run(System& system,
                                       MappingPolicy& policy) const {
   const telemetry::Span runSpan("lifetime.run");
+  const std::uint64_t runT0 = telemetry::nowNanos();
   if (telemetry::enabled()) {
     static telemetry::Counter& runs =
         telemetry::Registry::global().counter("hayat_lifetime_runs_total");
@@ -280,25 +308,47 @@ LifetimeResult LifetimeSimulator::run(System& system,
     ctx.elapsedYears = startYear;
 
     Mapping mapping(n);
-    if (config_.incrementalRemap && e > 0) {
-      // The Section VI mid-epoch regime: only arrivals are (re)placed.
-      mapping = *carriedMapping;
-      for (const auto& [appIndex, k] : pendingArrivals)
-        mapping = policy.placeApplication(ctx, mapping, appIndex, k);
-      pendingArrivals.clear();
-    } else {
-      mapping = policy.map(ctx);
+    {
+      static std::atomic<std::uint64_t> policySpanSite{0};
+      const telemetry::Span policySpan(
+          "lifetime.policy_map", telemetry::sampleSpanSite(policySpanSite));
+      const std::uint64_t t0 = telemetry::nowNanos();
+      if (config_.incrementalRemap && e > 0) {
+        // The Section VI mid-epoch regime: only arrivals are (re)placed.
+        mapping = *carriedMapping;
+        for (const auto& [appIndex, k] : pendingArrivals)
+          mapping = policy.placeApplication(ctx, mapping, appIndex, k);
+        pendingArrivals.clear();
+      } else {
+        mapping = policy.map(ctx);
+      }
+      policyPhaseNanos.fetch_add(telemetry::nowNanos() - t0,
+                                 std::memory_order_relaxed);
     }
+    const std::uint64_t thermalT0 = telemetry::nowNanos();
     const EpochResult window = epochSim.run(mapping, mix);
+    thermalPhaseNanos.fetch_add(telemetry::nowNanos() - thermalT0,
+                                std::memory_order_relaxed);
     if (config_.mixChurn > 0.0) carriedMapping = window.finalMapping;
 
     // Upscale the window's worst-case conditions to the epoch length
     // (Section IV-B: "We record the worst-case temperature over time and
-    // the duty cycle for each core").
+    // the duty cycle for each core").  The NBTI advance runs batched —
+    // one cursor-warmed sweep over all cores (aging/health.hpp) — and
+    // the Arrhenius damage bookkeeping stays per core.
+    {
+      static std::atomic<std::uint64_t> agingSpanSite{0};
+      const telemetry::Span agingSpan(
+          "lifetime.aging_advance", telemetry::sampleSpanSite(agingSpanSite));
+      const std::uint64_t t0 = telemetry::nowNanos();
+      chip.health().advanceAll(chip.agingTable(),
+                               window.peakTemperature.data(),
+                               window.duty.data(), config_.epochLength);
+      agingPhaseNanos.fetch_add(telemetry::nowNanos() - t0,
+                                std::memory_order_relaxed);
+    }
     for (int i = 0; i < n; ++i) {
       const auto si = static_cast<std::size_t>(i);
-      chip.health().advance(i, chip.agingTable(), window.peakTemperature[si],
-                            window.duty[si], config_.epochLength);
       damage[si].accumulate(mttf, window.averageTemperature[si],
                             config_.epochLength);
       result.coreDamage[si] = damage[si].damage();
@@ -323,6 +373,8 @@ LifetimeResult LifetimeSimulator::run(System& system,
   }
 
   result.finalFmax = chip.health().currentFmaxAll();
+  totalPhaseNanos.fetch_add(telemetry::nowNanos() - runT0,
+                            std::memory_order_relaxed);
   return result;
 }
 

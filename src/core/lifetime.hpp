@@ -9,6 +9,7 @@
 // identical mixes on identical silicon.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -111,6 +112,22 @@ struct LifetimeResult {
   /// never does) — the lifetime metric of Fig. 11's discussion.
   Years yearsUntilAverageFmaxBelow(Hertz threshold) const;
 };
+
+/// Cumulative wall-clock nanoseconds spent in each phase of every
+/// LifetimeSimulator::run in this process.  The aging/policy/thermal
+/// split is what bench_kernels' lifetime-breakdown section reports (and
+/// what the CI perf-smoke gate budgets); `other` time is total minus the
+/// three instrumented phases.
+struct LifetimePhaseNanos {
+  std::uint64_t aging = 0;    ///< batched health-map advance
+  std::uint64_t policy = 0;   ///< policy.map / placeApplication calls
+  std::uint64_t thermal = 0;  ///< EpochSimulator windows
+  std::uint64_t total = 0;    ///< whole run() calls
+};
+
+/// Snapshot / reset of the process-wide phase accumulators.
+LifetimePhaseNanos lifetimePhaseNanos();
+void resetLifetimePhaseNanos();
 
 /// The epoch-loop driver.
 class LifetimeSimulator {

@@ -46,13 +46,10 @@ System::System(const SystemConfig& config, VariationMap variation,
 }
 
 void System::resetHealth() {
-  // Rebuild the chip from its own variation map and seed: identical
-  // silicon (variation, paths, aging table), year-0 health.
-  ChipConfig cc = chipConfigFrom(config_);
-  VariationMap variation = chip_->variation();
-  chip_ = std::make_unique<Chip>(cc, std::move(variation), chipSeed_);
-  leakage_ = std::make_unique<LeakageModel>(config_.leakage,
-                                            chip_->variation());
+  // Health is the chip's only mutable state; variation, paths, aging
+  // table, and the leakage model are deterministic and unchanged, so a
+  // health-only reset is bitwise-equivalent to rebuilding everything.
+  chip_->resetHealth();
 }
 
 }  // namespace hayat

@@ -25,16 +25,22 @@ HealthEstimator::HealthEstimator(const AgingTable& table,
 double HealthEstimator::estimateNextDelayFactor(const CoreAgingState& current,
                                                 Kelvin tNext, double knownDuty,
                                                 Years epochYears) const {
+  AgingTable::Cursor cursor;
+  return estimateNextDelayFactor(current, tNext, knownDuty, epochYears,
+                                 cursor);
+}
+
+double HealthEstimator::estimateNextDelayFactor(
+    const CoreAgingState& current, Kelvin tNext, double knownDuty,
+    Years epochYears, AgingTable::Cursor& cursor) const {
   HAYAT_REQUIRE(epochYears >= 0.0, "negative epoch length");
   const double duty = resolveDuty(dutyPolicy_, knownDuty);
   if (duty <= 0.0 || epochYears == 0.0) return current.delayFactor();
   // "find the current estimated position/index in the 3D-aging tables
   // ... follow a new 3D-path inside the table": equivalent age under the
   // predicted conditions, stepped by the epoch length.
-  const Years equivalent =
-      table_->equivalentAge(tNext, duty, current.delayFactor());
-  const double next = table_->delayFactor(tNext, duty, equivalent + epochYears);
-  return next > current.delayFactor() ? next : current.delayFactor();
+  return table_->advanceDelayFactor(tNext, duty, epochYears,
+                                    current.delayFactor(), cursor);
 }
 
 double HealthEstimator::estimateNextHealth(const CoreAgingState& current,
@@ -59,6 +65,86 @@ std::vector<double> HealthEstimator::estimateNextHealthMap(
                                    epochYears);
   }
   return health;
+}
+
+void AgingSnapshot::capture(const HealthEstimator& estimator,
+                            const HealthMap& current) {
+  estimator_ = &estimator;
+  const auto n = static_cast<std::size_t>(current.coreCount());
+  delayFactors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    delayFactors_[i] = current.state(static_cast<int>(i)).delayFactor();
+  // Keep warm cursors when the chip geometry is unchanged.
+  if (cursors_.size() != n) cursors_.assign(n, AgingTable::Cursor{});
+  if (batchTemp_.size() != n) {
+    batchTemp_.resize(n);
+    batchDuty_.resize(n);
+    batchCurrent_.resize(n);
+    batchNext_.resize(n);
+    batchCursors_.resize(n);
+  }
+}
+
+double AgingSnapshot::currentDelayFactor(int core) const {
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  return delayFactors_[static_cast<std::size_t>(core)];
+}
+
+double AgingSnapshot::currentHealth(int core) const {
+  return 1.0 / currentDelayFactor(core);
+}
+
+double AgingSnapshot::nextDelayFactor(int core, Kelvin tNext, double knownDuty,
+                                      Years epochYears) const {
+  HAYAT_DCHECK(estimator_ != nullptr);
+  HAYAT_REQUIRE(core >= 0 && core < coreCount(), "core index out of range");
+  HAYAT_REQUIRE(epochYears >= 0.0, "negative epoch length");
+  const double duty = resolveDuty(estimator_->dutyPolicy(), knownDuty);
+  const double current = delayFactors_[static_cast<std::size_t>(core)];
+  if (duty <= 0.0 || epochYears == 0.0) return current;
+  return estimator_->table().advanceDelayFactor(
+      tNext, duty, epochYears, current,
+      cursors_[static_cast<std::size_t>(core)]);
+}
+
+double AgingSnapshot::nextHealth(int core, Kelvin tNext, double knownDuty,
+                                 Years epochYears) const {
+  return 1.0 / nextDelayFactor(core, tNext, knownDuty, epochYears);
+}
+
+void AgingSnapshot::nextHealthMany(const int* cores, const double* tNext,
+                                   double knownDuty, Years epochYears,
+                                   int count, double* out) const {
+  HAYAT_DCHECK(estimator_ != nullptr);
+  HAYAT_REQUIRE(count >= 0, "negative batch size");
+  HAYAT_REQUIRE(epochYears >= 0.0, "negative epoch length");
+  const double duty = resolveDuty(estimator_->dutyPolicy(), knownDuty);
+  for (int i = 0; i < count; ++i)
+    HAYAT_REQUIRE(cores[i] >= 0 && cores[i] < coreCount(),
+                  "core index out of range");
+  if (duty <= 0.0 || epochYears == 0.0) {
+    for (int i = 0; i < count; ++i)
+      out[i] = 1.0 / delayFactors_[static_cast<std::size_t>(cores[i])];
+    return;
+  }
+  // Gather per-candidate state, run the interleaved advance, scatter the
+  // warmed cursors back.  Same per-element arithmetic as nextHealth.
+  for (int i = 0; i < count; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    const auto c = static_cast<std::size_t>(cores[i]);
+    batchTemp_[s] = tNext[i];
+    batchDuty_[s] = duty;
+    batchCurrent_[s] = delayFactors_[c];
+    batchCursors_[s] = cursors_[c];
+  }
+  estimator_->table().advanceDelayFactorMany(
+      batchTemp_.data(), batchDuty_.data(), epochYears, batchCurrent_.data(),
+      count, batchNext_.data(), batchCursors_.data());
+  for (int i = 0; i < count; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    cursors_[static_cast<std::size_t>(cores[i])] = batchCursors_[s];
+    out[i] = 1.0 / batchNext_[s];
+  }
 }
 
 }  // namespace hayat

@@ -49,15 +49,83 @@ class HealthEstimator {
   double estimateNextDelayFactor(const CoreAgingState& current, Kelvin tNext,
                                  double knownDuty, Years epochYears) const;
 
+  /// estimateNextDelayFactor through a caller-held table cursor (the
+  /// policy candidate loop's path); bitwise-identical to the cursorless
+  /// overload.
+  double estimateNextDelayFactor(const CoreAgingState& current, Kelvin tNext,
+                                 double knownDuty, Years epochYears,
+                                 AgingTable::Cursor& cursor) const;
+
   /// Estimates a whole chip's next health map for a candidate solution:
   /// per-core predicted temperatures and duties in, predicted healths out.
   std::vector<double> estimateNextHealthMap(
       const HealthMap& current, const std::vector<double>& tNext,
       const std::vector<double>& knownDuty, Years epochYears) const;
 
+  /// The aging table the estimator reads (outlives the estimator).
+  const AgingTable& table() const { return *table_; }
+
  private:
   const AgingTable* table_;
   DutyPolicy dutyPolicy_;
+};
+
+/// Per-epoch snapshot of the chip's aging state for policy candidate
+/// evaluation.
+///
+/// A mapping policy scores many candidate placements within one map()
+/// call, and every candidate asks "what would core i's health be next
+/// epoch under (T, d)?".  The chip's *current* delay factors cannot
+/// change while the policy deliberates, so the snapshot captures them
+/// once and serves every candidate from the copy — with per-core table
+/// cursors that stay warm across candidates (and across epochs, since a
+/// core's conditions drift slowly).  Results are bitwise-identical to
+/// calling HealthEstimator::estimateNextHealth per candidate per core.
+class AgingSnapshot {
+ public:
+  AgingSnapshot() = default;
+
+  /// Re-captures the chip's per-core delay factors.  Cursors persist
+  /// across captures; buffers are reused, so steady-state captures do
+  /// not allocate.  The estimator must outlive the snapshot.
+  void capture(const HealthEstimator& estimator, const HealthMap& current);
+
+  int coreCount() const { return static_cast<int>(delayFactors_.size()); }
+
+  /// Captured (current) delay factor / health of core i.
+  double currentDelayFactor(int core) const;
+  double currentHealth(int core) const;
+
+  /// Predicted delay factor of core i after `epochYears` at candidate
+  /// conditions (tNext, knownDuty), from the captured state.
+  double nextDelayFactor(int core, Kelvin tNext, double knownDuty,
+                         Years epochYears) const;
+
+  /// Predicted health: 1 / nextDelayFactor.
+  double nextHealth(int core, Kelvin tNext, double knownDuty,
+                    Years epochYears) const;
+
+  /// Gathered nextHealth over `count` candidate cores sharing one
+  /// `knownDuty`: out[i] = nextHealth(cores[i], tNext[i], knownDuty,
+  /// epochYears), bitwise-identical element for element.  The underlying
+  /// inverse solves run through AgingTable::advanceDelayFactorMany, which
+  /// interleaves independent bisections — the policy candidate loop's
+  /// batched scoring path.  Cores must be distinct within one call (each
+  /// candidate core appears once per placement round).
+  void nextHealthMany(const int* cores, const double* tNext, double knownDuty,
+                      Years epochYears, int count, double* out) const;
+
+ private:
+  const HealthEstimator* estimator_ = nullptr;
+  std::vector<double> delayFactors_;
+  mutable std::vector<AgingTable::Cursor> cursors_;
+  // Gather/scatter scratch for nextHealthMany, sized at capture() so the
+  // batched scoring path stays allocation-free in steady state.
+  mutable std::vector<double> batchTemp_;
+  mutable std::vector<double> batchDuty_;
+  mutable std::vector<double> batchCurrent_;
+  mutable std::vector<double> batchNext_;
+  mutable std::vector<AgingTable::Cursor> batchCursors_;
 };
 
 }  // namespace hayat

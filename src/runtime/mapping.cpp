@@ -114,17 +114,24 @@ void Mapping::dynamicPowerInto(const WorkloadMix& mix, Seconds traceTime,
 
 Vector Mapping::averageDynamicPower(const WorkloadMix& mix,
                                     Hertz nominalFrequency) const {
+  Vector power;
+  averageDynamicPowerInto(mix, nominalFrequency, power);
+  return power;
+}
+
+void Mapping::averageDynamicPowerInto(const WorkloadMix& mix,
+                                      Hertz nominalFrequency,
+                                      Vector& out) const {
   HAYAT_REQUIRE(nominalFrequency > 0.0, "nominal frequency must be positive");
-  Vector power(coreThread_.size(), 0.0);
+  out.assign(coreThread_.size(), 0.0);
   for (std::size_t i = 0; i < coreThread_.size(); ++i) {
     const auto& slot = coreThread_[i];
     if (!slot.has_value()) continue;
     const Application& app =
         mix.applications[static_cast<std::size_t>(slot->ref.app)];
-    power[i] = app.thread(slot->ref.thread).averagePower() *
-               (slot->frequency / nominalFrequency);
+    out[i] = app.thread(slot->ref.thread).averagePower() *
+             (slot->frequency / nominalFrequency);
   }
-  return power;
 }
 
 const HealthMap& PolicyContext::health() const {

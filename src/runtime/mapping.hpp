@@ -97,6 +97,11 @@ class Mapping {
   Vector averageDynamicPower(const WorkloadMix& mix,
                              Hertz nominalFrequency) const;
 
+  /// Allocation-free variant of averageDynamicPower: writes into `out`
+  /// (resized to coreCount()) — the policy candidate-loop entry point.
+  void averageDynamicPowerInto(const WorkloadMix& mix, Hertz nominalFrequency,
+                               Vector& out) const;
+
  private:
   std::vector<std::optional<MappedThread>> coreThread_;
   int assignedCount_ = 0;

@@ -1,5 +1,7 @@
 #include "runtime/thermal_predictor.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace hayat {
@@ -18,6 +20,15 @@ int ThermalPredictor::coreCount() const { return thermal_->coreCount(); }
 
 Vector ThermalPredictor::predict(const Vector& dynamicPower,
                                  const std::vector<bool>& poweredOn) const {
+  Vector temps;
+  Vector scratch;
+  predictInto(dynamicPower, poweredOn, temps, scratch);
+  return temps;
+}
+
+void ThermalPredictor::predictInto(const Vector& dynamicPower,
+                                   const std::vector<bool>& poweredOn,
+                                   Vector& out, Vector& scratch) const {
   const int n = coreCount();
   HAYAT_REQUIRE(static_cast<int>(dynamicPower.size()) == n,
                 "dynamic power size mismatch");
@@ -25,23 +36,22 @@ Vector ThermalPredictor::predict(const Vector& dynamicPower,
                 "power state size mismatch");
   const Kelvin ambient = thermal_->config().ambient;
 
-  Vector temps(static_cast<std::size_t>(n), ambient);
+  out.assign(static_cast<std::size_t>(n), ambient);
+  scratch.resize(static_cast<std::size_t>(n));
   // Superposition of dynamic profiles, then leakage-correction sweeps.
   for (int sweep = 0; sweep <= leakageIterations_; ++sweep) {
-    Vector total(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       const auto s = static_cast<std::size_t>(i);
-      total[s] = dynamicPower[s] +
-                 leakage_->coreLeakage(i, temps[s], poweredOn[s]);
+      scratch[s] = dynamicPower[s] +
+                   leakage_->coreLeakage(i, out[s], poweredOn[s]);
     }
     for (int i = 0; i < n; ++i) {
       double acc = ambient;
       for (int j = 0; j < n; ++j)
-        acc += (*kernel_)(i, j) * total[static_cast<std::size_t>(j)];
-      temps[static_cast<std::size_t>(i)] = acc;
+        acc += (*kernel_)(i, j) * scratch[static_cast<std::size_t>(j)];
+      out[static_cast<std::size_t>(i)] = acc;
     }
   }
-  return temps;
 }
 
 ThermalPredictor::Baseline ThermalPredictor::makeBaseline(
@@ -53,9 +63,24 @@ ThermalPredictor::Baseline ThermalPredictor::makeBaseline(
   return b;
 }
 
+void ThermalPredictor::refreshBaseline(Baseline& baseline,
+                                       Vector& scratch) const {
+  predictInto(baseline.dynamicPower, baseline.poweredOn,
+              baseline.temperatures, scratch);
+}
+
 Vector ThermalPredictor::predictWithCandidate(const Baseline& baseline,
                                               int candidateCore,
                                               Watts addedPower) const {
+  Vector temps;
+  predictWithCandidateInto(baseline, candidateCore, addedPower, temps);
+  return temps;
+}
+
+void ThermalPredictor::predictWithCandidateInto(const Baseline& baseline,
+                                                int candidateCore,
+                                                Watts addedPower,
+                                                Vector& out) const {
   const int n = coreCount();
   HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
                 "candidate core out of range");
@@ -74,10 +99,48 @@ Vector ThermalPredictor::predictWithCandidate(const Baseline& baseline,
              leakage_->coreLeakageGated();
   }
 
-  Vector temps = baseline.temperatures;
+  out.assign(baseline.temperatures.begin(), baseline.temperatures.end());
   for (int i = 0; i < n; ++i)
-    temps[static_cast<std::size_t>(i)] += (*kernel_)(i, candidateCore) * delta;
-  return temps;
+    out[static_cast<std::size_t>(i)] += (*kernel_)(i, candidateCore) * delta;
+}
+
+ThermalPredictor::CandidateStats ThermalPredictor::predictCandidateStats(
+    const Baseline& baseline, int candidateCore, Watts addedPower,
+    Watts peakPower) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
+                "candidate core out of range");
+  HAYAT_REQUIRE(addedPower >= 0.0, "negative candidate power");
+  HAYAT_REQUIRE(peakPower >= 0.0, "negative candidate peak power");
+  HAYAT_REQUIRE(static_cast<int>(baseline.temperatures.size()) == n,
+                "baseline size mismatch");
+
+  // The gated->on leakage jump is the same pure function of the baseline
+  // temperature for both power levels, so it is evaluated once and added
+  // to both deltas — exactly the value each unfused predict would add.
+  const auto c = static_cast<std::size_t>(candidateCore);
+  double jump = 0.0;
+  if (!baseline.poweredOn[c]) {
+    jump = leakage_->coreLeakageOn(candidateCore, baseline.temperatures[c]) -
+           leakage_->coreLeakageGated();
+  }
+  const double deltaNext = addedPower + jump;
+  const double deltaPeak = peakPower + jump;
+
+  CandidateStats stats;
+  for (int i = 0; i < n; ++i) {
+    const double base = baseline.temperatures[static_cast<std::size_t>(i)];
+    const double kic = (*kernel_)(i, candidateCore);
+    // Same expression as predictWithCandidateInto's element update; the
+    // reductions run in the same element order as the policy's separate
+    // tSum / tMax loops did (max is order-independent anyway).
+    stats.sumNext += base + kic * deltaNext;
+    stats.maxPeak = std::max(stats.maxPeak, base + kic * deltaPeak);
+  }
+  stats.candidateNext =
+      baseline.temperatures[c] + (*kernel_)(candidateCore, candidateCore) *
+                                     deltaNext;
+  return stats;
 }
 
 }  // namespace hayat

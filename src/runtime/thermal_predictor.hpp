@@ -37,6 +37,13 @@ class ThermalPredictor {
   Vector predict(const Vector& dynamicPower,
                  const std::vector<bool>& poweredOn) const;
 
+  /// Allocation-free predict(): `out` receives the temperatures and
+  /// `scratch` holds the per-sweep total-power buffer (both resized once).
+  /// Bitwise-identical to predict().
+  void predictInto(const Vector& dynamicPower,
+                   const std::vector<bool>& poweredOn, Vector& out,
+                   Vector& scratch) const;
+
   /// A reusable baseline for incremental what-if queries.
   struct Baseline {
     Vector dynamicPower;
@@ -46,12 +53,40 @@ class ThermalPredictor {
   Baseline makeBaseline(const Vector& dynamicPower,
                         const std::vector<bool>& poweredOn) const;
 
+  /// Recomputes baseline.temperatures from its (caller-updated)
+  /// dynamicPower/poweredOn without allocating — the policy loop's way to
+  /// fold a placement into the baseline.  Bitwise-identical to replacing
+  /// the baseline with makeBaseline(...).
+  void refreshBaseline(Baseline& baseline, Vector& scratch) const;
+
   /// Algorithm 1's predictTemperature: predicted temperatures after
   /// placing an additional load of `addedPower` on `candidateCore`
   /// (powering it on if dark).  One kernel column + a leakage touch-up —
   /// the cheap path that makes per-candidate evaluation feasible online.
   Vector predictWithCandidate(const Baseline& baseline, int candidateCore,
                               Watts addedPower) const;
+
+  /// Allocation-free predictWithCandidate(); bitwise-identical.
+  void predictWithCandidateInto(const Baseline& baseline, int candidateCore,
+                                Watts addedPower, Vector& out) const;
+
+  /// The three reductions Algorithm 1 needs per candidate, in one fused
+  /// pass over the kernel column and without materializing either
+  /// temperature vector.
+  struct CandidateStats {
+    double sumNext = 0.0;        ///< sum_i T_i with `addedPower` placed
+    double maxPeak = 0.0;        ///< max_i T_i with `peakPower` placed
+    double candidateNext = 0.0;  ///< the candidate's own T under addedPower
+  };
+
+  /// Fuses two predictWithCandidateInto calls (average and worst-case
+  /// phase power) with the policy's tSum / tMax reductions.  Every value
+  /// is produced by the same expressions in the same order as the
+  /// unfused sequence, so the results are bitwise-identical to
+  /// predicting both vectors and reducing them afterwards.
+  CandidateStats predictCandidateStats(const Baseline& baseline,
+                                       int candidateCore, Watts addedPower,
+                                       Watts peakPower) const;
 
  private:
   const ThermalModel* thermal_;

@@ -285,15 +285,20 @@ const ThermalModel::TransientOperator& ThermalModel::transientOperator(
 const Matrix& ThermalModel::coreInfluenceMatrix() const {
   if (!influence_) {
     auto k = std::make_unique<Matrix>(cores_, cores_);
-    Vector response;
+    // One multi-RHS sweep over all unit loads: the factor band is
+    // traversed once for all columns instead of once per column.
+    std::vector<Vector> responses(
+        static_cast<std::size_t>(cores_),
+        Vector(static_cast<std::size_t>(nodeCount()), 0.0));
+    for (int j = 0; j < cores_; ++j)
+      responses[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)] =
+          1.0;
     Vector scratch;
-    for (int j = 0; j < cores_; ++j) {
-      response.assign(static_cast<std::size_t>(nodeCount()), 0.0);
-      response[static_cast<std::size_t>(j)] = 1.0;
-      steadySolver_->solveInPlace(response, scratch);
+    steadySolver_->solveManyInPlace(responses, scratch);
+    for (int j = 0; j < cores_; ++j)
       for (int i = 0; i < cores_; ++i)
-        (*k)(i, j) = response[static_cast<std::size_t>(i)];
-    }
+        (*k)(i, j) =
+            responses[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
     influence_ = std::move(k);
   }
   return *influence_;

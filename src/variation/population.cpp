@@ -1,6 +1,12 @@
 #include "variation/population.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "variation/spatial_field.hpp"
@@ -52,13 +58,65 @@ std::vector<double> samplePositiveField(const SpatialFieldSampler& sampler,
               "sigmaFraction is unphysically large");
 }
 
+/// Process-wide cache of factored samplers.  The Cholesky factor is a
+/// pure function of the field config and dominates population cost (the
+/// factorization is cubic in grid points); every sweep task regenerates
+/// its chip from the same config, so the factor is shared and only the
+/// O(m^2) sampling runs per chip.  Sharing changes no results: the
+/// cached factor is bitwise the one a fresh construction would produce.
+struct SharedSamplerCache {
+  std::mutex mutex;
+  /// Most recently used at the back.
+  std::vector<std::pair<std::string, std::shared_ptr<const SpatialFieldSampler>>>
+      entries;
+};
+
+SharedSamplerCache& sharedSamplerCache() {
+  static SharedSamplerCache* cache =
+      new SharedSamplerCache();  // never destroyed
+  return *cache;
+}
+
+constexpr std::size_t kSharedSamplerCacheCap = 8;
+
+std::string fieldKey(const SpatialFieldConfig& fc) {
+  char buf[200];
+  std::snprintf(buf, sizeof buf, "%dx%d|%a|%a|%a|%a|%a|%a|%a",
+                fc.grid.rows(), fc.grid.cols(), fc.pointSpacingX,
+                fc.pointSpacingY, fc.mean, fc.sigma, fc.correlationRange,
+                fc.globalFraction, fc.nuggetFraction);
+  return buf;
+}
+
+std::shared_ptr<const SpatialFieldSampler> obtainSampler(
+    const SpatialFieldConfig& fc) {
+  const std::string key = fieldKey(fc);
+  SharedSamplerCache& shared = sharedSamplerCache();
+  const std::scoped_lock lock(shared.mutex);
+  for (std::size_t i = 0; i < shared.entries.size(); ++i) {
+    if (shared.entries[i].first != key) continue;
+    auto entry = shared.entries[i];
+    shared.entries.erase(shared.entries.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    shared.entries.push_back(entry);  // refresh LRU position
+    return entry.second;
+  }
+  auto sampler = std::make_shared<const SpatialFieldSampler>(fc);
+  shared.entries.emplace_back(key, sampler);
+  if (shared.entries.size() > kSharedSamplerCacheCap)
+    shared.entries.erase(shared.entries.begin());
+  return sampler;
+}
+
 }  // namespace
 
 std::vector<VariationMap> generateChipPopulation(const PopulationConfig& config,
                                                  int count,
                                                  std::uint64_t seed) {
   HAYAT_REQUIRE(count >= 0, "negative population size");
-  const SpatialFieldSampler sampler(fieldConfigFrom(config));
+  const std::shared_ptr<const SpatialFieldSampler> samplerPtr =
+      obtainSampler(fieldConfigFrom(config));
+  const SpatialFieldSampler& sampler = *samplerPtr;
   const VariationMapConfig mapConfig = mapConfigFrom(config);
   Rng root(seed);
   std::vector<VariationMap> chips;

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <vector>
 
 #include "aging/aging_table.hpp"
 #include "aging/delay_model.hpp"
@@ -249,6 +251,101 @@ TEST_F(AgingTableFixture, RejectsInvalidLookups) {
   EXPECT_THROW(table.delayFactor(350.0, 0.5, -1.0), Error);
   EXPECT_THROW(table.equivalentAge(350.0, 0.0, 1.1), Error);
   EXPECT_THROW(table.equivalentAge(350.0, 0.5, 0.9), Error);
+}
+
+TEST_F(AgingTableFixture, DelayFactorBatchIsBitwiseEqualToScalarLookups) {
+  const AgingTable table(nbti_, paths_);
+  const Axis& tAxis = table.raw().axis0();
+  const Axis& dAxis = table.raw().axis1();
+  const Axis& yAxis = table.raw().axis2();
+
+  // Probe grid points (cell edges) interleaved with random interior and
+  // clamped coordinates; one warm cursor array across repeated sweeps.
+  std::vector<double> temps, duties, ages;
+  Rng rng(31);
+  for (int i = 0; i < 48; ++i) {
+    switch (i % 3) {
+      case 0:
+        temps.push_back(tAxis[rng.uniformInt(tAxis.size())]);
+        duties.push_back(dAxis[rng.uniformInt(dAxis.size())]);
+        ages.push_back(yAxis[rng.uniformInt(yAxis.size())]);
+        break;
+      case 1:
+        temps.push_back(rng.uniform(tAxis.front(), tAxis.back()));
+        duties.push_back(rng.uniform(0.0, 1.0));
+        ages.push_back(rng.uniform(0.0, table.maxAge()));
+        break;
+      default:  // beyond the temperature/age range: the clamp path
+        temps.push_back(rng.uniform(tAxis.back(), tAxis.back() + 50.0));
+        duties.push_back(rng.uniform(0.0, 1.0));
+        ages.push_back(rng.uniform(table.maxAge(), 2.0 * table.maxAge()));
+        break;
+    }
+  }
+  const int n = static_cast<int>(temps.size());
+  std::vector<double> batched(temps.size());
+  std::vector<AgingTable::Cursor> cursors(temps.size());
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    table.delayFactorBatch(temps.data(), duties.data(), ages.data(), n,
+                           batched.data(), cursors.data());
+    for (int i = 0; i < n; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      EXPECT_EQ(batched[s], table.delayFactor(temps[s], duties[s], ages[s]))
+          << "sweep " << sweep << " element " << i;
+    }
+  }
+}
+
+TEST_F(AgingTableFixture, BatchedInverseAndAdvanceMatchScalarReference) {
+  // The §3.10 A/B twin: a table built under HAYAT_SCALAR_AGING=1 runs
+  // the original per-lookup grid searches and the explicit 60-iteration
+  // bisection; the batched default replays them through pinned cells.
+  // Sweep the full (T, d) grid — every cell edge and midpoint — and
+  // demand bitwise equality, with one deliberately stale warm cursor.
+  setenv("HAYAT_SCALAR_AGING", "1", 1);
+  const AgingTable scalar(nbti_, paths_);
+  setenv("HAYAT_SCALAR_AGING", "0", 1);
+  const AgingTable batched(nbti_, paths_);
+  unsetenv("HAYAT_SCALAR_AGING");
+  ASSERT_TRUE(scalar.usesScalarAging());
+  ASSERT_FALSE(batched.usesScalarAging());
+
+  const Axis& tAxis = batched.raw().axis0();
+  const Axis& dAxis = batched.raw().axis1();
+  std::vector<double> temps, duties;
+  for (int i = 0; i < tAxis.size(); ++i) {
+    temps.push_back(tAxis[i]);
+    if (i + 1 < tAxis.size()) temps.push_back(0.5 * (tAxis[i] + tAxis[i + 1]));
+  }
+  for (int j = 0; j < dAxis.size(); ++j) {
+    if (dAxis[j] > 0.0) duties.push_back(dAxis[j]);
+    if (j + 1 < dAxis.size())
+      duties.push_back(0.5 * (dAxis[j] + dAxis[j + 1]));
+  }
+
+  AgingTable::Cursor inverseCursor;
+  AgingTable::Cursor advanceCursor;
+  AgingTable::Cursor scalarCursor;  // exercised but inert on the scalar path
+  for (double t : temps) {
+    for (double d : duties) {
+      for (double age : {0.0, 0.35, 2.0, batched.maxAge()}) {
+        const double target = scalar.delayFactor(t, d, age);
+        EXPECT_EQ(batched.equivalentAge(t, d, target, inverseCursor),
+                  scalar.equivalentAge(t, d, target))
+            << "T=" << t << " d=" << d << " age=" << age;
+      }
+      // Boundary clamps: at or below the year-0 value and beyond maxAge.
+      EXPECT_EQ(batched.equivalentAge(t, d, 1.0, inverseCursor), 0.0);
+      const double beyond = scalar.delayFactor(t, d, batched.maxAge()) + 1.0;
+      EXPECT_EQ(batched.equivalentAge(t, d, beyond, inverseCursor),
+                batched.maxAge());
+      // The combined epoch-advance kernel.
+      const double current = scalar.delayFactor(t, d, 1.5);
+      EXPECT_EQ(batched.advanceDelayFactor(t, d, 0.25, current, advanceCursor),
+                scalar.advanceDelayFactor(t, d, 0.25, current, scalarCursor))
+          << "T=" << t << " d=" << d;
+    }
+  }
 }
 
 // --- Health ---------------------------------------------------------------

@@ -266,5 +266,49 @@ TEST_F(ChipFixture, RejectsMismatchedVariation) {
   EXPECT_THROW(Chip(cc, generateChip(pc, 1), 1), Error);
 }
 
+TEST_F(ChipFixture, ResetHealthRestoresYearZero) {
+  Chip chip = makeChip();
+  const Chip fresh = makeChip();
+  for (int i = 0; i < chip.coreCount(); ++i)
+    chip.health().advance(i, chip.agingTable(), 380.0, 0.8, 2.0);
+  ASSERT_LT(chip.averageFmax(), fresh.averageFmax());
+  chip.resetHealth();
+  for (int i = 0; i < chip.coreCount(); ++i) {
+    // Bitwise restore: resetHealth rebuilds the health map from the same
+    // deterministic variation data a fresh construction uses.
+    EXPECT_EQ(chip.currentFmax(i), fresh.currentFmax(i));
+    EXPECT_EQ(chip.health().health(i), 1.0);
+  }
+}
+
+TEST_F(ChipFixture, SameRecipeChipsShareOneAgingTable) {
+  // Batched mode: the process-wide cache hands same-(config, seed) chips
+  // the same immutable table (the paper's "only a start-up time effort
+  // for a given chip" — paid once per recipe, not once per task).
+  Chip::clearSharedAgingTableCacheForTest();
+  const Chip a = makeChip(5);
+  const Chip b = makeChip(5);
+  const Chip c = makeChip(6);
+  EXPECT_EQ(&a.agingTable(), &b.agingTable());
+  EXPECT_NE(&a.agingTable(), &c.agingTable());  // different netlist seed
+  Chip::clearSharedAgingTableCacheForTest();
+}
+
+TEST_F(ChipFixture, ScalarAgingModeBypassesTheSharedTable) {
+  // The scalar reference lane models the seed stack, which generated a
+  // fresh table per chip; it must not read (or warm) the shared cache.
+  Chip::clearSharedAgingTableCacheForTest();
+  setenv("HAYAT_SCALAR_AGING", "1", 1);
+  const Chip a = makeChip(5);
+  const Chip b = makeChip(5);
+  unsetenv("HAYAT_SCALAR_AGING");
+  EXPECT_NE(&a.agingTable(), &b.agingTable());
+  // Value-identical to the batched lane's cached table all the same.
+  const Chip cached = makeChip(5);
+  EXPECT_EQ(a.agingTable().delayFactor(350, 0.5, 5.0),
+            cached.agingTable().delayFactor(350, 0.5, 5.0));
+  Chip::clearSharedAgingTableCacheForTest();
+}
+
 }  // namespace
 }  // namespace hayat

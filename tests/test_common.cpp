@@ -330,6 +330,75 @@ TEST(Table3, ClampsBeyondBounds) {
   EXPECT_DOUBLE_EQ(t.interpolate(-9.0, 0.5, 0.5), 0.0);
 }
 
+TEST(Axis, HintedLocateMatchesPlainLocate) {
+  // The cursor fast path must pick the same bracket and fraction as the
+  // binary search for every hint — valid, stale, out-of-range or cold.
+  const Axis axis({0.0, 0.5, 1.5, 1.75, 4.0, 9.0});
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x = rng.uniform(-1.0, 10.0);
+    const int hint = rng.uniformInt(axis.size() + 2) - 2;  // in [-2, size)
+    const auto plain = axis.locate(x);
+    const auto hinted = axis.locate(x, hint);
+    EXPECT_EQ(plain.index, hinted.index) << "x=" << x << " hint=" << hint;
+    EXPECT_EQ(plain.frac, hinted.frac) << "x=" << x << " hint=" << hint;
+  }
+  // Grid points exactly on cell boundaries, hinted with each neighbour.
+  for (int i = 0; i < axis.size(); ++i)
+    for (int hint = -1; hint < axis.size(); ++hint) {
+      const auto plain = axis.locate(axis[i]);
+      const auto hinted = axis.locate(axis[i], hint);
+      EXPECT_EQ(plain.index, hinted.index);
+      EXPECT_EQ(plain.frac, hinted.frac);
+    }
+}
+
+TEST(TrilinearGrid, InterpolateManyIsBitwiseEqualToScalarLoop) {
+  // The batched-lookup contract: cursors change how cells are found,
+  // never the arithmetic, so results are bitwise equal to
+  // Table3::interpolate — including clamped and cell-edge coordinates,
+  // and regardless of how stale the cursor is.
+  Table3 t(Axis({300.0, 320.0, 350.0, 400.0}), Axis::linspace(0.0, 1.0, 5),
+           Axis({0.0, 0.25, 1.0, 3.0, 7.0, 10.0}));
+  t.fill([](double x, double y, double z) {
+    return 1.0 + 1e-3 * x + 0.2 * y * y + 0.03 * z + 1e-4 * x * y * z;
+  });
+  const TrilinearGrid grid(t);
+
+  constexpr int kN = 64;
+  std::vector<double> x0(kN), x1(kN), x2(kN), batched(kN);
+  std::vector<TrilinearGrid::Cursor> cursors(kN);
+  Rng rng(23);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < kN; ++i) {
+      // Mix random coordinates (some outside the grid — the clamp path)
+      // with exact grid points (cell edges).
+      if (i % 4 == 0) {
+        x0[static_cast<std::size_t>(i)] = t.axis0()[rng.uniformInt(4)];
+        x1[static_cast<std::size_t>(i)] = t.axis1()[rng.uniformInt(5)];
+        x2[static_cast<std::size_t>(i)] = t.axis2()[rng.uniformInt(6)];
+      } else {
+        x0[static_cast<std::size_t>(i)] = rng.uniform(290.0, 410.0);
+        x1[static_cast<std::size_t>(i)] = rng.uniform(-0.1, 1.1);
+        x2[static_cast<std::size_t>(i)] = rng.uniform(-0.5, 11.0);
+      }
+    }
+    // Cursors stay warm from the previous (different) round on purpose.
+    grid.interpolateMany(x0.data(), x1.data(), x2.data(), kN, batched.data(),
+                         cursors.data());
+    for (int i = 0; i < kN; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      EXPECT_EQ(batched[s], t.interpolate(x0[s], x1[s], x2[s]))
+          << "round " << round << " element " << i;
+    }
+    // Null cursors must give the same bits too.
+    std::vector<double> cold(kN);
+    grid.interpolateMany(x0.data(), x1.data(), x2.data(), kN, cold.data(),
+                         nullptr);
+    EXPECT_EQ(cold, batched);
+  }
+}
+
 // --- Geometry ------------------------------------------------------------
 
 TEST(GridShape, IndexRoundTrip) {

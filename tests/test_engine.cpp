@@ -534,5 +534,56 @@ TEST(ExperimentEngineTest, SparseAndDenseSolverSweepsAreByteIdentical) {
   }
 }
 
+TEST(ExperimentEngineTest, ScalarAndBatchedAgingSweepsAreByteIdentical) {
+  // The A/B contract of the batched aging/policy fast path (DESIGN.md
+  // §3.10): every registered policy, run on either thermal backend,
+  // serializes byte-for-byte the same under the scalar bisection
+  // reference (HAYAT_SCALAR_AGING=1) and the batched cursor-warmed
+  // default.  Exhaustive gets its own spec with a dark fraction that
+  // keeps the enumeration tiny (budget 2 on a 4x4 chip).
+  ExperimentSpec spec = tinySpec();
+  spec.chips = {0};
+  spec.policies = {
+      {"Hayat", {}}, {"VAA", {}}, {"Random", {}}, {"CoolestFirst", {}}};
+  ExperimentSpec exhaustiveSpec = tinySpec();
+  exhaustiveSpec.chips = {0};
+  exhaustiveSpec.darkFractions = {0.875};
+  exhaustiveSpec.policies = {{"Exhaustive", {}}};
+
+  struct Lane {
+    const char* dense;
+    const char* scalar;
+  };
+  constexpr Lane kLanes[] = {{"0", "0"}, {"0", "1"}, {"1", "0"}, {"1", "1"}};
+  std::vector<SweepTable> tables;
+  std::vector<SweepTable> exhaustiveTables;
+  for (const Lane& lane : kLanes) {
+    setenv("HAYAT_DENSE_SOLVER", lane.dense, 1);
+    setenv("HAYAT_SCALAR_AGING", lane.scalar, 1);
+    tables.push_back(ExperimentEngine(noCache(1)).run(spec));
+    exhaustiveTables.push_back(ExperimentEngine(noCache(1)).run(exhaustiveSpec));
+  }
+  unsetenv("HAYAT_DENSE_SOLVER");
+  unsetenv("HAYAT_SCALAR_AGING");
+
+  const auto expectSameBytes = [](const SweepTable& a, const SweepTable& b,
+                                  const char* what) {
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+      std::ostringstream sa;
+      std::ostringstream sb;
+      writeRunResult(sa, a.runs[i]);
+      writeRunResult(sb, b.runs[i]);
+      EXPECT_EQ(sa.str(), sb.str()) << what << " run " << i;
+    }
+  };
+  for (std::size_t k = 1; k < std::size(kLanes); ++k) {
+    expectIdentical(tables[0], tables[k]);
+    expectIdentical(exhaustiveTables[0], exhaustiveTables[k]);
+    expectSameBytes(tables[0], tables[k], "policies");
+    expectSameBytes(exhaustiveTables[0], exhaustiveTables[k], "exhaustive");
+  }
+}
+
 }  // namespace
 }  // namespace hayat::engine

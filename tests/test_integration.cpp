@@ -148,6 +148,34 @@ TEST_F(LifetimeFixture, LifetimeThresholdInterpolates) {
   EXPECT_DOUBLE_EQ(r.yearsUntilAverageFmaxBelow(0.1 * fEnd), 4.0);
 }
 
+TEST(LifetimeResultTest, TrajectoryLookupAtExactEpochBoundaries) {
+  // chipFmaxAt/averageFmaxAt are stepwise over epochs, now served by a
+  // binary search: a query landing exactly on an epoch's start year must
+  // return the *previous* epoch's value (that epoch has not aged the
+  // chip yet as of that instant), matching the original linear scan.
+  LifetimeResult r;
+  r.horizon = 2.0;
+  r.initialFmax = {3.0e9, 2.0e9};
+  for (int e = 0; e < 4; ++e) {
+    EpochRecord rec;
+    rec.startYear = 0.5 * e;
+    rec.chipFmax = 3.0e9 - 1.0e8 * (e + 1);
+    rec.averageFmax = 2.5e9 - 1.0e8 * (e + 1);
+    r.epochs.push_back(rec);
+  }
+  // At or before year 0: the un-aged values.
+  EXPECT_DOUBLE_EQ(r.chipFmaxAt(0.0), 3.0e9);
+  EXPECT_DOUBLE_EQ(r.averageFmaxAt(-1.0), 2.5e9);
+  // Exactly on epoch 1's start year (0.5): epoch 0's value.
+  EXPECT_DOUBLE_EQ(r.chipFmaxAt(0.5), 2.9e9);
+  EXPECT_DOUBLE_EQ(r.averageFmaxAt(0.5), 2.4e9);
+  // Interior of epoch 2's window: epoch 2's value applies from its start.
+  EXPECT_DOUBLE_EQ(r.chipFmaxAt(1.25), 2.7e9);
+  // On the last boundary and beyond the horizon: last completed epochs.
+  EXPECT_DOUBLE_EQ(r.chipFmaxAt(1.5), 2.7e9);
+  EXPECT_DOUBLE_EQ(r.chipFmaxAt(100.0), 2.6e9);
+}
+
 TEST(LifetimeResultTest, SingleEpochThresholdInterpolatesFromHorizon) {
   // Regression: with exactly one epoch, startYear is 0.0 and the epoch
   // spacing cannot be read off epochs[1] — it must come from the

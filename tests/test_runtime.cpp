@@ -6,9 +6,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
+#include "aging/health.hpp"
 #include "common/alloc_counter.hpp"
 #include "common/error.hpp"
+#include "core/hayat_policy.hpp"
 #include "core/system.hpp"
 #include "power/thermal_coupling.hpp"
 #include "runtime/dtm.hpp"
@@ -290,6 +293,38 @@ TEST_F(PredictorFixture, CandidateOnlyWarms) {
     EXPECT_LT(with[static_cast<std::size_t>(i)] -
                   baseline.temperatures[static_cast<std::size_t>(i)],
               with[hottestDelta] - baseline.temperatures[hottestDelta]);
+  }
+}
+
+TEST_F(PredictorFixture, FusedCandidateStatsBitwiseMatchUnfused) {
+  const ThermalPredictor predictor(system_.thermal(), system_.leakage());
+  const int n = system_.chip().coreCount();
+  Vector dyn(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> on(static_cast<std::size_t>(n), false);
+  dyn[0] = 4.0;
+  on[0] = true;
+  dyn[3] = 2.5;
+  on[3] = true;
+  const auto baseline = predictor.makeBaseline(dyn, on);
+  for (int cand : {1, 5, n - 1}) {
+    const double addedPower = 3.5 + 0.25 * cand;
+    const double peakPower = addedPower * 1.4;
+    // The unfused sequence the policy loop used to run: two incremental
+    // predictions plus the tSum / tMax reductions.
+    Vector tNext;
+    Vector tPeak;
+    predictor.predictWithCandidateInto(baseline, cand, addedPower, tNext);
+    predictor.predictWithCandidateInto(baseline, cand, peakPower, tPeak);
+    double tMax = 0.0;
+    double tSum = 0.0;
+    for (double temp : tNext) tSum += temp;
+    for (double temp : tPeak) tMax = std::max(tMax, temp);
+
+    const ThermalPredictor::CandidateStats stats =
+        predictor.predictCandidateStats(baseline, cand, addedPower, peakPower);
+    EXPECT_EQ(stats.sumNext, tSum);   // bitwise: same ops, same order
+    EXPECT_EQ(stats.maxPeak, tMax);
+    EXPECT_EQ(stats.candidateNext, tNext[static_cast<std::size_t>(cand)]);
   }
 }
 
@@ -623,6 +658,51 @@ TEST_F(EpochFixture, SteadyStateStepLoopIsAllocationFree) {
   EXPECT_GT(r.totalSteps, 1);
   EXPECT_EQ(epochStepLoopAllocs() - before, 0u)
       << "steady-state epoch step loop performed heap allocations";
+}
+
+TEST_F(EpochFixture, HealthAdvanceAllIsAllocationFree) {
+  if (!allocCounterActive()) {
+    GTEST_SKIP() << "allocation counter compiled out (sanitizer build)";
+  }
+  const int n = system_.chip().coreCount();
+  std::vector<double> temps(static_cast<std::size_t>(n));
+  std::vector<double> duty(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    temps[static_cast<std::size_t>(i)] = 330.0 + 4.0 * i;
+    duty[static_cast<std::size_t>(i)] = i % 3 == 0 ? 0.0 : 0.4 + 0.03 * i;
+  }
+  HealthMap& hm = system_.chip().health();
+  const std::uint64_t before = healthAdvanceAllocs();
+  for (int e = 0; e < 4; ++e)
+    hm.advanceAll(system_.chip().agingTable(), temps.data(), duty.data(),
+                  0.25);
+  EXPECT_EQ(healthAdvanceAllocs() - before, 0u)
+      << "batched health advance performed heap allocations";
+  for (int i = 0; i < n; ++i) {
+    if (duty[static_cast<std::size_t>(i)] > 0.0) {
+      EXPECT_GT(hm.state(i).delayFactor(), 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(hm.state(i).delayFactor(), 1.0);
+    }
+  }
+}
+
+TEST_F(EpochFixture, HayatPlacementLoopIsAllocationFree) {
+  if (!allocCounterActive()) {
+    GTEST_SKIP() << "allocation counter compiled out (sanitizer build)";
+  }
+  const WorkloadMix mix = smallMix(8, 5);
+  HayatPolicy policy;
+  PolicyContext ctx;
+  ctx.chip = &system_.chip();
+  ctx.thermal = &system_.thermal();
+  ctx.leakage = &system_.leakage();
+  ctx.mix = &mix;
+  (void)policy.map(ctx);  // warm-up: sizes the reusable scratch buffers
+  const std::uint64_t before = hayatPlacementLoopAllocs();
+  (void)policy.map(ctx);
+  EXPECT_EQ(hayatPlacementLoopAllocs() - before, 0u)
+      << "warm Hayat candidate loop performed heap allocations";
 }
 
 TEST_F(EpochFixture, DeterministicRuns) {
