@@ -30,7 +30,17 @@
 // splits the batched-default lifetime run into aging / policy / thermal
 // / other wall-clock fractions via lifetimePhaseNanos(); CI's perf-smoke
 // gate budgets the aging+policy share so the Amdahl gap the sparse
-// kernels exposed cannot silently reopen.
+// kernels exposed cannot silently reopen.  Since v3 each breakdown row
+// also reports the baseline-maintenance share (predictorBaselineNanos:
+// makeBaseline / refreshBaseline / commitPlacement inside the policy
+// bucket), making the cost the incremental-commit scheme of DESIGN.md
+// §3.11 amortizes explicit rather than folded invisibly into "policy".
+//
+// A "prune_quality" section (v3) runs the same lifetime unit under
+// --policy-prune radii against the exact sweep and reports projected
+// MTTF, aging skew (worst/average damage) and the policy-phase speedup,
+// so the speed/quality trade of spatial candidate pruning is tracked in
+// version control next to the kernels it rides on (EXPERIMENTS.md).
 //
 // Results go to stdout as a table and to a machine-readable JSON file
 // (default BENCH_kernels.json, committed at the repo root so speedups
@@ -49,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "aging/mttf.hpp"
 #include "common/matrix.hpp"
 #include "common/sparse.hpp"
 #include "core/hayat_policy.hpp"
@@ -56,6 +67,7 @@
 #include "core/system.hpp"
 #include "runtime/epoch.hpp"
 #include "runtime/mapping.hpp"
+#include "runtime/thermal_predictor.hpp"
 #include "thermal/grid_model.hpp"
 #include "thermal/thermal_model.hpp"
 #include "thermal/transient.hpp"
@@ -291,13 +303,18 @@ Entry benchLifetimeRun(int rows, int cols) {
   return e;
 }
 
-/// Phase split of the batched-default lifetime run (lifetimePhaseNanos).
+/// Phase split of the batched-default lifetime run (lifetimePhaseNanos),
+/// plus the baseline-maintenance share of the policy bucket
+/// (predictorBaselineNanos: makeBaseline / refreshBaseline /
+/// commitPlacement — the cost the anchored incremental-commit scheme of
+/// DESIGN.md §3.11 amortizes).
 struct Breakdown {
   std::string config;
   int nodes = 0;
   double agingNs = 0.0;
   double policyNs = 0.0;
   double thermalNs = 0.0;
+  double baselineNs = 0.0;  ///< subset of policyNs, not a fourth bucket
   double totalNs = 0.0;
 
   double fraction(double ns) const { return totalNs > 0.0 ? ns / totalNs : 0.0; }
@@ -320,6 +337,7 @@ Breakdown benchLifetimeBreakdown(int rows, int cols, int reps) {
   system.resetHealth();
   sim.run(system, policy);  // warm-up (first-touch, lazy caches)
   resetLifetimePhaseNanos();
+  resetPredictorBaselineNanos();
   for (int r = 0; r < reps; ++r) {
     system.resetHealth();
     sim.run(system, policy);
@@ -331,17 +349,62 @@ Breakdown benchLifetimeBreakdown(int rows, int cols, int reps) {
   b.agingNs = static_cast<double>(ph.aging);
   b.policyNs = static_cast<double>(ph.policy);
   b.thermalNs = static_cast<double>(ph.thermal);
+  b.baselineNs = static_cast<double>(predictorBaselineNanos());
   b.totalNs = static_cast<double>(ph.total);
   return b;
 }
 
+/// Speed/quality point of one spatial-pruning radius against the exact
+/// sweep: same chip, same workload seed, same horizon — only the
+/// candidate set differs (DESIGN.md §3.11).  radius == 0 is the exact
+/// reference row.
+struct PruneQuality {
+  std::string config;
+  int radius = 0;
+  double mttfYears = 0.0;
+  double agingSkew = 0.0;  ///< worst / average damage (1 = perfectly even)
+  double policyNs = 0.0;   ///< lifetimePhaseNanos().policy over the reps
+};
+
+PruneQuality benchPruneQuality(int rows, int cols, int radius, int reps) {
+  const SystemConfig sc = benchSystemConfig(rows, cols);
+  const ScopedBackend banded(false);
+  const ScopedScalarAging batched(false);
+  System system = System::create(sc, 2015);
+  LifetimeConfig lc;
+  lc.horizon = 1.0;
+  lc.epochLength = 0.25;
+  lc.workloadSeed = 77;
+  const LifetimeSimulator sim(lc);
+  HayatConfig hc;
+  hc.pruneRadius = radius;
+  HayatPolicy policy(hc);
+  system.resetHealth();
+  LifetimeResult result = sim.run(system, policy);  // warm-up + quality
+  resetLifetimePhaseNanos();
+  for (int r = 0; r < reps; ++r) {
+    system.resetHealth();
+    result = sim.run(system, policy);
+  }
+  const ChipReliability rel = result.reliability();
+  PruneQuality q;
+  q.config = gridLabel(rows, cols);
+  q.radius = radius;
+  q.mttfYears = rel.projectedMttf;
+  q.agingSkew =
+      rel.averageDamage > 0.0 ? rel.worstDamage / rel.averageDamage : 0.0;
+  q.policyNs = static_cast<double>(lifetimePhaseNanos().policy);
+  return q;
+}
+
 void writeJson(const std::string& path, const std::string& mode,
                const std::vector<Entry>& entries,
-               const std::vector<Breakdown>& breakdowns) {
+               const std::vector<Breakdown>& breakdowns,
+               const std::vector<PruneQuality>& pruneQuality) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"benchmark\": \"bench_kernels\",\n"
-      << "  \"version\": 2,\n"
+      << "  \"version\": 3,\n"
       << "  \"mode\": \"" << mode << "\",\n"
       << "  \"units\": \"nanoseconds\",\n"
       << "  \"results\": [\n";
@@ -362,15 +425,39 @@ void writeJson(const std::string& path, const std::string& mode,
       << "  \"lifetime_breakdown\": [\n";
   for (std::size_t i = 0; i < breakdowns.size(); ++i) {
     const Breakdown& b = breakdowns[i];
+    // baseline_fraction is the share of total spent maintaining
+    // prediction baselines — a subset of policy_fraction, not a fifth
+    // bucket (the four *_fraction buckets still sum to ~1).
     std::snprintf(buf, sizeof(buf),
                   "    {\"config\": \"%s\", \"nodes\": %d, "
                   "\"total_ns\": %.0f, "
                   "\"aging_fraction\": %.4f, \"policy_fraction\": %.4f, "
-                  "\"thermal_fraction\": %.4f, \"other_fraction\": %.4f}%s\n",
+                  "\"thermal_fraction\": %.4f, \"other_fraction\": %.4f, "
+                  "\"baseline_fraction\": %.4f}%s\n",
                   b.config.c_str(), b.nodes, b.totalNs,
                   b.fraction(b.agingNs), b.fraction(b.policyNs),
                   b.fraction(b.thermalNs), b.fraction(b.otherNs()),
+                  b.fraction(b.baselineNs),
                   i + 1 < breakdowns.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n"
+      << "  \"prune_quality\": [\n";
+  double exactPolicyNs = 0.0;
+  for (const PruneQuality& q : pruneQuality)
+    if (q.radius == 0) exactPolicyNs = q.policyNs;
+  for (std::size_t i = 0; i < pruneQuality.size(); ++i) {
+    const PruneQuality& q = pruneQuality[i];
+    const double speedup = q.policyNs > 0.0 ? exactPolicyNs / q.policyNs : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"config\": \"%s\", \"radius\": %d, "
+                  "\"mode\": \"%s\", \"mttf_years\": %.4f, "
+                  "\"aging_skew\": %.4f, \"policy_ns\": %.0f, "
+                  "\"policy_speedup\": %.2f}%s\n",
+                  q.config.c_str(), q.radius,
+                  q.radius == 0 ? "exact" : "pruned", q.mttfYears,
+                  q.agingSkew, q.policyNs, speedup,
+                  i + 1 < pruneQuality.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -421,9 +508,24 @@ int main(int argc, char** argv) {
             : std::vector<std::pair<int, int>>{{4, 4}, {8, 8}, {16, 16}};
   for (const auto& [rows, cols] : lifetimeGrids)
     entries.push_back(benchLifetimeRun(rows, cols));
+  // The breakdown list always includes 16x16: CI's perf-smoke gate pins
+  // the policy-vs-thermal share at the validation scale even in --small
+  // mode (the breakdown run is cheap — no dense reference lane).
+  const std::vector<std::pair<int, int>> breakdownGrids =
+      small ? std::vector<std::pair<int, int>>{{4, 4}, {16, 16}}
+            : std::vector<std::pair<int, int>>{{4, 4}, {8, 8}, {16, 16}};
   std::vector<Breakdown> breakdowns;
-  for (const auto& [rows, cols] : lifetimeGrids)
+  for (const auto& [rows, cols] : breakdownGrids)
     breakdowns.push_back(benchLifetimeBreakdown(rows, cols, small ? 2 : 4));
+  // Pruning speed/quality curve: exact (radius 0) first so the JSON
+  // speedup column has its reference, then the tracked radii.
+  const int pruneGrid = small ? 8 : 16;
+  const std::vector<int> pruneRadii = small ? std::vector<int>{0, 4}
+                                            : std::vector<int>{0, 2, 4, 8};
+  std::vector<PruneQuality> pruneQuality;
+  for (const int radius : pruneRadii)
+    pruneQuality.push_back(
+        benchPruneQuality(pruneGrid, pruneGrid, radius, small ? 1 : 3));
 
   std::printf("%-10s %-6s %-10s %6s %14s %14s %9s\n", "section", "model",
               "config", "nodes", "banded [ns]", "dense [ns]", "speedup");
@@ -431,16 +533,31 @@ int main(int argc, char** argv) {
     std::printf("%-10s %-6s %-10s %6d %14.0f %14.0f %8.2fx\n",
                 e.section.c_str(), e.model.c_str(), e.config.c_str(), e.nodes,
                 e.bandedNs, e.denseNs, e.speedup());
-  std::printf("\n%-20s %-10s %8s %8s %8s %8s\n", "lifetime-breakdown",
-              "config", "aging", "policy", "thermal", "other");
+  std::printf("\n%-20s %-10s %8s %8s %8s %8s %10s\n", "lifetime-breakdown",
+              "config", "aging", "policy", "thermal", "other", "baseline");
   for (const Breakdown& b : breakdowns)
-    std::printf("%-20s %-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", "",
+    std::printf("%-20s %-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n", "",
                 b.config.c_str(), 100.0 * b.fraction(b.agingNs),
                 100.0 * b.fraction(b.policyNs),
                 100.0 * b.fraction(b.thermalNs),
-                100.0 * b.fraction(b.otherNs()));
+                100.0 * b.fraction(b.otherNs()),
+                100.0 * b.fraction(b.baselineNs));
+  std::printf("\n%-20s %-10s %8s %12s %10s %9s\n", "prune-quality", "config",
+              "radius", "mttf [yr]", "skew", "speedup");
+  double exactPolicyNs = 0.0;
+  for (const PruneQuality& q : pruneQuality)
+    if (q.radius == 0) exactPolicyNs = q.policyNs;
+  for (const PruneQuality& q : pruneQuality) {
+    const std::string radiusLabel =
+        q.radius == 0 ? "exact" : std::to_string(q.radius);
+    std::printf("%-20s %-10s %8s %12.3f %10.4f %8.2fx\n", "",
+                q.config.c_str(), radiusLabel.c_str(), q.mttfYears,
+                q.agingSkew,
+                q.policyNs > 0.0 ? exactPolicyNs / q.policyNs : 0.0);
+  }
 
-  writeJson(outPath, small ? "small" : "full", entries, breakdowns);
+  writeJson(outPath, small ? "small" : "full", entries, breakdowns,
+            pruneQuality);
   std::printf("wrote %s\n", outPath.c_str());
   return 0;
 }

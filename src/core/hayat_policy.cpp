@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "common/alloc_counter.hpp"
 #include "common/error.hpp"
@@ -13,6 +15,30 @@ namespace hayat {
 
 namespace {
 std::atomic<std::uint64_t> placementLoopAllocs{0};
+
+/// A/B twin for the spatial pruning knob (mirrors HAYAT_SCALAR_AGING):
+/// when set, the exact full candidate sweep runs regardless of
+/// HayatConfig::pruneRadius, so pruned and exact results can be compared
+/// on the same spec.
+bool exactCandidatesRequested() {
+  const char* env = std::getenv("HAYAT_EXACT_CANDIDATES");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Commits between full fixed-point re-anchors of the prediction
+/// baseline (§3.11).  Each commit is a rank-1 fold that neglects the
+/// leakage re-coupling of the *other* powered cores, and that neglect
+/// compounds across a round — measured drift versus the full refresh
+/// stays under ~4 K at this cadence across 4x4..16x16 (pinned in
+/// tests/test_hayat_policy.cpp), while the amortized refresh cost per
+/// placement drops by the same factor of 8.
+constexpr int kBaselineAnchorInterval = 8;
+
+/// Survivors whose health is estimated per lazy-selection step: large
+/// enough that AgingTable::advanceDelayFactorMany's 4-lane bisection
+/// interleave stays saturated, small enough that one step past the
+/// stopping bound wastes little work.
+constexpr int kHealthChunk = 8;
 }  // namespace
 
 std::uint64_t hayatPlacementLoopAllocs() {
@@ -26,6 +52,7 @@ HayatPolicy::HayatPolicy(HayatConfig config) : config_(config) {
   HAYAT_REQUIRE(config.earlyBeta >= 0.0 && config.lateBeta >= 0.0,
                 "beta coefficients must be non-negative");
   HAYAT_REQUIRE(config.lateAgingOnset >= 0.0, "negative late-aging onset");
+  HAYAT_REQUIRE(config.pruneRadius >= 0, "negative prune radius");
 }
 
 double HayatPolicy::weightOf(double slackGHz, double healthRatio,
@@ -124,6 +151,9 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
   // whatever is already running in the mapping; the aging snapshot
   // captures the chip's current delay factors, which cannot change while
   // the policy deliberates, so every candidate reads from the copy.
+  // refreshBaseline here is the one full fixed-point anchor of the
+  // round — every committed placement afterwards folds in as a rank-1
+  // delta (ThermalPredictor::commitPlacement, §3.11).
   Scratch& sc = scratch_;
   mapping.averageDynamicPowerInto(*context.mix, context.nominalFrequency,
                                   sc.baseline.dynamicPower);
@@ -136,7 +166,27 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
   sc.evaluated.reserve(static_cast<std::size_t>(n));
   sc.survivorCores.reserve(static_cast<std::size_t>(n));
   sc.survivorTemp.reserve(static_cast<std::size_t>(n));
-  sc.survivorHealth.resize(static_cast<std::size_t>(n));
+  sc.healthUb.resize(static_cast<std::size_t>(n));
+  sc.healthOrder.resize(static_cast<std::size_t>(n));
+  sc.rejectCores.reserve(static_cast<std::size_t>(n));
+  sc.rejectDelta.reserve(static_cast<std::size_t>(n));
+  sc.rejectFloor.reserve(static_cast<std::size_t>(n));
+  sc.rejectOrder.resize(static_cast<std::size_t>(n));
+  const bool pruneActive =
+      config_.pruneRadius > 0 && !exactCandidatesRequested();
+  if (pruneActive) {
+    sc.influenceOrder.resize(static_cast<std::size_t>(n));
+    sc.memberStamp.resize(static_cast<std::size_t>(n), 0);
+    sc.keepStamp.resize(static_cast<std::size_t>(n), 0);
+  }
+  lastDecisions_.clear();
+  lastDecisions_.reserve(threads.size());
+  // Telemetry totals are accumulated locally and emitted after the loop
+  // so sharded-counter bootstrap cannot charge the alloc contract.
+  std::uint64_t candidatesFeasibleTotal = 0;
+  std::uint64_t candidatesPrunedTotal = 0;
+  int lastCommitted = -1;  // no committed site yet this round
+  int commitsSinceAnchor = 0;
   const std::uint64_t allocsBefore = heapAllocationCount();
 
   for (const RunnableThread& t : threads) {
@@ -154,6 +204,39 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
         if (!mapping.coreBusy(c)) sc.candidates.push_back(c);
     }
     HAYAT_REQUIRE(!sc.candidates.empty(), "no idle core left");
+    const int feasible = static_cast<int>(sc.candidates.size());
+    candidatesFeasibleTotal += static_cast<std::uint64_t>(feasible);
+
+    // --- Spatial pruning (§3.11, opt-in). ---
+    // Keep only the pruneRadius feasible cores with the strongest kernel
+    // influence on the site the previous commit perturbed; the first
+    // placement of a round has no such site and is never pruned.  The
+    // kept set is the first R feasible cores in influence order, so it
+    // is never empty and is nested in R (monotonicity, pinned by
+    // tests/test_properties.cpp).  Ascending core order is preserved so
+    // the downstream evaluation is order-identical to an exact sweep
+    // over the same set.
+    if (pruneActive && lastCommitted >= 0 &&
+        feasible > config_.pruneRadius) {
+      const std::uint64_t stamp = ++pruneStamp_;
+      for (int cand : sc.candidates)
+        sc.memberStamp[static_cast<std::size_t>(cand)] = stamp;
+      int kept = 0;
+      for (int i = 0; i < n && kept < config_.pruneRadius; ++i) {
+        const int c = sc.influenceOrder[static_cast<std::size_t>(i)];
+        if (sc.memberStamp[static_cast<std::size_t>(c)] == stamp) {
+          sc.keepStamp[static_cast<std::size_t>(c)] = stamp;
+          ++kept;
+        }
+      }
+      std::size_t w = 0;
+      for (int cand : sc.candidates)
+        if (sc.keepStamp[static_cast<std::size_t>(cand)] == stamp)
+          sc.candidates[w++] = cand;
+      sc.candidates.resize(w);
+    }
+    candidatesPrunedTotal +=
+        static_cast<std::uint64_t>(feasible) - sc.candidates.size();
 
     // --- Evaluate candidates (Algorithm 1 lines 5-20). ---
     // Two passes: the thermal what-if and Tsafe guard per candidate
@@ -166,98 +249,203 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
     s.clear();
     sc.survivorCores.clear();
     sc.survivorTemp.clear();
+    sc.rejectCores.clear();
+    sc.rejectDelta.clear();
+    sc.rejectFloor.clear();
+    const double* baseTemps = sc.baseline.temperatures.data();
+    const auto hotIdx =
+        static_cast<std::size_t>(sc.baseline.temperatureMaxIndex);
     for (int cand : sc.candidates) {
       const Hertz freq = operatingFrequency(context, cand, t.minFrequency);
       const Watts addedPower =
           t.averagePower * (freq / context.nominalFrequency);
 
-      // Lines 9-13: Tmax bookkeeping and the Tsafe guard.  The guard is
-      // evaluated at the thread's *worst-case phase power* (the paper's
-      // estimator supports worst-case settings, Section IV-C): an
-      // average-power check would admit placements whose phase peaks trip
-      // the DTM all epoch long.  One fused pass produces the average-
-      // power sum, the peak-power max, and the candidate's own next
-      // temperature without materializing either predicted vector.
+      // Lines 9-13: the Tsafe guard, evaluated at the thread's
+      // *worst-case phase power* (the paper's estimator supports
+      // worst-case settings, Section IV-C): an average-power check would
+      // admit placements whose phase peaks trip the DTM all epoch long.
+      // evaluateCandidate decides the guard from O(1) bounds in the
+      // common case and returns the closed-form average-power fields —
+      // bitwise what predictCandidateStats would produce.
       const Watts peakPower =
           std::max(t.peakPower, t.averagePower) *
           (freq / context.nominalFrequency);
-      const ThermalPredictor::CandidateStats stats =
-          predictor.predictCandidateStats(sc.baseline, cand, addedPower,
-                                          peakPower);
-      if (stats.maxPeak >= context.tsafe) continue;  // line 12-13
+      const ThermalPredictor::CandidateDecision decision =
+          predictor.evaluateCandidate(sc.baseline, cand, addedPower,
+                                      peakPower, context.tsafe);
+      if (!decision.admitted) {  // line 12-13
+        // Stash the already-computed average-power delta and an O(1)
+        // peak floor (the candidate's own and hot-spot terms of the
+        // walk) in case every candidate trips Tsafe and the fallback
+        // scan needs this round's rejects.
+        const double* kcol = predictor.kernelColumn(cand);
+        sc.rejectCores.push_back(cand);
+        sc.rejectDelta.push_back(decision.deltaNext);
+        sc.rejectFloor.push_back(
+            std::max(decision.candidateNext,
+                     baseTemps[hotIdx] + kcol[hotIdx] * decision.deltaNext));
+        continue;
+      }
 
       HayatCandidate record;
       record.core = cand;
       record.candidateNextHealth = 0.0;  // filled by the batched pass
-      record.averageNextTemperature = stats.sumNext / n;
-      record.maxNextTemperature = stats.maxPeak;
+      record.averageNextTemperature = decision.sumNext / n;
       record.weight = 0.0;
       s.push_back(record);
       sc.survivorCores.push_back(cand);
-      sc.survivorTemp.push_back(stats.candidateNext);
+      sc.survivorTemp.push_back(decision.candidateNext);
     }
 
-    // Line 15 for every survivor at once: estimated end-of-epoch health
-    // from the per-epoch aging snapshot (bitwise-identical to querying
-    // the estimator per candidate against the live health map).
+    // Lines 15-23 lazily: aging is monotone (H_next <= H_now, the aging
+    // table's advance never lowers the delay factor), so with beta >= 0
+    // `weightOf(slack, 1, ...)` bounds a survivor's weight from above.
+    // Survivors are examined in descending bound order and evaluation
+    // stops once every remaining bound is strictly below the best exact
+    // weight — no later survivor can beat it, and a bound *equal* to the
+    // best weight is still examined because the cooler-average tie-break
+    // could prefer it.  Health lookups run in kHealthChunk batches so
+    // the inverse solves keep interleaving; chunking and order leave
+    // every estimate bitwise-unchanged (nextHealthMany is element-wise).
     const int survivors = static_cast<int>(sc.survivorCores.size());
-    sc.snapshot.nextHealthMany(sc.survivorCores.data(),
-                               sc.survivorTemp.data(), t.averageDuty,
-                               context.epochYears, survivors,
-                               sc.survivorHealth.data());
+    const double betaNow = context.elapsedYears >= config_.lateAgingOnset
+                               ? config_.lateBeta
+                               : config_.earlyBeta;
+    const double ubRatio = betaNow >= 0.0 ? 1.0 : 0.0;
     for (int i = 0; i < survivors; ++i) {
-      HayatCandidate& record = s[static_cast<std::size_t>(i)];
-      const int cand = record.core;
-      const double hNext = sc.survivorHealth[static_cast<std::size_t>(i)];
-      const double hNow = sc.snapshot.currentHealth(cand);
-      record.candidateNextHealth = hNext;
+      const int cand = sc.survivorCores[static_cast<std::size_t>(i)];
       const double slackGHz =
           (context.observedFmax(cand) - t.minFrequency) / 1e9;
-      record.weight =
-          weightOf(slackGHz, hNext / hNow, context.elapsedYears,
+      sc.healthUb[static_cast<std::size_t>(i)] =
+          weightOf(slackGHz, ubRatio, context.elapsedYears,
                    context.observedWearOf(cand));
+      sc.healthOrder[static_cast<std::size_t>(i)] = i;
+    }
+    std::sort(sc.healthOrder.begin(),
+              sc.healthOrder.begin() + survivors, [&sc](int a, int b) {
+                const double ua = sc.healthUb[static_cast<std::size_t>(a)];
+                const double ub = sc.healthUb[static_cast<std::size_t>(b)];
+                if (ua != ub) return ua > ub;
+                return a < b;
+              });
+    int bestIdx = -1;
+    double bestWeight = 0.0;
+    double bestAvgT = 0.0;
+    int next = 0;
+    while (next < survivors) {
+      if (bestIdx >= 0 &&
+          sc.healthUb[static_cast<std::size_t>(
+              sc.healthOrder[static_cast<std::size_t>(next)])] < bestWeight)
+        break;
+      const int chunk = std::min(kHealthChunk, survivors - next);
+      int chunkCores[kHealthChunk];
+      double chunkTemp[kHealthChunk];
+      double chunkHealth[kHealthChunk];
+      for (int j = 0; j < chunk; ++j) {
+        const auto idx = static_cast<std::size_t>(
+            sc.healthOrder[static_cast<std::size_t>(next + j)]);
+        chunkCores[j] = sc.survivorCores[idx];
+        chunkTemp[j] = sc.survivorTemp[idx];
+      }
+      sc.snapshot.nextHealthMany(chunkCores, chunkTemp, t.averageDuty,
+                                 context.epochYears, chunk, chunkHealth);
+      for (int j = 0; j < chunk; ++j) {
+        const int idx = sc.healthOrder[static_cast<std::size_t>(next + j)];
+        HayatCandidate& record = s[static_cast<std::size_t>(idx)];
+        const int cand = record.core;
+        const double hNext = chunkHealth[j];
+        const double hNow = sc.snapshot.currentHealth(cand);
+        record.candidateNextHealth = hNext;
+        const double slackGHz =
+            (context.observedFmax(cand) - t.minFrequency) / 1e9;
+        record.weight =
+            weightOf(slackGHz, hNext / hNow, context.elapsedYears,
+                     context.observedWearOf(cand));
+        // Lines 22-23 folded in: best weight first, cooler average as
+        // the tie-break, earlier bound order on exact ties.
+        if (bestIdx < 0 || record.weight > bestWeight ||
+            (record.weight == bestWeight &&
+             record.averageNextTemperature < bestAvgT)) {
+          bestIdx = idx;
+          bestWeight = record.weight;
+          bestAvgT = record.averageNextTemperature;
+        }
+      }
+      next += chunk;
     }
 
     if (s.empty()) {
       // Every candidate trips Tsafe: take the thermally least-bad idle
-      // core; the DTM will police the consequence.  (The paper's
-      // algorithm cannot leave a runnable thread unmapped.)
-      int coolest = sc.candidates.front();
-      double bestT = 1e300;
-      for (int cand : sc.candidates) {
-        predictor.predictWithCandidateInto(
-            sc.baseline, cand,
-            t.averagePower *
-                (operatingFrequency(context, cand, t.minFrequency) /
-                 context.nominalFrequency),
-            sc.tNext);
-        const double tMax =
-            *std::max_element(sc.tNext.begin(), sc.tNext.end());
+      // core — the exact argmin of the average-power what-if peak (ties:
+      // lowest core); the DTM will police the consequence.  (The paper's
+      // algorithm cannot leave a runnable thread unmapped.)  The rejects
+      // stash holds every candidate of the round with the delta and the
+      // O(1) peak floor the main sweep already computed; scanning in
+      // ascending floor order means that once the floor exceeds the
+      // incumbent minimum, no later candidate can beat or tie it, so the
+      // saturated-chip regime — where this branch runs for most
+      // placements — settles after a handful of full peak walks and no
+      // repeated leakage evaluations.
+      const int fcount = static_cast<int>(sc.rejectCores.size());
+      for (int i = 0; i < fcount; ++i)
+        sc.rejectOrder[static_cast<std::size_t>(i)] = i;
+      std::sort(sc.rejectOrder.begin(), sc.rejectOrder.begin() + fcount,
+                [&sc](int a, int b) {
+                  const double ka =
+                      sc.rejectFloor[static_cast<std::size_t>(a)];
+                  const double kb =
+                      sc.rejectFloor[static_cast<std::size_t>(b)];
+                  if (ka != kb) return ka < kb;
+                  return a < b;
+                });
+      int coolest = -1;
+      double bestT = std::numeric_limits<double>::infinity();
+      for (int oi = 0; oi < fcount; ++oi) {
+        const auto idx = static_cast<std::size_t>(
+            sc.rejectOrder[static_cast<std::size_t>(oi)]);
+        if (coolest >= 0 && sc.rejectFloor[idx] > bestT) break;
+        const int cand = sc.rejectCores[idx];
+        // Bounded variant of the main sweep's fused pass at average
+        // power for both levels: the exact max_i of the average-power
+        // what-if vector when it is at or below the incumbent, +inf (no
+        // update possible) when a prefix of the walk already exceeds it.
+        const double tMax = predictor.candidateMaxPeakBelow(
+            sc.baseline, cand, sc.rejectDelta[idx], bestT);
         if (tMax < bestT) {
           bestT = tMax;
           coolest = cand;
+        } else if (tMax == bestT && cand < coolest) {
+          coolest = cand;  // the core-order scan would have found it first
         }
       }
       s.push_back(HayatCandidate{coolest, 0.0, 0.0, bestT});
+      bestIdx = 0;
     }
 
-    // Lines 22-23: sort by weight (ties: cooler average first) and take
-    // the front.
-    std::sort(s.begin(), s.end(),
-              [](const HayatCandidate& a, const HayatCandidate& b) {
-                if (a.weight != b.weight) return a.weight > b.weight;
-                return a.averageNextTemperature < b.averageNextTemperature;
-              });
-    const int chosen = s.front().core;
+    const HayatCandidate& winner = s[static_cast<std::size_t>(bestIdx)];
+    const int chosen = winner.core;
     const Hertz freq = operatingFrequency(context, chosen, t.minFrequency);
     mapping.assign(t.ref, chosen, freq, t.minFrequency);
 
-    // Fold the placement into the predictor baseline (incremental
-    // superposition) so subsequent threads see it.
-    sc.baseline.dynamicPower[static_cast<std::size_t>(chosen)] =
-        t.averagePower * (freq / context.nominalFrequency);
-    sc.baseline.poweredOn[static_cast<std::size_t>(chosen)] = true;
-    predictor.refreshBaseline(sc.baseline, sc.predictScratch);
+    // Fold the placement into the predictor baseline as a rank-1 delta:
+    // the committed profile is bitwise the what-if the sort just scored
+    // (§3.11), and subsequent threads see it — O(n) instead of the
+    // O(n²·sweeps) full refresh.
+    predictor.commitPlacement(sc.baseline, chosen,
+                              t.averagePower *
+                                  (freq / context.nominalFrequency));
+    if (++commitsSinceAnchor >= kBaselineAnchorInterval) {
+      // Periodic full re-anchor: the folds' neglected leakage
+      // re-coupling must not compound unbounded across a long round.
+      predictor.refreshBaseline(sc.baseline, sc.predictScratch);
+      commitsSinceAnchor = 0;
+    }
+    lastCommitted = chosen;
+    if (pruneActive)
+      predictor.influenceOrder(chosen, sc.influenceOrder.data());
+    lastDecisions_.push_back(HayatPlacementDecision{
+        chosen, winner.weight, feasible,
+        static_cast<int>(sc.candidates.size())});
   }
 
   const std::uint64_t loopAllocs = heapAllocationCount() - allocsBefore;
@@ -267,6 +455,16 @@ void HayatPolicy::placeThreads(const PolicyContext& context,
         telemetry::Registry::global().counter(
             "hayat_policy_placement_allocs");
     counter.add(loopAllocs);
+  }
+  if (telemetry::enabled()) {
+    static telemetry::Counter& feasibleCounter =
+        telemetry::Registry::global().counter(
+            "hayat_policy_candidates_total");
+    static telemetry::Counter& prunedCounter =
+        telemetry::Registry::global().counter(
+            "hayat_policy_candidates_pruned_total");
+    feasibleCounter.add(candidatesFeasibleTotal);
+    if (candidatesPrunedTotal > 0) prunedCounter.add(candidatesPrunedTotal);
   }
 }
 

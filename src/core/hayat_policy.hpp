@@ -59,15 +59,41 @@ struct HayatConfig {
   /// is most spent.  Motivated by bench_ablation_mttf, which shows pure
   /// frequency matching concentrates usage on the same tight-match cores.
   double wearGamma = 0.0;
+  /// Opt-in spatial candidate pruning (DESIGN.md §3.11): after the first
+  /// placement of a round, only the `pruneRadius` feasible cores with the
+  /// strongest kernel influence on the previously committed site are
+  /// evaluated.  0 (the default) keeps the exact full candidate sweep;
+  /// the scoring arithmetic is unchanged either way, so the chosen
+  /// weight is always an exact score — pruning can only shrink the set
+  /// it is taken over.  HAYAT_EXACT_CANDIDATES=1 forces the exact sweep
+  /// regardless of this knob (the A/B twin, mirroring
+  /// HAYAT_SCALAR_AGING).  Pruned sets are nested in the radius: a
+  /// larger pruneRadius never removes a candidate a smaller one kept.
+  int pruneRadius = 0;
 };
 
 /// One evaluated candidate (the struct pushed into list S, line 19).
+/// Only fields the selection reads are kept: the weight, the tie-break
+/// average temperature, and the health that fed the weight.  The per-
+/// candidate Tmax exists only as the Tsafe guard boolean (line 12), so
+/// it is never materialized (ThermalPredictor::evaluateCandidate).
 struct HayatCandidate {
   int core = -1;
   double weight = 0.0;
   double candidateNextHealth = 0.0;
   double averageNextTemperature = 0.0;
-  double maxNextTemperature = 0.0;
+};
+
+/// One committed placement of the most recent map()/placeApplication()
+/// call (introspection for tests and the quality bench): which core won,
+/// its exact-scored weight, and how many candidates the pruning stage
+/// let through.
+struct HayatPlacementDecision {
+  int core = -1;
+  double weight = 0.0;  ///< exact Eq. 9 score of the chosen candidate
+  int candidatesFeasible = 0;  ///< idle + fast-enough cores this round
+  int candidatesEvaluated = 0;  ///< after spatial pruning (== feasible
+                                ///< when pruning is off or inactive)
 };
 
 /// Algorithm 1.
@@ -99,6 +125,12 @@ class HayatPolicy : public MappingPolicy {
 
   const HayatConfig& config() const { return config_; }
 
+  /// Placement decisions of the most recent map()/placeApplication()
+  /// call, in commit order.
+  const std::vector<HayatPlacementDecision>& lastDecisions() const {
+    return lastDecisions_;
+  }
+
  private:
   /// Shared Algorithm-1 core: places `threads` into `mapping` (which may
   /// already hold running threads).
@@ -111,20 +143,35 @@ class HayatPolicy : public MappingPolicy {
   struct Scratch {
     ThermalPredictor::Baseline baseline;
     Vector predictScratch;
-    Vector tNext;
-    Vector tPeak;
     std::vector<int> candidates;
     std::vector<HayatCandidate> evaluated;
     AgingSnapshot snapshot;
-    // Tsafe survivors of one placement round, scored in one batched
-    // nextHealthMany call (their inverse solves interleave).
+    // Tsafe survivors of one placement round; health is estimated
+    // lazily in weight-upper-bound order (chunked nextHealthMany calls
+    // so the inverse solves still interleave).
     std::vector<int> survivorCores;
     std::vector<double> survivorTemp;
-    std::vector<double> survivorHealth;
+    std::vector<double> healthUb;    ///< per-survivor weight upper bound
+    std::vector<int> healthOrder;    ///< survivor indices, bound-descending
+    // Tsafe rejects of the round, with the deltas/floors the main sweep
+    // already paid for — the all-rejected fallback scan reuses them
+    // instead of re-running the leakage jump per candidate.
+    std::vector<int> rejectCores;
+    std::vector<double> rejectDelta;  ///< CandidateDecision::deltaNext
+    std::vector<double> rejectFloor;  ///< O(1) lower bound on the peak
+    std::vector<int> rejectOrder;     ///< reject indices, floor-ascending
+    // Spatial pruning (§3.11): cores in descending influence order on
+    // the last committed site, plus stamp arrays for O(1) membership /
+    // keep marks without per-round clears.
+    std::vector<int> influenceOrder;
+    std::vector<std::uint64_t> memberStamp;
+    std::vector<std::uint64_t> keepStamp;
   };
 
   HayatConfig config_;
   Scratch scratch_;
+  std::vector<HayatPlacementDecision> lastDecisions_;
+  std::uint64_t pruneStamp_ = 0;
 };
 
 /// Heap allocations observed inside HayatPolicy's per-thread placement

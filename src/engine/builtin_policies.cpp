@@ -49,7 +49,7 @@ std::unique_ptr<MappingPolicy> makeHayat(const PolicyParams& params) {
   requireKnownParams("Hayat", params,
                      {"earlyAlphaGHz", "earlyBeta", "lateAlphaGHz", "lateBeta",
                       "wmax", "lateAgingOnset", "dutyPolicy",
-                      "leakageIterations", "wearGamma"});
+                      "leakageIterations", "wearGamma", "pruneRadius"});
   HayatConfig config;
   config.earlyAlphaGHz = paramOr(params, "earlyAlphaGHz", config.earlyAlphaGHz);
   config.earlyBeta = paramOr(params, "earlyBeta", config.earlyBeta);
@@ -63,6 +63,8 @@ std::unique_ptr<MappingPolicy> makeHayat(const PolicyParams& params) {
   config.leakageIterations = static_cast<int>(
       paramOr(params, "leakageIterations", config.leakageIterations));
   config.wearGamma = paramOr(params, "wearGamma", config.wearGamma);
+  config.pruneRadius = static_cast<int>(
+      paramOr(params, "pruneRadius", static_cast<double>(config.pruneRadius)));
   return std::make_unique<HayatPolicy>(config);
 }
 

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -174,6 +176,7 @@ void visitSpecFields(ExperimentSpec& spec, SpecFieldVisitor& v) {
   v.field("populationSeed", spec.populationSeed);
   v.field("baseSeed", spec.baseSeed);
   v.field("repetitions", spec.repetitions);
+  v.field("policyPrune", spec.policyPrune);
 
   int chipCount = static_cast<int>(spec.chips.size());
   v.field("chips.count", chipCount);
@@ -225,10 +228,40 @@ std::uint64_t deriveSeed(std::uint64_t baseSeed, int chip, int repetition,
 std::string specSignature(const ExperimentSpec& spec) {
   ExperimentSpec copy = spec;  // the walk takes mutable refs; keep callers const
   SignatureWriter w;
-  int version = 2;
+  // v3: policyPrune joined the walk and the Hayat placement commit moved
+  // from a full leakage-sweep refresh to the promoted what-if fold
+  // (§3.11) — cached v2 tables must not shadow v3 results.
+  int version = 3;
   w.field("spec.version", version);
   visitSpecFields(copy, w);
   return w.str();
+}
+
+int parsePolicyPrune(const std::string& prune) {
+  if (prune.empty()) return 0;
+  const std::string prefix = "radius:";
+  HAYAT_REQUIRE(prune.rfind(prefix, 0) == 0,
+                "policy-prune must be \"\" or \"radius:R\" (R >= 1 or inf)");
+  const std::string arg = prune.substr(prefix.size());
+  if (arg == "inf") return std::numeric_limits<int>::max();
+  HAYAT_REQUIRE(!arg.empty() &&
+                    arg.find_first_not_of("0123456789") == std::string::npos,
+                "policy-prune radius must be a positive integer or \"inf\"");
+  const long radius = std::strtol(arg.c_str(), nullptr, 10);
+  HAYAT_REQUIRE(radius >= 1 && radius <= std::numeric_limits<int>::max(),
+                "policy-prune radius must be >= 1");
+  return static_cast<int>(radius);
+}
+
+PolicySpec effectiveTaskPolicy(const ExperimentSpec& spec,
+                               const PolicySpec& policy) {
+  PolicySpec effective = policy;
+  const int pruneRadius = parsePolicyPrune(spec.policyPrune);
+  if (pruneRadius > 0 && policy.name == "Hayat" &&
+      !effective.params.count("pruneRadius")) {
+    effective.params["pruneRadius"] = static_cast<double>(pruneRadius);
+  }
+  return effective;
 }
 
 std::uint64_t specHash(const ExperimentSpec& spec) {

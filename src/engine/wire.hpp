@@ -33,7 +33,9 @@ namespace hayat::engine {
 /// section (counter deltas for coordinator-side merge).
 /// v3: CachePush frame (coordinator warms remote result caches); the
 /// Result metrics section may also carry histogram deltas ("h," lines).
-inline constexpr std::uint8_t kWireVersion = 3;
+/// v4: ExperimentSpec payload gained the policyPrune field (the spec
+/// walker drives the codec, so the layout changed with it).
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /// Message types.
 enum class MsgType : std::uint8_t {

@@ -1,10 +1,89 @@
 #include "runtime/thermal_predictor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <numeric>
 
 #include "common/error.hpp"
 
 namespace hayat {
+
+namespace {
+
+std::atomic<std::uint64_t> baselineNanos{0};
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII bracket feeding predictorBaselineNanos().
+class BaselineTimer {
+ public:
+  BaselineTimer() : t0_(nowNs()) {}
+  ~BaselineTimer() {
+    baselineNanos.fetch_add(nowNs() - t0_, std::memory_order_relaxed);
+  }
+  BaselineTimer(const BaselineTimer&) = delete;
+  BaselineTimer& operator=(const BaselineTimer&) = delete;
+
+ private:
+  std::uint64_t t0_;
+};
+
+/// Canonical index-order sum — the single definition every
+/// temperatureSum producer uses, so sums from different paths agree
+/// bitwise.
+double canonicalSum(const Vector& v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x;
+  return acc;
+}
+
+/// max_i v[i] (order-independent, so every producer agrees bitwise).
+double canonicalMax(const Vector& v) {
+  double acc = -1.7976931348623157e308;
+  for (const double x : v) acc = std::max(acc, x);
+  return acc;
+}
+
+/// Lowest i attaining canonicalMax(v) (strictly-greater updates in index
+/// order — the one canonical rule every producer uses).
+int canonicalArgMax(const Vector& v) {
+  int arg = 0;
+  double acc = -1.7976931348623157e308;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > acc) {
+      acc = v[i];
+      arg = static_cast<int>(i);
+    }
+  }
+  return arg;
+}
+
+/// out[i] = base[i] + col[i] * delta for all i.  predictWithCandidateInto
+/// and commitPlacement both route through this one function (the latter
+/// with out == base, which reads each element before overwriting it), so
+/// the committed baseline is bitwise the promoted what-if by
+/// construction — one compiled loop, one contraction choice.
+void addColumnScaled(const double* col, double delta, const double* base,
+                     double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = base[i] + col[i] * delta;
+}
+
+}  // namespace
+
+std::uint64_t predictorBaselineNanos() {
+  return baselineNanos.load(std::memory_order_relaxed);
+}
+
+void resetPredictorBaselineNanos() {
+  baselineNanos.store(0, std::memory_order_relaxed);
+}
 
 ThermalPredictor::ThermalPredictor(const ThermalModel& thermal,
                                    const LeakageModel& leakage,
@@ -12,11 +91,35 @@ ThermalPredictor::ThermalPredictor(const ThermalModel& thermal,
     : thermal_(&thermal),
       leakage_(&leakage),
       leakageIterations_(leakageIterations),
-      kernel_(&thermal.coreInfluenceMatrix()) {
+      kernel_(&thermal.coreInfluenceMatrix()),
+      profile_(&thermal.coreInfluenceProfile()) {
   HAYAT_REQUIRE(leakageIterations >= 0, "negative leakage iteration count");
 }
 
 int ThermalPredictor::coreCount() const { return thermal_->coreCount(); }
+
+const double* ThermalPredictor::kernelColumn(int c) const {
+  return profile_->transposed.data().data() +
+         static_cast<std::size_t>(c) *
+             static_cast<std::size_t>(profile_->transposed.cols());
+}
+
+double ThermalPredictor::columnSum(int c) const {
+  return profile_->columnSums[static_cast<std::size_t>(c)];
+}
+
+void ThermalPredictor::influenceOrder(int site, int* out) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(site >= 0 && site < n, "influence site out of range");
+  const double* col = kernelColumn(site);
+  std::iota(out, out + n, 0);
+  std::sort(out, out + n, [col](int a, int b) {
+    const double ka = col[a];
+    const double kb = col[b];
+    if (ka != kb) return ka > kb;
+    return a < b;  // deterministic tie-break
+  });
+}
 
 Vector ThermalPredictor::predict(const Vector& dynamicPower,
                                  const std::vector<bool>& poweredOn) const {
@@ -56,17 +159,25 @@ void ThermalPredictor::predictInto(const Vector& dynamicPower,
 
 ThermalPredictor::Baseline ThermalPredictor::makeBaseline(
     const Vector& dynamicPower, const std::vector<bool>& poweredOn) const {
+  const BaselineTimer timer;
   Baseline b;
   b.dynamicPower = dynamicPower;
   b.poweredOn = poweredOn;
   b.temperatures = predict(dynamicPower, poweredOn);
+  b.temperatureSum = canonicalSum(b.temperatures);
+  b.temperatureMax = canonicalMax(b.temperatures);
+  b.temperatureMaxIndex = canonicalArgMax(b.temperatures);
   return b;
 }
 
 void ThermalPredictor::refreshBaseline(Baseline& baseline,
                                        Vector& scratch) const {
+  const BaselineTimer timer;
   predictInto(baseline.dynamicPower, baseline.poweredOn,
               baseline.temperatures, scratch);
+  baseline.temperatureSum = canonicalSum(baseline.temperatures);
+  baseline.temperatureMax = canonicalMax(baseline.temperatures);
+  baseline.temperatureMaxIndex = canonicalArgMax(baseline.temperatures);
 }
 
 Vector ThermalPredictor::predictWithCandidate(const Baseline& baseline,
@@ -99,9 +210,38 @@ void ThermalPredictor::predictWithCandidateInto(const Baseline& baseline,
              leakage_->coreLeakageGated();
   }
 
-  out.assign(baseline.temperatures.begin(), baseline.temperatures.end());
-  for (int i = 0; i < n; ++i)
-    out[static_cast<std::size_t>(i)] += (*kernel_)(i, candidateCore) * delta;
+  out.resize(static_cast<std::size_t>(n));
+  addColumnScaled(kernelColumn(candidateCore), delta,
+                  baseline.temperatures.data(), out.data(), n);
+}
+
+void ThermalPredictor::commitPlacement(Baseline& baseline, int candidateCore,
+                                       Watts addedPower) const {
+  const BaselineTimer timer;
+  const int n = coreCount();
+  HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
+                "candidate core out of range");
+  HAYAT_REQUIRE(addedPower >= 0.0, "negative candidate power");
+  HAYAT_REQUIRE(static_cast<int>(baseline.temperatures.size()) == n,
+                "baseline size mismatch");
+  const auto c = static_cast<std::size_t>(candidateCore);
+  HAYAT_REQUIRE(!baseline.poweredOn[c],
+                "commitPlacement target core is already powered on");
+
+  // Identical delta derivation and column fold as
+  // predictWithCandidateInto (shared addColumnScaled), applied in place.
+  const double delta =
+      addedPower +
+      (leakage_->coreLeakageOn(candidateCore, baseline.temperatures[c]) -
+       leakage_->coreLeakageGated());
+  addColumnScaled(kernelColumn(candidateCore), delta,
+                  baseline.temperatures.data(), baseline.temperatures.data(),
+                  n);
+  baseline.dynamicPower[c] = addedPower;
+  baseline.poweredOn[c] = true;
+  baseline.temperatureSum = canonicalSum(baseline.temperatures);
+  baseline.temperatureMax = canonicalMax(baseline.temperatures);
+  baseline.temperatureMaxIndex = canonicalArgMax(baseline.temperatures);
 }
 
 ThermalPredictor::CandidateStats ThermalPredictor::predictCandidateStats(
@@ -127,20 +267,174 @@ ThermalPredictor::CandidateStats ThermalPredictor::predictCandidateStats(
   const double deltaNext = addedPower + jump;
   const double deltaPeak = peakPower + jump;
 
+  const double* base = baseline.temperatures.data();
+  const double* col = kernelColumn(candidateCore);
+
   CandidateStats stats;
-  for (int i = 0; i < n; ++i) {
-    const double base = baseline.temperatures[static_cast<std::size_t>(i)];
-    const double kic = (*kernel_)(i, candidateCore);
-    // Same expression as predictWithCandidateInto's element update; the
-    // reductions run in the same element order as the policy's separate
-    // tSum / tMax loops did (max is order-independent anyway).
-    stats.sumNext += base + kic * deltaNext;
-    stats.maxPeak = std::max(stats.maxPeak, base + kic * deltaPeak);
+  // Closed-form tSum: superposition is linear, so the sum of the
+  // predicted vector is the baseline sum plus delta times the column sum.
+  stats.sumNext = baseline.temperatureSum + deltaNext * columnSum(candidateCore);
+  // Blocked tMax: four independent max lanes over the contiguous column.
+  // max is associative and order-independent over the (NaN-free,
+  // positive) temperatures, so any lane split gives the same result as
+  // the sequential reference.
+  const double lowest = -1.7976931348623157e308;
+  double m0 = lowest, m1 = lowest, m2 = lowest, m3 = lowest;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::max(m0, base[i] + col[i] * deltaPeak);
+    m1 = std::max(m1, base[i + 1] + col[i + 1] * deltaPeak);
+    m2 = std::max(m2, base[i + 2] + col[i + 2] * deltaPeak);
+    m3 = std::max(m3, base[i + 3] + col[i + 3] * deltaPeak);
   }
-  stats.candidateNext =
-      baseline.temperatures[c] + (*kernel_)(candidateCore, candidateCore) *
-                                     deltaNext;
+  double m = std::max(std::max(m0, m1), std::max(m2, m3));
+  for (; i < n; ++i) m = std::max(m, base[i] + col[i] * deltaPeak);
+  stats.maxPeak = std::max(m, 0.0);  // the reference accumulator starts at 0
+  stats.candidateNext = base[c] + col[c] * deltaNext;
   return stats;
+}
+
+ThermalPredictor::CandidateStats
+ThermalPredictor::predictCandidateStatsReference(const Baseline& baseline,
+                                                 int candidateCore,
+                                                 Watts addedPower,
+                                                 Watts peakPower) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
+                "candidate core out of range");
+  HAYAT_REQUIRE(addedPower >= 0.0, "negative candidate power");
+  HAYAT_REQUIRE(peakPower >= 0.0, "negative candidate peak power");
+  HAYAT_REQUIRE(static_cast<int>(baseline.temperatures.size()) == n,
+                "baseline size mismatch");
+
+  const auto c = static_cast<std::size_t>(candidateCore);
+  double jump = 0.0;
+  if (!baseline.poweredOn[c]) {
+    jump = leakage_->coreLeakageOn(candidateCore, baseline.temperatures[c]) -
+           leakage_->coreLeakageGated();
+  }
+  const double deltaNext = addedPower + jump;
+  const double deltaPeak = peakPower + jump;
+
+  const double* base = baseline.temperatures.data();
+  const double* col = kernelColumn(candidateCore);
+
+  CandidateStats stats;
+  stats.sumNext = baseline.temperatureSum + deltaNext * columnSum(candidateCore);
+  for (int i = 0; i < n; ++i)
+    stats.maxPeak = std::max(stats.maxPeak, base[i] + col[i] * deltaPeak);
+  stats.candidateNext = base[c] + col[c] * deltaNext;
+  return stats;
+}
+
+ThermalPredictor::CandidateDecision ThermalPredictor::evaluateCandidate(
+    const Baseline& baseline, int candidateCore, Watts addedPower,
+    Watts peakPower, Kelvin tsafe) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
+                "candidate core out of range");
+  HAYAT_REQUIRE(addedPower >= 0.0, "negative candidate power");
+  HAYAT_REQUIRE(peakPower >= 0.0, "negative candidate peak power");
+  HAYAT_REQUIRE(static_cast<int>(baseline.temperatures.size()) == n,
+                "baseline size mismatch");
+
+  const auto c = static_cast<std::size_t>(candidateCore);
+  double jump = 0.0;
+  if (!baseline.poweredOn[c]) {
+    jump = leakage_->coreLeakageOn(candidateCore, baseline.temperatures[c]) -
+           leakage_->coreLeakageGated();
+  }
+  const double deltaNext = addedPower + jump;
+  const double deltaPeak = peakPower + jump;
+
+  const double* base = baseline.temperatures.data();
+  const double* col = kernelColumn(candidateCore);
+
+  CandidateDecision d;
+  d.sumNext = baseline.temperatureSum + deltaNext * columnSum(candidateCore);
+  d.candidateNext = base[c] + col[c] * deltaNext;
+  d.deltaNext = deltaNext;
+
+  // The guard is `max(walkMax, 0) >= tsafe`; decide it without the walk
+  // where a bound is conclusive.  The candidate's own peak temperature is
+  // one term of the max (a lower bound — conclusive rejection), and with
+  // deltaPeak >= 0 every other term is at most
+  // temperatureMax + columnMaxOff * deltaPeak (conclusive admission).
+  // Both bounds evaluate the exact same arithmetic the walk would, so the
+  // boolean is identical to predictCandidateStats' in every case.
+  if (tsafe <= 0.0) {
+    d.admitted = false;  // maxPeak is clamped at 0, so 0 >= tsafe
+    return d;
+  }
+  const double selfPeak = base[c] + col[c] * deltaPeak;
+  if (selfPeak >= tsafe) return d;  // rejected: one term already trips
+  const auto hot = static_cast<std::size_t>(baseline.temperatureMaxIndex);
+  if (base[hot] + col[hot] * deltaPeak >= tsafe) return d;  // hot-spot term
+  if (deltaPeak >= 0.0) {
+    const double upper =
+        std::max(selfPeak, baseline.temperatureMax +
+                               profile_->columnMaxOff[c] * deltaPeak);
+    if (upper < tsafe) {
+      d.admitted = true;
+      return d;
+    }
+  }
+  // Gray zone: the blocked walk of predictCandidateStats with a
+  // per-block exceedance check (any term at or above tsafe rejects —
+  // block order does not change the boolean).
+  constexpr int kBlock = 32;
+  int i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    double m = -1.7976931348623157e308;
+    for (int j = i; j < i + kBlock; ++j)
+      m = std::max(m, base[j] + col[j] * deltaPeak);
+    if (m >= tsafe) return d;  // rejected
+  }
+  for (; i < n; ++i) {
+    if (base[i] + col[i] * deltaPeak >= tsafe) return d;  // rejected
+  }
+  d.admitted = true;
+  return d;
+}
+
+double ThermalPredictor::candidateMaxPeakBelow(const Baseline& baseline,
+                                               int candidateCore,
+                                               double delta,
+                                               double bound) const {
+  const int n = coreCount();
+  HAYAT_REQUIRE(candidateCore >= 0 && candidateCore < n,
+                "candidate core out of range");
+  HAYAT_REQUIRE(static_cast<int>(baseline.temperatures.size()) == n,
+                "baseline size mismatch");
+
+  const auto c = static_cast<std::size_t>(candidateCore);
+  const double* base = baseline.temperatures.data();
+  const double* col = kernelColumn(candidateCore);
+  constexpr double kAbove = std::numeric_limits<double>::infinity();
+
+  // O(1) conclusive rejections first: the clamp floor, the candidate's
+  // own term, and the hot-spot term are all lower bounds on the final
+  // peak.
+  if (0.0 > bound) return kAbove;
+  if (base[c] + col[c] * delta > bound) return kAbove;
+  const auto hot = static_cast<std::size_t>(baseline.temperatureMaxIndex);
+  if (base[hot] + col[hot] * delta > bound) return kAbove;
+
+  // Blocked walk with a per-block exit: a running max only grows, so a
+  // prefix above the bound is conclusive, and completing the walk yields
+  // the exact clamped peak (the 0 start is the reference's
+  // max(walkMax, 0), and max is order-independent).
+  constexpr int kBlock = 32;
+  double m = 0.0;
+  int i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    for (int j = i; j < i + kBlock; ++j)
+      m = std::max(m, base[j] + col[j] * delta);
+    if (m > bound) return kAbove;
+  }
+  for (; i < n; ++i) m = std::max(m, base[i] + col[i] * delta);
+  if (m > bound) return kAbove;
+  return m;
 }
 
 }  // namespace hayat

@@ -304,4 +304,30 @@ const Matrix& ThermalModel::coreInfluenceMatrix() const {
   return *influence_;
 }
 
+const ThermalModel::InfluenceProfile& ThermalModel::coreInfluenceProfile()
+    const {
+  if (!influenceProfile_) {
+    const Matrix& k = coreInfluenceMatrix();
+    auto p = std::make_unique<InfluenceProfile>();
+    p->transposed = k.transposed();
+    p->columnSums.resize(static_cast<std::size_t>(cores_));
+    p->columnMaxOff.resize(static_cast<std::size_t>(cores_));
+    for (int c = 0; c < cores_; ++c) {
+      const double* col = p->transposed.data().data() +
+                          static_cast<std::size_t>(c) *
+                              static_cast<std::size_t>(cores_);
+      double sum = 0.0;
+      double off = 0.0;  // conservative floor; exact for a 1-core die
+      for (int i = 0; i < cores_; ++i) {
+        sum += col[i];
+        if (i != c) off = std::max(off, col[i]);
+      }
+      p->columnSums[static_cast<std::size_t>(c)] = sum;
+      p->columnMaxOff[static_cast<std::size_t>(c)] = off;
+    }
+    influenceProfile_ = std::move(p);
+  }
+  return *influenceProfile_;
+}
+
 }  // namespace hayat

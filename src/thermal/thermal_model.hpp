@@ -101,6 +101,24 @@ class ThermalModel {
   /// online thermal-profile predictor superposes (Section IV-B step 2).
   const Matrix& coreInfluenceMatrix() const;
 
+  /// Column-major view of the influence kernel plus per-column
+  /// aggregates — the hot-loop data of the online predictor
+  /// (DESIGN.md §3.11).  Row c of `transposed` is column c of K stored
+  /// contiguously; `columnSums[c]` is its sum (the closed-form tSum
+  /// term); `columnMaxOff[c]` is the largest influence of a watt at core
+  /// c on any *other* core (the O(1) admission bound of
+  /// ThermalPredictor::evaluateCandidate; 0 for a single-core die).
+  struct InfluenceProfile {
+    Matrix transposed;
+    Vector columnSums;
+    Vector columnMaxOff;
+  };
+
+  /// Built lazily once per model (the predictor is constructed per
+  /// placement round; rebuilding the transpose there would put an O(n²)
+  /// copy on the policy's critical path).
+  const InfluenceProfile& coreInfluenceProfile() const;
+
   /// Dense copy of the conductance matrix (tests and reference paths).
   const Matrix& conductance() const { return g_; }
 
@@ -171,6 +189,7 @@ class ThermalModel {
   RcSolver::Mode mode_ = RcSolver::Mode::Banded;  ///< resolved at build()
   std::unique_ptr<RcSolver> steadySolver_;
   mutable std::unique_ptr<Matrix> influence_;  // lazily computed
+  mutable std::unique_ptr<InfluenceProfile> influenceProfile_;  // lazy
   mutable std::mutex transientMutex_;
   mutable std::vector<std::shared_ptr<const TransientOperator>>
       transientCache_;

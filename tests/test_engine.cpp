@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -217,6 +218,71 @@ TEST(ExperimentSpecTest, ListShapesAreHashed) {
   s = tinySpec();
   s.policies[1].params["wearGamma"] = 5.0;
   EXPECT_NE(specHash(s), base);
+}
+
+// Pruned and exact sweeps may place differently, so they must never
+// collide in the result cache: the prune knob is part of the signature
+// (and hence the hash the cache keys on), whether it arrives as the
+// sweep-wide spec field or as an explicit per-policy param.
+TEST(ExperimentSpecTest, PolicyPruneKnobChangesHashAndCacheSignature) {
+  const std::uint64_t base = specHash(tinySpec());
+  const std::string baseSig = specSignature(tinySpec());
+
+  ExperimentSpec s = tinySpec();
+  s.policyPrune = "radius:4";
+  EXPECT_NE(specHash(s), base);
+  EXPECT_NE(specSignature(s), baseSig);
+
+  ExperimentSpec inf = tinySpec();
+  inf.policyPrune = "radius:inf";
+  EXPECT_NE(specHash(inf), base);
+  EXPECT_NE(specHash(inf), specHash(s));  // distinct radii, distinct keys
+
+  s = tinySpec();
+  s.policies[0].params["pruneRadius"] = 4.0;
+  EXPECT_NE(specHash(s), base);
+}
+
+// A pruned sweep's Hayat rows run (and are labeled) under the injected
+// pruneRadius param; any consumer selecting results by label must use
+// the effectiveTaskPolicy rule or the rows are invisible to it — the
+// CLI summary regression this pins crashed on a mean of zero rows.
+TEST(ExperimentSpecTest, EffectiveTaskPolicyCarriesThePruneLabel) {
+  ExperimentSpec spec = tinySpec();
+  spec.policyPrune = "radius:4";
+
+  const PolicySpec vaa = effectiveTaskPolicy(spec, spec.policies[0]);
+  EXPECT_EQ(vaa.label(), "VAA");  // only Hayat-family policies prune
+
+  const PolicySpec hayat = effectiveTaskPolicy(spec, spec.policies[1]);
+  EXPECT_EQ(hayat.label(), "Hayat(pruneRadius=4)");
+
+  // An explicit per-policy radius wins over the sweep-wide knob.
+  ExperimentSpec explicitSpec = tinySpec();
+  explicitSpec.policyPrune = "radius:4";
+  explicitSpec.policies[1].params["pruneRadius"] = 2.0;
+  EXPECT_EQ(effectiveTaskPolicy(explicitSpec, explicitSpec.policies[1]).label(),
+            "Hayat(pruneRadius=2)");
+
+  // The table the engine produces is selectable by exactly that label.
+  const SweepTable table = ExperimentEngine(noCache(1)).run(spec);
+  for (const double dark : spec.darkFractions) {
+    EXPECT_TRUE(table.select("Hayat", dark).empty());
+    EXPECT_EQ(table.select(hayat.label(), dark).size(), spec.chips.size());
+    EXPECT_EQ(table.select("VAA", dark).size(), spec.chips.size());
+  }
+}
+
+TEST(ExperimentSpecTest, ParsePolicyPrune) {
+  EXPECT_EQ(parsePolicyPrune(""), 0);
+  EXPECT_EQ(parsePolicyPrune("radius:1"), 1);
+  EXPECT_EQ(parsePolicyPrune("radius:16"), 16);
+  EXPECT_EQ(parsePolicyPrune("radius:inf"), std::numeric_limits<int>::max());
+  EXPECT_THROW(parsePolicyPrune("radius:"), Error);
+  EXPECT_THROW(parsePolicyPrune("radius:0"), Error);
+  EXPECT_THROW(parsePolicyPrune("radius:-3"), Error);
+  EXPECT_THROW(parsePolicyPrune("radius:2.5"), Error);
+  EXPECT_THROW(parsePolicyPrune("ring:4"), Error);
 }
 
 TEST(ExperimentSpecTest, NameAndDerivedSeedsAreNotHashed) {
