@@ -1,0 +1,210 @@
+// Multi-tenant serving throughput (DESIGN.md §3.12).
+//
+// Spins up an in-process ServeServer on an ephemeral port and measures
+// the two numbers that justify a persistent daemon over one-shot CLI
+// invocations:
+//
+//   1. Dedup leverage: C clients submitting the *same* sweep cost one
+//      computation, so client-perceived latency collapses from C×T to
+//      ~T.  The bench reports tasks executed vs. tasks served.
+//   2. Fair interleaving: a small job submitted while a big job is
+//      running still completes promptly (its rows stream as soon as its
+//      own tasks finish, not after the big job drains).
+//
+// Environment knobs: HAYAT_SERVE_CLIENTS (default 4 same-spec clients),
+// HAYAT_SERVE_WORKERS (default 4 local lanes), HAYAT_CHIPS (default 4
+// chips per sweep).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/text_table.hpp"
+#include "engine/engine.hpp"
+#include "engine/wire.hpp"
+#include "serve/http_client.hpp"
+#include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+hayat::engine::ExperimentSpec benchSpec(const std::string& name, int chips) {
+  hayat::engine::ExperimentSpec spec;
+  spec.name = name;
+  spec.policies = {{"VAA", {}}, {"Hayat", {}}};
+  spec.darkFractions = {0.5};
+  spec.chips.clear();
+  for (int c = 0; c < chips; ++c) spec.chips.push_back(c);
+  spec.lifetime.horizon = 1.0;
+  spec.lifetime.epochLength = 0.25;
+  return spec;
+}
+
+std::uint64_t counterValue(const char* name) {
+  return hayat::telemetry::Registry::global().counter(name).value();
+}
+
+/// Submits a spec and streams it to completion; returns rows received.
+int submitAndStream(int port, const hayat::engine::ExperimentSpec& spec,
+                    const std::string& client, double& firstRowS,
+                    double& totalS) {
+  using namespace hayat::serve;
+  const auto t0 = Clock::now();
+  HttpClientResponse resp;
+  if (!httpRequest("127.0.0.1", port, "POST", "/jobs",
+                   hayat::engine::encodeSpec(spec), {{"X-Client", client}},
+                   resp) ||
+      resp.status != 201)
+    return -1;
+  std::string id;
+  const auto pos = resp.body.find("id=");
+  if (pos != std::string::npos)
+    id = resp.body.substr(pos + 3, resp.body.find('\n', pos) - pos - 3);
+
+  int rows = 0;
+  int status = 0;
+  firstRowS = -1.0;
+  const bool complete = httpStream(
+      "127.0.0.1", port, "/jobs/" + id + "/results", {},
+      [&](const std::string&) {
+        if (firstRowS < 0) firstRowS = seconds(t0, Clock::now());
+        ++rows;
+        return true;
+      },
+      status);
+  totalS = seconds(t0, Clock::now());
+  return (complete && status == 200) ? rows : -1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hayat;
+
+  int clients = 4, workers = 4, chips = 4;
+  if (const char* env = std::getenv("HAYAT_SERVE_CLIENTS"))
+    clients = std::max(1, std::atoi(env));
+  if (const char* env = std::getenv("HAYAT_SERVE_WORKERS"))
+    workers = std::max(1, std::atoi(env));
+  if (const char* env = std::getenv("HAYAT_CHIPS"))
+    chips = std::max(1, std::atoi(env));
+
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() / "hayat_bench_serve").string();
+  std::filesystem::remove_all(scratch);
+
+  serve::ServeConfig config;
+  config.queueDir = scratch + "/jobs";
+  config.cacheDir = scratch + "/cache";
+  config.localWorkers = workers;
+  config.maxRunningJobs = clients + 2;
+  config.limits.maxQueueDepth = 2 * clients + 4;
+  config.limits.maxClientActive = clients + 2;
+  serve::ServeServer server(config);
+  if (!server.start()) {
+    std::fprintf(stderr, "bench_serve: could not bind a port\n");
+    return 1;
+  }
+  const int port = server.port();
+
+  std::printf("=== hayat serve throughput (%d clients, %d local lanes, "
+              "%d chips/sweep) ===\n\n",
+              clients, workers, chips);
+
+  // Baseline: one client, cold cache.
+  const engine::ExperimentSpec shared = benchSpec("bench-serve-shared", chips);
+  double firstRow = 0, total = 0;
+  const auto executed0 = counterValue("hayat_serve_tasks_executed_total");
+  const int baseRows = submitAndStream(port, shared, "warmup", firstRow, total);
+  const double coldS = total;
+  if (baseRows <= 0) {
+    std::fprintf(stderr, "bench_serve: baseline job failed\n");
+    return 1;
+  }
+
+  // C clients, same spec, concurrently — the dedup path (the first job
+  // stored the table, so this round is pure cache service; submit a
+  // *fresh* spec variant to force one computation shared C ways).
+  engine::ExperimentSpec fresh = benchSpec("bench-serve-fresh", chips);
+  fresh.lifetime.horizon = 1.25;  // distinct hash: not in the cache yet
+  const auto executed1 = counterValue("hayat_serve_tasks_executed_total");
+  std::vector<std::thread> threads;
+  std::vector<double> firstRows(static_cast<std::size_t>(clients)),
+      totals(static_cast<std::size_t>(clients));
+  std::vector<int> rows(static_cast<std::size_t>(clients));
+  const auto sharedStart = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto i = static_cast<std::size_t>(c);
+      rows[i] = submitAndStream(port, fresh, "client" + std::to_string(c),
+                                firstRows[i], totals[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double fanoutS = seconds(sharedStart, Clock::now());
+  const auto executed2 = counterValue("hayat_serve_tasks_executed_total");
+
+  // Fairness: a big job first, then a small job — the small job must not
+  // wait for the big one to drain.
+  engine::ExperimentSpec big = benchSpec("bench-serve-big", 2 * chips);
+  engine::ExperimentSpec small = benchSpec("bench-serve-small", 1);
+  double bigFirst = 0, bigTotal = 0, smallFirst = 0, smallTotal = 0;
+  int bigRows = -1, smallRows = -1;
+  std::thread bigThread(
+      [&] { bigRows = submitAndStream(port, big, "big", bigFirst, bigTotal); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  smallRows = submitAndStream(port, small, "small", smallFirst, smallTotal);
+  bigThread.join();
+
+  server.stop();
+  std::filesystem::remove_all(scratch);
+
+  bool ok = true;
+  for (int c = 0; c < clients; ++c)
+    ok = ok && rows[static_cast<std::size_t>(c)] == baseRows;
+  ok = ok && bigRows > 0 && smallRows > 0;
+
+  TextTable table({"scenario", "wall [s]", "first row [s]", "tasks run",
+                   "tasks served"});
+  const auto tasksPerJob = static_cast<std::uint64_t>(shared.taskCount());
+  table.addRow({"1 client, cold", std::to_string(coldS),
+                std::to_string(firstRow),
+                std::to_string(executed1 - executed0),
+                std::to_string(tasksPerJob)});
+  double worstTotal = 0, worstFirst = 0;
+  for (int c = 0; c < clients; ++c) {
+    worstTotal = std::max(worstTotal, totals[static_cast<std::size_t>(c)]);
+    worstFirst = std::max(worstFirst, firstRows[static_cast<std::size_t>(c)]);
+  }
+  table.addRow({std::to_string(clients) + " clients, same spec",
+                std::to_string(fanoutS), std::to_string(worstFirst),
+                std::to_string(executed2 - executed1),
+                std::to_string(tasksPerJob * static_cast<std::uint64_t>(
+                                                 clients))});
+  table.addRow({"small job vs big job", std::to_string(smallTotal),
+                std::to_string(smallFirst), "-", "-"});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nfan-out amplification: %d clients cost %.2fx one client's "
+              "tasks (1.0 = perfect dedup)\n",
+              clients,
+              static_cast<double>(executed2 - executed1) /
+                  static_cast<double>(tasksPerJob));
+  std::printf("small-job latency beside a %d-chip job: %.3fs total "
+              "(%.3fs to first row)\n",
+              2 * chips, smallTotal, smallFirst);
+  if (!ok) {
+    std::fprintf(stderr, "bench_serve: FAILED (wrong row counts)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -35,7 +35,14 @@ namespace hayat::engine {
 /// Result metrics section may also carry histogram deltas ("h," lines).
 /// v4: ExperimentSpec payload gained the policyPrune field (the spec
 /// walker drives the codec, so the layout changed with it).
-inline constexpr std::uint8_t kWireVersion = 4;
+/// v5: workers keep every Spec they are sent (a map keyed by spec hash)
+/// instead of exactly one, and accept Spec frames at any point in the
+/// stream — one connection can interleave tasks from all the concurrent
+/// jobs a `hayat serve` scheduler multiplexes onto it.  The Task payload
+/// already carried the spec hash, so the frames are unchanged; the
+/// version bump exists because a v4 worker would answer TaskError for
+/// every task of a second spec.
+inline constexpr std::uint8_t kWireVersion = 5;
 
 /// Message types.
 enum class MsgType : std::uint8_t {

@@ -114,14 +114,33 @@ void serveHttpRequest(int fd) {
     if (n <= 0) break;
     head.append(buf, static_cast<std::size_t>(n));
   }
-  // Request line: "GET <target> HTTP/1.x".
+  // Request line: "<METHOD> <target> HTTP/1.x".
+  std::string method;
   std::string target = "/";
   const std::size_t sp1 = head.find(' ');
   if (sp1 != std::string::npos) {
+    method = head.substr(0, sp1);
     const std::size_t sp2 = head.find(' ', sp1 + 1);
     if (sp2 != std::string::npos) target = head.substr(sp1 + 1, sp2 - sp1 - 1);
   }
+  if (method != "GET") {
+    // A worker's HTTP face is read-only; POSTing to it used to be
+    // silently dropped by the sniff, now it is an explicit 405.
+    writeAll(fd, workerHttpResponse(405, "method not allowed\n"));
+    return;
+  }
   writeAll(fd, workerMetricsHttpResponse(target));
+}
+
+/// True when the first peeked bytes look like the start of an HTTP
+/// request (any common method), as opposed to the 'H''W' wire magic.
+bool looksLikeHttp(const char* peek, std::size_t n) {
+  static constexpr const char* kMethods[] = {"GET ",  "POST", "PUT ",
+                                             "DELE",  "HEAD", "OPTI",
+                                             "PATC"};
+  for (const char* m : kMethods)
+    if (n >= 4 && std::memcmp(peek, m, 4) == 0) return true;
+  return false;
 }
 
 }  // namespace
@@ -131,6 +150,10 @@ std::string workerHttpResponse(int status, const std::string& body) {
   if (status == 200) {
     out << "HTTP/1.0 200 OK\r\n"
         << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  } else if (status == 405) {
+    out << "HTTP/1.0 405 Method Not Allowed\r\n"
+        << "Allow: GET\r\n"
+        << "Content-Type: text/plain; charset=utf-8\r\n";
   } else {
     out << "HTTP/1.0 404 Not Found\r\n"
         << "Content-Type: text/plain; charset=utf-8\r\n";
@@ -158,17 +181,33 @@ int runWorkerLoop(int inFd, int outFd) {
   ignoreSigpipe();
   registerBuiltinPolicies();
 
+  // Wire v5: a worker serves every spec it has been sent, keyed by the
+  // spec hash the Task frames carry — one connection can interleave the
+  // tasks of all the concurrent jobs a `hayat serve` scheduler
+  // multiplexes onto it.  The handshake is unchanged: the first message
+  // must still be a Spec.
+  struct ServedSpec {
+    ExperimentSpec spec;
+    std::vector<RunTask> tasks;
+  };
+  std::map<std::uint64_t, ServedSpec> specs;
+  const auto addSpec = [&specs](const std::string& payload) {
+    ServedSpec served;
+    try {
+      served.spec = decodeSpec(payload);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[worker %d] bad spec: %s\n", ::getpid(),
+                   e.what());
+      return false;
+    }
+    served.tasks = ExperimentEngine().expand(served.spec);
+    specs[specHash(served.spec)] = std::move(served);
+    return true;
+  };
+
   Message msg;
   if (!readMessage(inFd, msg) || msg.type != MsgType::Spec) return 1;
-  ExperimentSpec spec;
-  try {
-    spec = decodeSpec(msg.payload);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "[worker %d] bad spec: %s\n", ::getpid(), e.what());
-    return 1;
-  }
-  const std::vector<RunTask> tasks = ExperimentEngine().expand(spec);
-  const std::uint64_t hash = specHash(spec);
+  if (!addSpec(msg.payload)) return 1;
 
   // Fault injection, two vintages: the legacy single-purpose envs and
   // the HAYAT_FAULT_PLAN grammar (fault.hpp); legacy wins where both
@@ -194,6 +233,10 @@ int runWorkerLoop(int inFd, int outFd) {
 
   while (readMessage(inFd, msg)) {
     if (msg.type == MsgType::Shutdown) return 0;
+    if (msg.type == MsgType::Spec) {
+      if (!addSpec(msg.payload)) return 1;
+      continue;
+    }
     if (msg.type == MsgType::TelemetryOn) {
       // Exec'd/remote workers have their own (disabled) telemetry state;
       // the coordinator turns collection on so counters flow back on the
@@ -214,14 +257,16 @@ int runWorkerLoop(int inFd, int outFd) {
     } catch (const std::exception&) {
       return 1;
     }
-    if (taskHash != hash || index < 0 ||
-        index >= static_cast<int>(tasks.size())) {
+    const auto servedIt = specs.find(taskHash);
+    if (servedIt == specs.end() || index < 0 ||
+        index >= static_cast<int>(servedIt->second.tasks.size())) {
       if (!writeMessage(outFd, MsgType::TaskError,
-                        encodeTaskError(index, "task does not match the "
+                        encodeTaskError(index, "task does not match any "
                                                "spec this worker serves")))
         return 1;
       continue;
     }
+    const ServedSpec& serving = servedIt->second;
 
     if (stallAfter >= 0 && served >= stallAfter) {
       // Fault injection: a wedged worker.  The coordinator's per-task
@@ -231,9 +276,9 @@ int runWorkerLoop(int inFd, int outFd) {
 
     try {
       const auto started = std::chrono::steady_clock::now();
-      const RunResult result =
-          ExperimentEngine::runTask(tasks[static_cast<std::size_t>(index)],
-                                    spec.populationSeed);
+      const RunResult result = ExperimentEngine::runTask(
+          serving.tasks[static_cast<std::size_t>(index)],
+          serving.spec.populationSeed);
       std::string metrics;
       if (telemetry::enabled()) {
         static telemetry::Histogram& taskSeconds =
@@ -328,15 +373,18 @@ int serveWorkerOnListenSocket(int listenFd) {
       return 1;
     }
     // One listen port, two protocols: wire coordinators open with the
-    // 'H''W' magic, HTTP scrapers with "GET ".  Peek without consuming
-    // so the wire codec still sees the full frame.
+    // 'H''W' magic, HTTP scrapers with a method token.  Peek without
+    // consuming so the wire codec still sees the full frame.  Any
+    // recognized HTTP method is routed to the HTTP handler (non-GET
+    // answers 405 there) instead of being fed to the wire codec, whose
+    // bad-magic error used to read as a silent hangup.
     char peek[4] = {0};
     ssize_t got;
     do {
       got = ::recv(fd, peek, sizeof(peek), MSG_PEEK | MSG_WAITALL);
     } while (got < 0 && errno == EINTR);
     if (got == static_cast<ssize_t>(sizeof(peek)) &&
-        std::memcmp(peek, "GET ", 4) == 0) {
+        looksLikeHttp(peek, sizeof(peek))) {
       serveHttpRequest(fd);
     } else {
       runWorkerLoop(fd, fd);

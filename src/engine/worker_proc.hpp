@@ -18,8 +18,9 @@
 //   - tcp:   `hayat worker --listen PORT` serves coordinators that dial
 //            in with `--workers=tcp:host:port`.  The same listen socket
 //            doubles as a plain-HTTP endpoint: a connection that opens
-//            with "GET " is answered with Prometheus text for /metrics
-//            (404 otherwise) and closed — `curl host:port/metrics`
+//            with an HTTP method token is answered with Prometheus text
+//            for GET /metrics (404 for other targets, 405 for other
+//            methods) and closed — `curl host:port/metrics`
 //            scrapes a live worker with no extra port.
 //
 // Test hooks (fault injection for the crash-recovery tests; unset in
@@ -72,9 +73,10 @@ int serveWorkerOnListenSocket(int listenFd);
 /// with telemetry disabled, so a scrape is never an empty document.
 std::string workerMetricsHttpResponse(const std::string& target);
 
-/// The HTTP envelope around `body` (status 200 or 404; Prometheus
-/// text/plain version 0.0.4 content type on 200).  Split out so the
-/// exact bytes are golden-testable with a fixed body.
+/// The HTTP envelope around `body` (status 200, 404, or 405; Prometheus
+/// text/plain version 0.0.4 content type on 200, an Allow: GET header on
+/// 405).  Split out so the exact bytes are golden-testable with a fixed
+/// body.
 std::string workerHttpResponse(int status, const std::string& body);
 
 /// `hayat worker --stdio`: serves the coordinator on stdin/stdout.

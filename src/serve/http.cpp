@@ -1,0 +1,299 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace hayat::serve {
+
+namespace {
+
+bool isTokenChar(char c) {
+  // RFC 9110 token characters; enough to reject control bytes, spaces,
+  // and separators in methods and header names.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Finds the next line ending at or after `pos`: returns the line (sans
+/// terminator) and advances `pos` past it.  Accepts "\r\n" and "\n".
+bool nextLine(std::string_view data, std::size_t& pos,
+              std::string_view& line) {
+  const std::size_t nl = data.find('\n', pos);
+  if (nl == std::string_view::npos) return false;
+  std::size_t end = nl;
+  if (end > pos && data[end - 1] == '\r') --end;
+  line = data.substr(pos, end - pos);
+  pos = nl + 1;
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers)
+    if (key == name) return value;
+  return "";
+}
+
+HttpParse parseHttpRequest(std::string_view data, HttpRequest& out,
+                           std::size_t& consumed, std::string& error,
+                           const HttpLimits& limits) {
+  consumed = 0;
+  error.clear();
+  out = HttpRequest{};
+
+  // Locate the end of the head: the first blank line, i.e. a line
+  // terminator immediately followed by another ("\n\n" or "\n\r\n",
+  // which also covers "\r\n\r\n").  An unterminated head is NeedMore
+  // only while it could still fit inside the bound.
+  std::size_t headEnd = std::string_view::npos;
+  for (std::size_t nl = data.find('\n'); nl != std::string_view::npos;
+       nl = data.find('\n', nl + 1)) {
+    if (nl + 1 < data.size() && data[nl + 1] == '\n') {
+      headEnd = nl + 2;
+      break;
+    }
+    if (nl + 2 < data.size() && data[nl + 1] == '\r' &&
+        data[nl + 2] == '\n') {
+      headEnd = nl + 3;
+      break;
+    }
+  }
+  if (headEnd == std::string_view::npos) {
+    if (data.size() > limits.maxHeadBytes) {
+      error = "request head exceeds " + std::to_string(limits.maxHeadBytes) +
+              " bytes";
+      return HttpParse::Bad;
+    }
+    return HttpParse::NeedMore;
+  }
+  if (headEnd > limits.maxHeadBytes) {
+    error = "request head exceeds " + std::to_string(limits.maxHeadBytes) +
+            " bytes";
+    return HttpParse::Bad;
+  }
+
+  const std::string_view head = data.substr(0, headEnd);
+  std::size_t pos = 0;
+  std::string_view line;
+  if (!nextLine(head, pos, line) || line.empty()) {
+    error = "missing request line";
+    return HttpParse::Bad;
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    error = "malformed request line";
+    return HttpParse::Bad;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || method.size() > 16 ||
+      !std::all_of(method.begin(), method.end(), isTokenChar)) {
+    error = "malformed method";
+    return HttpParse::Bad;
+  }
+  if (target.empty() || target.size() > 8 * 1024 ||
+      std::any_of(target.begin(), target.end(), [](char c) {
+        return static_cast<unsigned char>(c) <= ' ' ||
+               static_cast<unsigned char>(c) == 0x7f;
+      })) {
+    error = "malformed request target";
+    return HttpParse::Bad;
+  }
+  if (version != "HTTP/1.0" && version != "HTTP/1.1") {
+    error = "unsupported HTTP version";
+    return HttpParse::Bad;
+  }
+
+  out.method = std::string(method);
+  out.target = std::string(target);
+  out.version = std::string(version);
+  const std::size_t qm = out.target.find('?');
+  out.path = out.target.substr(0, qm);
+  out.query = qm == std::string::npos ? "" : out.target.substr(qm + 1);
+
+  // Header lines until the blank terminator.
+  while (nextLine(head, pos, line)) {
+    if (line.empty()) break;
+    if (line.front() == ' ' || line.front() == '\t') {
+      error = "obsolete header folding";
+      return HttpParse::Bad;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      error = "malformed header line";
+      return HttpParse::Bad;
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), isTokenChar)) {
+      error = "malformed header name";
+      return HttpParse::Bad;
+    }
+    out.headers.emplace_back(toLower(name),
+                             std::string(trim(line.substr(colon + 1))));
+  }
+
+  // Body: Content-Length only.  A request body with Transfer-Encoding is
+  // out of scope and rejected loudly.
+  if (!out.header("transfer-encoding").empty()) {
+    error = "transfer-encoded request bodies are not supported";
+    return HttpParse::Bad;
+  }
+  std::size_t bodyLen = 0;
+  const std::string lenText = out.header("content-length");
+  if (!lenText.empty()) {
+    if (lenText.size() > 12 ||
+        !std::all_of(lenText.begin(), lenText.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c));
+        })) {
+      error = "malformed Content-Length";
+      return HttpParse::Bad;
+    }
+    bodyLen = static_cast<std::size_t>(std::stoull(lenText));
+    if (bodyLen > limits.maxBodyBytes) {
+      error = "request body exceeds " + std::to_string(limits.maxBodyBytes) +
+              " bytes";
+      return HttpParse::Bad;
+    }
+  }
+  if (data.size() - headEnd < bodyLen) return HttpParse::NeedMore;
+  out.body = std::string(data.substr(headEnd, bodyLen));
+  consumed = headEnd + bodyLen;
+  return HttpParse::Ok;
+}
+
+std::string httpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 410: return "Gone";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string httpResponse(
+    int status, const std::string& contentType, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extraHeaders) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << ' ' << httpStatusText(status) << "\r\n"
+      << "Content-Type: " << contentType << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n";
+  for (const auto& [name, value] : extraHeaders)
+    out << name << ": " << value << "\r\n";
+  out << "Connection: close\r\n\r\n" << body;
+  return out.str();
+}
+
+std::string httpChunkedHead(int status, const std::string& contentType) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << ' ' << httpStatusText(status) << "\r\n"
+      << "Content-Type: " << contentType << "\r\n"
+      << "Transfer-Encoding: chunked\r\n"
+      << "Connection: close\r\n\r\n";
+  return out.str();
+}
+
+std::string httpChunk(std::string_view data) {
+  if (data.empty()) return "";
+  std::ostringstream out;
+  out << std::hex << data.size() << "\r\n";
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out << "\r\n";
+  return out.str();
+}
+
+std::string httpChunkEnd() { return "0\r\n\r\n"; }
+
+bool decodeChunks(std::string& buffer, std::vector<std::string>& out,
+                  bool& done) {
+  done = false;
+  for (;;) {
+    const std::size_t nl = buffer.find("\r\n");
+    if (nl == std::string::npos)
+      return buffer.size() <= 18;  // a size line is at most 16 hex digits
+    const std::string sizeLine = buffer.substr(0, nl);
+    if (sizeLine.empty() || sizeLine.size() > 16 ||
+        !std::all_of(sizeLine.begin(), sizeLine.end(), [](char c) {
+          return std::isxdigit(static_cast<unsigned char>(c));
+        }))
+      return false;
+    const std::size_t size = std::stoull(sizeLine, nullptr, 16);
+    if (size > (1u << 28)) return false;  // no sane row is 256 MB
+    if (size == 0) {
+      // Terminating chunk: "0\r\n\r\n" (no trailers supported).
+      if (buffer.size() < nl + 4) return true;  // wait for the blank line
+      if (buffer.compare(nl, 4, "\r\n\r\n") != 0) return false;
+      buffer.erase(0, nl + 4);
+      done = true;
+      return true;
+    }
+    if (buffer.size() < nl + 2 + size + 2) return true;  // chunk incomplete
+    if (buffer.compare(nl + 2 + size, 2, "\r\n") != 0) return false;
+    out.push_back(buffer.substr(nl + 2, size));
+    buffer.erase(0, nl + 2 + size + 2);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> parseQuery(
+    const std::string& query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t amp = query.find('&', start);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string item = query.substr(start, amp - start);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos)
+        out.emplace_back(item, "");
+      else
+        out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    }
+    start = amp + 1;
+  }
+  return out;
+}
+
+}  // namespace hayat::serve

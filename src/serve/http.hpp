@@ -1,0 +1,102 @@
+// Minimal HTTP/1.x request parsing and response building for the
+// `hayat serve` front door.
+//
+// The daemon shares one listening socket between framed wire traffic and
+// HTTP (the §3.9 protocol sniff), so the HTTP side needs exactly enough
+// of RFC 9112 to serve a job API safely: request line + headers +
+// Content-Length body, hard size bounds on every piece, and a tri-state
+// incremental parser so a connection handler can poll-read with a
+// timeout and never block on a half-sent request.  The parser is a fuzz
+// target (tests/test_serve.cpp throws truncations, bitflips, oversized
+// headers, and garbage methods at it): any malformed input must come
+// back `Bad` — the server answers 400 and closes — and no input may
+// crash, hang, or allocate unboundedly.
+//
+// Deliberately out of scope: keep-alive (every response carries
+// `Connection: close`), transfer-encoded request bodies, and multi-line
+// header folding (obsolete since RFC 7230, rejected as Bad).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hayat::serve {
+
+/// One parsed request.  Header names are lower-cased during parsing
+/// (field names are case-insensitive); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET" (token chars, upper-cased by convention)
+  std::string target;   ///< raw request target, e.g. "/jobs/j3?priority=2"
+  std::string path;     ///< target up to the first '?'
+  std::string query;    ///< target after the first '?' ("" when absent)
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lower-case), or "" when absent.
+  std::string header(const std::string& name) const;
+};
+
+/// Parse outcome: `Ok` consumed one full request, `NeedMore` is a valid
+/// prefix (read more bytes and retry), `Bad` can never become a request
+/// no matter what arrives next (answer 400 and close).
+enum class HttpParse { Ok, NeedMore, Bad };
+
+/// Hard bounds; exceeding any of them is `Bad`, never `NeedMore` — an
+/// attacker streaming an unbounded header line must be cut off, not
+/// buffered.
+struct HttpLimits {
+  std::size_t maxHeadBytes = 16 * 1024;      ///< request line + headers
+  std::size_t maxBodyBytes = 4 * 1024 * 1024;  ///< Content-Length bound
+};
+
+/// Parses one request from the front of `data`.  On `Ok`, `consumed` is
+/// the byte count of the request (head + body) and `out` is fully
+/// populated; on `NeedMore`/`Bad` `consumed` is 0 and `error` (on Bad)
+/// says why.  Accepts both CRLF and bare-LF line endings (curl and the
+/// tests use CRLF; lenient reading costs nothing and loses nothing).
+HttpParse parseHttpRequest(std::string_view data, HttpRequest& out,
+                           std::size_t& consumed, std::string& error,
+                           const HttpLimits& limits = {});
+
+/// Reason phrase for the handful of statuses the serve API uses.
+std::string httpStatusText(int status);
+
+/// Full fixed-length response: status line, Content-Type/-Length,
+/// `Connection: close`, optional extra headers, body.
+std::string httpResponse(
+    int status, const std::string& contentType, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extraHeaders = {});
+
+/// Head of a chunked streaming response (`Transfer-Encoding: chunked`).
+/// Follow with httpChunk() per payload piece and httpChunkEnd() once
+/// complete; closing the socket *without* the end marker tells the
+/// client the stream was truncated (the cancel path does this on
+/// purpose).
+std::string httpChunkedHead(int status, const std::string& contentType);
+
+/// One chunk frame (empty input returns "" — an empty chunk would read
+/// as end-of-stream).
+std::string httpChunk(std::string_view data);
+
+/// The terminating zero chunk.
+std::string httpChunkEnd();
+
+/// Decodes a chunked body incrementally: appends any complete chunks at
+/// the front of `buffer` to `out` (one string per chunk, preserving the
+/// server's row-per-chunk framing) and erases the consumed bytes.
+/// Returns false on malformed framing; `done` is set once the zero
+/// chunk is consumed.
+bool decodeChunks(std::string& buffer, std::vector<std::string>& out,
+                  bool& done);
+
+/// Splits a query string ("a=1&b=2") into decoded key/value pairs; no
+/// %-unescaping (the job API uses plain tokens only).
+std::vector<std::pair<std::string, std::string>> parseQuery(
+    const std::string& query);
+
+}  // namespace hayat::serve

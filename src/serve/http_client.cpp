@@ -1,0 +1,249 @@
+#include "serve/http_client.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "engine/worker_proc.hpp"
+#include "serve/http.hpp"
+
+namespace hayat::serve {
+
+namespace {
+
+bool writeAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads once with a poll timeout; returns -1 on error/timeout, 0 on
+/// EOF, else the byte count.
+ssize_t readTimed(int fd, char* buf, std::size_t cap, int timeoutMs) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeoutMs);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return -1;
+  ssize_t n;
+  do {
+    n = ::read(fd, buf, cap);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+std::string buildRequest(
+    const std::string& host, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::ostringstream out;
+  out << method << ' ' << target << " HTTP/1.1\r\n"
+      << "Host: " << host << "\r\n";
+  for (const auto& [name, value] : headers)
+    out << name << ": " << value << "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT")
+    out << "Content-Length: " << body.size() << "\r\n";
+  out << "Connection: close\r\n\r\n" << body;
+  return out.str();
+}
+
+/// Parses a response head in `buffer` (status line + headers).  Returns
+/// false while incomplete, throws nothing; `bad` flags a malformed head.
+bool parseResponseHead(const std::string& buffer, HttpClientResponse& out,
+                       std::size_t& headEnd, bool& bad) {
+  bad = false;
+  headEnd = buffer.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (headEnd == std::string::npos) {
+    headEnd = buffer.find("\n\n");
+    skip = 2;
+  }
+  if (headEnd == std::string::npos) {
+    if (buffer.size() > 64 * 1024) bad = true;
+    return false;
+  }
+  headEnd += skip;
+
+  std::istringstream head(buffer.substr(0, headEnd));
+  std::string line;
+  if (!std::getline(head, line)) {
+    bad = true;
+    return false;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos || line.compare(0, 5, "HTTP/") != 0) {
+    bad = true;
+    return false;
+  }
+  out.status = std::atoi(line.c_str() + sp + 1);
+  if (out.status < 100 || out.status > 599) {
+    bad = true;
+    return false;
+  }
+  out.headers.clear();
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    std::size_t vs = colon + 1;
+    while (vs < line.size() && (line[vs] == ' ' || line[vs] == '\t')) ++vs;
+    out.headers.emplace_back(name, line.substr(vs));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpClientResponse::header(const std::string& name) const {
+  for (const auto& [key, value] : headers)
+    if (key == name) return value;
+  return "";
+}
+
+bool httpRequest(const std::string& host, int port, const std::string& method,
+                 const std::string& target, const std::string& body,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     headers,
+                 HttpClientResponse& out, int timeoutMs) {
+  out = HttpClientResponse{};
+  const int fd = engine::connectTcpWorker(host, port, timeoutMs);
+  if (fd < 0) return false;
+  bool ok = writeAll(fd, buildRequest(host, method, target, body, headers));
+
+  std::string buffer;
+  std::size_t headEnd = 0;
+  bool haveHead = false;
+  bool chunked = false;
+  char buf[4096];
+  while (ok) {
+    const ssize_t n = readTimed(fd, buf, sizeof(buf), timeoutMs);
+    if (n < 0) {
+      ok = false;
+      break;
+    }
+    if (n > 0) buffer.append(buf, static_cast<std::size_t>(n));
+    if (!haveHead) {
+      bool bad = false;
+      if (parseResponseHead(buffer, out, headEnd, bad)) {
+        haveHead = true;
+        chunked = out.header("transfer-encoding") == "chunked";
+      } else if (bad) {
+        ok = false;
+        break;
+      }
+    }
+    if (n == 0) break;  // EOF: Connection: close delimits the body
+  }
+  ::close(fd);
+  if (!ok || !haveHead) return false;
+
+  std::string raw = buffer.substr(headEnd);
+  if (chunked) {
+    std::vector<std::string> chunks;
+    bool done = false;
+    if (!decodeChunks(raw, chunks, done) || !done) return false;
+    for (const std::string& c : chunks) out.body += c;
+  } else {
+    out.body = std::move(raw);
+    const std::string lenText = out.header("content-length");
+    if (!lenText.empty() &&
+        out.body.size() != std::stoull(lenText))
+      return false;
+  }
+  return true;
+}
+
+bool httpStream(const std::string& host, int port, const std::string& target,
+                const std::vector<std::pair<std::string, std::string>>&
+                    headers,
+                const std::function<bool(const std::string&)>& onChunk,
+                int& statusOut, int idleTimeoutMs) {
+  statusOut = 0;
+  const int fd = engine::connectTcpWorker(host, port, 10000);
+  if (fd < 0) return false;
+  bool ok = writeAll(fd, buildRequest(host, "GET", target, "", headers));
+
+  HttpClientResponse head;
+  std::string buffer;
+  std::size_t headEnd = 0;
+  bool haveHead = false;
+  bool chunked = false;
+  bool done = false;
+  bool aborted = false;
+  char buf[4096];
+  while (ok && !done && !aborted) {
+    const ssize_t n = readTimed(fd, buf, sizeof(buf), idleTimeoutMs);
+    if (n < 0) {
+      ok = false;
+      break;
+    }
+    if (n > 0) buffer.append(buf, static_cast<std::size_t>(n));
+    if (!haveHead) {
+      bool bad = false;
+      if (parseResponseHead(buffer, head, headEnd, bad)) {
+        haveHead = true;
+        statusOut = head.status;
+        chunked = head.header("transfer-encoding") == "chunked";
+        buffer.erase(0, headEnd);
+        if (head.status != 200) {
+          ::close(fd);
+          return true;  // HTTP-level error, no stream to consume
+        }
+        if (!chunked) {
+          ok = false;  // the results endpoint always streams
+          break;
+        }
+      } else if (bad) {
+        ok = false;
+        break;
+      }
+    }
+    if (haveHead) {
+      std::vector<std::string> chunks;
+      if (!decodeChunks(buffer, chunks, done)) {
+        ok = false;
+        break;
+      }
+      for (const std::string& c : chunks) {
+        if (!onChunk(c)) {
+          aborted = true;
+          break;
+        }
+      }
+    }
+    if (n == 0) break;  // EOF
+  }
+  ::close(fd);
+  if (aborted) return true;
+  return ok && haveHead && done;
+}
+
+void parseHostPort(const std::string& text, std::string& host, int& port) {
+  const std::size_t colon = text.rfind(':');
+  HAYAT_REQUIRE(colon != std::string::npos && colon > 0 &&
+                    colon + 1 < text.size(),
+                "expected host:port, got '" + text + "'");
+  host = text.substr(0, colon);
+  port = std::atoi(text.c_str() + colon + 1);
+  HAYAT_REQUIRE(port > 0 && port < 65536, "bad port in '" + text + "'");
+}
+
+}  // namespace hayat::serve

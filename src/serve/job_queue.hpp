@@ -1,0 +1,104 @@
+// Durable job queue for `hayat serve` (DESIGN.md §3.12).
+//
+// A job is one submitted ExperimentSpec plus scheduling metadata.  Every
+// state transition is journaled as one file per job
+// (`<dir>/<id>.job`, written tmp + atomic rename, same idiom as the
+// result cache's pushed entries), so a SIGKILLed daemon replays the
+// directory on restart and resumes every incomplete job: `queued` jobs
+// are still queued, `running` jobs go back to `queued` (tasks are
+// deterministic, so a rerun converges to byte-identical results —
+// usually faster, since the shared result cache still holds any sweep
+// that completed before the crash), and terminal jobs keep answering
+// status queries.
+//
+// Admission control lives at submit(): a bounded total backlog and a
+// per-client cap on active (queued + running) jobs.  Overflow is an
+// explicit rejection the server maps to 429 — the queue never grows
+// without bound and one client cannot starve the rest of the fleet.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hayat::serve {
+
+enum class JobState { Queued, Running, Completed, Cancelled, Failed };
+
+const char* jobStateName(JobState state);
+std::optional<JobState> jobStateFromName(const std::string& name);
+
+/// One job: identity, scheduling metadata, and the submitted spec in its
+/// canonical wire form (engine::encodeSpec) — the bytes that replay
+/// re-decodes, so a restart runs exactly the spec the client sent.
+struct JobRecord {
+  std::string id;            ///< "j<seq>", assigned at submit
+  std::uint64_t seq = 0;     ///< submission order, monotonic across restarts
+  std::string client = "anon";
+  int priority = 0;          ///< higher runs first; FIFO within a level
+  JobState state = JobState::Queued;
+  std::string specText;      ///< canonical spec payload (wire form)
+  std::string specName;      ///< convenience copy of spec.name
+  std::uint64_t specHash = 0;
+  int taskCount = 0;
+  std::string error;         ///< single line; Failed jobs only
+};
+
+/// Serialization used by the journal (exposed for tests): returns the
+/// full file bytes / parses them, rejecting any malformed input.
+std::string encodeJobRecord(const JobRecord& job);
+bool decodeJobRecord(const std::string& bytes, JobRecord& out);
+
+class JobQueue {
+ public:
+  struct Limits {
+    int maxQueueDepth = 64;    ///< active jobs (queued + running) in total
+    int maxClientActive = 8;   ///< active jobs per client id
+  };
+
+  enum class Admission { Accepted, QueueFull, ClientLimit };
+
+  /// Opens (creating if needed) `dir` and replays every `*.job` file.
+  /// Jobs that were `running` when the previous daemon died are demoted
+  /// to `queued`; unreadable files are skipped with a warning (a torn
+  /// write of the journal must not take the daemon down).
+  JobQueue(std::string dir, Limits limits);
+  explicit JobQueue(std::string dir) : JobQueue(std::move(dir), Limits{}) {}
+
+  /// Admits `job` (assigning id and seq) and journals it, or rejects.
+  Admission submit(JobRecord& job);
+
+  std::optional<JobRecord> get(const std::string& id) const;
+  std::vector<JobRecord> list() const;
+
+  /// Transitions a job and journals the new state.  Returns false for an
+  /// unknown id.  `error` is recorded on Failed.
+  bool setState(const std::string& id, JobState state,
+                const std::string& error = "");
+
+  /// Removes a *terminal* job from the queue and deletes its journal
+  /// file.  Returns false for unknown ids or active jobs.
+  bool remove(const std::string& id);
+
+  /// Queued jobs in scheduling order (priority desc, then seq asc) —
+  /// what the server's job pump starts next, and the replay worklist
+  /// right after construction.
+  std::vector<JobRecord> queuedJobs() const;
+
+  int activeCount() const;  ///< queued + running
+  const std::string& dir() const { return dir_; }
+  const Limits& limits() const { return limits_; }
+
+ private:
+  void persistLocked(const JobRecord& job);
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  Limits limits_;
+  std::vector<JobRecord> jobs_;  ///< seq order
+  std::uint64_t nextSeq_ = 1;
+};
+
+}  // namespace hayat::serve

@@ -11,6 +11,12 @@
 //               (spawned by a coordinator) or --listen PORT (TCP; the
 //               same port answers HTTP GET /metrics with live
 //               Prometheus text, so the worker is a scrape target)
+//   serve       run the persistent multi-tenant sweep service: POST specs
+//               to /jobs, stream results from /jobs/<id>/results; jobs
+//               are journaled to --queue-dir and survive a crash
+//   job         client for a serve daemon: submit | status | watch |
+//               cancel (watch tails the result stream and can --export
+//               files byte-identical to a one-shot sweep)
 //   map         compute one epoch's mapping and show the DCM + predicted
 //               temperatures
 //   population  print variation statistics of a chip population
@@ -56,7 +62,11 @@
 #include "engine/builtin_policies.hpp"
 #include "engine/engine.hpp"
 #include "engine/reporter.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/wire.hpp"
 #include "engine/worker_proc.hpp"
+#include "serve/http_client.hpp"
+#include "serve/server.hpp"
 #include "runtime/policy_registry.hpp"
 #include "runtime/thermal_predictor.hpp"
 #include "telemetry/export.hpp"
@@ -136,9 +146,12 @@ int cmdLifetime(FlagParser& flags) {
   return 0;
 }
 
-int cmdSweep(FlagParser& flags) {
+/// The spec `hayat sweep` runs and `hayat job submit` submits — shared
+/// so submitting the flags of a one-shot sweep produces the same spec
+/// hash and therefore shares its result-cache entries.
+engine::ExperimentSpec buildSweepSpec(FlagParser& flags) {
   engine::ExperimentSpec spec;
-  spec.name = "cli-sweep";
+  spec.name = flags.getString("name");
   spec.lifetime.horizon = flags.getDouble("years");
   spec.lifetime.epochLength = flags.getDouble("epoch");
   spec.policies = {{"VAA", {}}, {"Hayat", {}}};
@@ -148,6 +161,11 @@ int cmdSweep(FlagParser& flags) {
   spec.populationSeed = static_cast<std::uint64_t>(flags.getInt("seed"));
   spec.baseSeed = static_cast<std::uint64_t>(flags.getInt("workload-seed"));
   spec.policyPrune = flags.getString("policy-prune");
+  return spec;
+}
+
+int cmdSweep(FlagParser& flags) {
+  const engine::ExperimentSpec spec = buildSweepSpec(flags);
 
   engine::EngineConfig engineConfig;
   if (flags.provided("workers"))
@@ -281,6 +299,140 @@ int cmdWorker(FlagParser& flags) {
   throw Error("worker needs --stdio or --listen PORT");
 }
 
+/// Reads a bearer token file, trimming surrounding whitespace.
+std::string readTokenFile(const std::string& path) {
+  std::ifstream in(path);
+  HAYAT_REQUIRE(in.is_open(), "cannot read token file " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string token = buf.str();
+  const auto first = token.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = token.find_last_not_of(" \t\r\n");
+  return token.substr(first, last - first + 1);
+}
+
+/// `hayat serve` — the persistent multi-tenant sweep daemon
+/// (src/serve/server.hpp).  Runs until SIGTERM/SIGINT, then drains.
+int cmdServe(FlagParser& flags) {
+  serve::ServeConfig config;
+  if (flags.provided("listen")) config.port = flags.getInt("listen");
+  config.queueDir = flags.getString("queue-dir");
+  if (flags.provided("workers")) config.dispatch = flags.getString("workers");
+  config.localWorkers = flags.getInt("local-workers");
+  config.limits.maxQueueDepth = flags.getInt("max-queue");
+  config.limits.maxClientActive = flags.getInt("max-client-jobs");
+  config.maxRunningJobs = flags.getInt("max-running");
+  if (flags.provided("auth-token-file")) {
+    config.authToken = readTokenFile(flags.getString("auth-token-file"));
+    HAYAT_REQUIRE(!config.authToken.empty(),
+                  "auth token file is empty: " +
+                      flags.getString("auth-token-file"));
+  }
+  return serve::serveMain(config);
+}
+
+/// `hayat job submit|status|watch|cancel` — client side of the serve
+/// API.  `watch` tails the results stream and rebuilds the SweepTable,
+/// so `--export` writes files byte-identical to a one-shot
+/// `hayat sweep --export` of the same spec.
+int cmdJob(FlagParser& flags) {
+  const auto& pos = flags.positional();
+  HAYAT_REQUIRE(pos.size() >= 2,
+                "usage: hayat job submit|status|watch|cancel "
+                "--server host:port [--id JOB]");
+  const std::string verb = pos[1];
+  std::string host;
+  int port = 0;
+  serve::parseHostPort(flags.getString("server"), host, port);
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (flags.provided("auth-token-file"))
+    headers.emplace_back(
+        "Authorization",
+        "Bearer " + readTokenFile(flags.getString("auth-token-file")));
+  if (flags.provided("client"))
+    headers.emplace_back("X-Client", flags.getString("client"));
+
+  if (verb == "submit") {
+    const engine::ExperimentSpec spec = buildSweepSpec(flags);
+    std::string target = "/jobs";
+    if (flags.getInt("priority") != 0)
+      target += "?priority=" + std::to_string(flags.getInt("priority"));
+    serve::HttpClientResponse resp;
+    HAYAT_REQUIRE(serve::httpRequest(host, port, "POST", target,
+                                     engine::encodeSpec(spec), headers,
+                                     resp),
+                  "cannot reach server " + flags.getString("server"));
+    std::fputs(resp.body.c_str(), resp.status == 201 ? stdout : stderr);
+    return resp.status == 201 ? 0 : 1;
+  }
+
+  if (verb == "status") {
+    const std::string target = flags.provided("id")
+                                   ? "/jobs/" + flags.getString("id")
+                                   : "/jobs";
+    serve::HttpClientResponse resp;
+    HAYAT_REQUIRE(serve::httpRequest(host, port, "GET", target, "", headers,
+                                     resp),
+                  "cannot reach server " + flags.getString("server"));
+    std::fputs(resp.body.c_str(), resp.status == 200 ? stdout : stderr);
+    return resp.status == 200 ? 0 : 1;
+  }
+
+  if (verb == "cancel") {
+    HAYAT_REQUIRE(flags.provided("id"), "cancel needs --id JOB");
+    serve::HttpClientResponse resp;
+    HAYAT_REQUIRE(serve::httpRequest(host, port, "DELETE",
+                                     "/jobs/" + flags.getString("id"), "",
+                                     headers, resp),
+                  "cannot reach server " + flags.getString("server"));
+    std::fputs(resp.body.c_str(), resp.status == 200 ? stdout : stderr);
+    return resp.status == 200 ? 0 : 1;
+  }
+
+  if (verb == "watch") {
+    HAYAT_REQUIRE(flags.provided("id"), "watch needs --id JOB");
+    const std::string id = flags.getString("id");
+    engine::SweepTable table;
+    bool rowsOk = true;
+    const auto onChunk = [&](const std::string& row) {
+      std::istringstream in(row);
+      engine::RunResult result;
+      if (!engine::readRunResult(in, result)) {
+        rowsOk = false;
+        return false;
+      }
+      table.runs.push_back(std::move(result));
+      std::fprintf(stderr, "[watch] %zu rows\r", table.runs.size());
+      return true;
+    };
+    int status = 0;
+    const bool complete = serve::httpStream(
+        host, port, "/jobs/" + id + "/results", headers, onChunk, status);
+    HAYAT_REQUIRE(status == 0 || status == 200,
+                  "server answered " + std::to_string(status));
+    HAYAT_REQUIRE(rowsOk, "malformed result row from server");
+    HAYAT_REQUIRE(complete,
+                  "stream truncated (job cancelled/failed or server "
+                  "stopped)");
+    std::fprintf(stderr, "\n");
+    std::printf("Job %s: %zu result rows\n", id.c_str(),
+                table.runs.size());
+    if (flags.provided("export")) {
+      const std::string prefix = flags.getString("export");
+      HAYAT_REQUIRE(engine::exportTable(prefix, table),
+                    "cannot write export files");
+      std::printf("Exported %s_{summary,epochs}.csv and %s.json\n",
+                  prefix.c_str(), prefix.c_str());
+    }
+    return 0;
+  }
+
+  throw Error("unknown job verb '" + verb +
+              "' (expected submit|status|watch|cancel)");
+}
+
 /// `hayat trace export` — fold the per-process telemetry exports of one
 /// run (coordinator plus any proc:/exec: workers that shared the
 /// directory) into one Prometheus file, one validated Chrome trace, and
@@ -386,7 +538,7 @@ int main(int argc, char** argv) {
   FlagParser flags(
       "hayat",
       "command-line driver (subcommands: lifetime, sweep, map, "
-      "population, aging, export-trace, worker, trace)");
+      "population, aging, export-trace, worker, serve, job, trace)");
   flags.addFlag("policy", "mapping policy: hayat|vaa|random|coolest", "hayat");
   flags.addFlag("policy-prune",
                 "sweep subcommand: Hayat spatial candidate pruning "
@@ -416,7 +568,7 @@ int main(int argc, char** argv) {
                 "worker subcommand: serve a coordinator on stdin/stdout",
                 "false");
   flags.addFlag("listen",
-                "worker subcommand: serve coordinators on this TCP port "
+                "worker/serve subcommand: listen on this TCP port "
                 "(0 picks one); GET /metrics on the same port returns "
                 "live Prometheus text");
   flags.addFlag("telemetry",
@@ -429,6 +581,32 @@ int main(int argc, char** argv) {
                 "sweep subcommand: evict result-cache entries older than "
                 "this many seconds (0 = flush every entry; omit the flag "
                 "to disable the age bound)", "0");
+  flags.addFlag("name", "sweep/job spec name (the result-cache prefix)",
+                "cli-sweep");
+  flags.addFlag("queue-dir",
+                "serve subcommand: durable job-queue directory",
+                "hayat_jobs");
+  flags.addFlag("auth-token-file",
+                "serve/job: file holding the bearer token (serve requires "
+                "it on /jobs*; job sends it)");
+  flags.addFlag("local-workers",
+                "serve subcommand: in-process lanes when --workers is not "
+                "given", "2");
+  flags.addFlag("max-queue",
+                "serve subcommand: max active (queued+running) jobs before "
+                "429", "64");
+  flags.addFlag("max-client-jobs",
+                "serve subcommand: max active jobs per client before 429",
+                "8");
+  flags.addFlag("max-running",
+                "serve subcommand: jobs executing concurrently", "4");
+  flags.addFlag("server", "job subcommand: serve daemon host:port");
+  flags.addFlag("id", "job subcommand: job id (status/watch/cancel)");
+  flags.addFlag("priority",
+                "job submit: scheduling priority (higher runs first)", "0");
+  flags.addFlag("client",
+                "job subcommand: client id for per-client admission "
+                "control");
   flags.addFlag("telemetry-dir",
                 "trace subcommand: directory holding telemetry exports");
   flags.addFlag("out", "trace subcommand: output path prefix for the "
@@ -449,6 +627,8 @@ int main(int argc, char** argv) {
     if (cmd == "export-trace") return cmdExportTrace(flags);
     if (cmd == "aging") return cmdAging(flags);
     if (cmd == "worker") return cmdWorker(flags);
+    if (cmd == "serve") return cmdServe(flags);
+    if (cmd == "job") return cmdJob(flags);
     if (cmd == "trace") return cmdTrace(flags);
     std::fprintf(stderr, "unknown subcommand '%s'\n%s", cmd.c_str(),
                  flags.helpText().c_str());
