@@ -14,10 +14,18 @@
 // Environment knobs: HAYAT_SERVE_CLIENTS (default 4 same-spec clients),
 // HAYAT_SERVE_WORKERS (default 4 local lanes), HAYAT_CHIPS (default 4
 // chips per sweep).
+//
+// Results go to stdout as a table and to a machine-readable JSON file
+// (default BENCH_serve.json, committed at the repo root so serving
+// throughput is tracked in version control next to BENCH_kernels.json).
+//
+// Usage: bench_serve [--out <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,8 +95,18 @@ int submitAndStream(int port, const hayat::engine::ExperimentSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hayat;
+
+  std::string outPath = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   int clients = 4, workers = 4, chips = 4;
   if (const char* env = std::getenv("HAYAT_SERVE_CLIENTS"))
@@ -194,14 +212,55 @@ int main() {
                 std::to_string(smallFirst), "-", "-"});
   std::printf("%s", table.render().c_str());
 
+  const double amplification = static_cast<double>(executed2 - executed1) /
+                               static_cast<double>(tasksPerJob);
   std::printf("\nfan-out amplification: %d clients cost %.2fx one client's "
               "tasks (1.0 = perfect dedup)\n",
-              clients,
-              static_cast<double>(executed2 - executed1) /
-                  static_cast<double>(tasksPerJob));
+              clients, amplification);
   std::printf("small-job latency beside a %d-chip job: %.3fs total "
               "(%.3fs to first row)\n",
               2 * chips, smallTotal, smallFirst);
+
+  {
+    std::ofstream out(outPath);
+    char buf[360];
+    out << "{\n"
+        << "  \"benchmark\": \"bench_serve\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"workers\": " << workers << ",\n"
+        << "  \"chips_per_sweep\": " << chips << ",\n"
+        << "  \"results\": [\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"scenario\": \"cold\", \"wall_s\": %.3f, "
+                  "\"first_row_s\": %.3f, \"tasks_run\": %llu, "
+                  "\"tasks_served\": %llu},\n",
+                  coldS, firstRow,
+                  static_cast<unsigned long long>(executed1 - executed0),
+                  static_cast<unsigned long long>(tasksPerJob));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"scenario\": \"fanout_same_spec\", \"wall_s\": %.3f, "
+                  "\"worst_first_row_s\": %.3f, \"tasks_run\": %llu, "
+                  "\"tasks_served\": %llu},\n",
+                  fanoutS, worstFirst,
+                  static_cast<unsigned long long>(executed2 - executed1),
+                  static_cast<unsigned long long>(
+                      tasksPerJob * static_cast<std::uint64_t>(clients)));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"scenario\": \"small_beside_big\", \"wall_s\": %.3f, "
+                  "\"first_row_s\": %.3f}\n",
+                  smallTotal, smallFirst);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"fanout_amplification\": %.3f,\n"
+                  "  \"ok\": %s\n}\n",
+                  amplification, ok ? "true" : "false");
+    out << buf;
+    std::printf("wrote %s\n", outPath.c_str());
+  }
+
   if (!ok) {
     std::fprintf(stderr, "bench_serve: FAILED (wrong row counts)\n");
     return 1;

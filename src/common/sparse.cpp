@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -158,13 +159,15 @@ std::vector<int> reverseCuthillMcKee(const SparseMatrix& a) {
            rowStart[static_cast<std::size_t>(v)];
   };
 
-  for (int root = 0; root < n; ++root) {
-    if (seen[static_cast<std::size_t>(root)]) continue;
-    // Pick the minimum-degree unvisited vertex of this component, then
-    // hop to a far vertex once — a cheap pseudo-peripheral heuristic.
-    int seed = root;
-    for (int v = root; v < n; ++v)
-      if (!seen[static_cast<std::size_t>(v)] && degree(v) < degree(seed))
+  while (static_cast<int>(order.size()) < n) {
+    // Pick the minimum-degree unvisited vertex (each pass consumes one
+    // whole component, so this covers every component of a disconnected
+    // pattern), then hop to a far vertex once — a cheap
+    // pseudo-peripheral heuristic.
+    int seed = -1;
+    for (int v = 0; v < n; ++v)
+      if (!seen[static_cast<std::size_t>(v)] &&
+          (seed < 0 || degree(v) < degree(seed)))
         seed = v;
     std::vector<char> probe = seen;
     std::vector<int> probeOrder;
@@ -290,6 +293,74 @@ void BandedFactorization::solveInPlace(Vector& x) const {
   }
 }
 
+namespace {
+
+/// Bitwise double equality (the fixed-point test must distinguish -0.0
+/// from +0.0 and never equate distinct NaN payloads — exact replay is
+/// the contract, not numeric closeness).
+inline bool bitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+bool BandedFactorization::solvePermuted(Vector& x, Vector& scratch,
+                                        const std::vector<int>& perm,
+                                        const double* compare) const {
+  HAYAT_DCHECK(static_cast<int>(x.size()) == n_);
+  HAYAT_DCHECK(static_cast<int>(perm.size()) == n_);
+  HAYAT_DCHECK(static_cast<int>(scratch.size()) >= n_);
+  double* s = scratch.data();
+  const int* p = perm.data();
+  // Forward substitution (unit lower triangle), two rows jammed per
+  // traversal: row i+1's partial sums ride the same pass over s[] that
+  // row i uses, and the gather x[perm[i]] replaces the pack pass.  Each
+  // accumulator applies its subtractions in ascending j — exactly the
+  // solveInPlace sequence — so the jam reorders only operations on
+  // *different* accumulators and every element matches bitwise.
+  int i = 0;
+  if (band_ > 0) {  // a zero band has empty rows — nothing to jam
+    for (; i + 1 < n_; i += 2) {
+      double acc0 = x[static_cast<std::size_t>(p[i])];
+      double acc1 = x[static_cast<std::size_t>(p[i + 1])];
+      const int jb0 = std::max(0, i - band_);
+      const int jb1 = std::max(0, i + 1 - band_);
+      if (jb1 > jb0) acc0 -= at(i, jb0) * s[jb0];  // row i starts one early
+      for (int j = jb1; j < i; ++j) {
+        const double v = s[j];
+        acc0 -= at(i, j) * v;
+        acc1 -= at(i + 1, j) * v;
+      }
+      s[i] = acc0;
+      acc1 -= at(i + 1, i) * acc0;  // row i+1's last term, still ascending j
+      s[i + 1] = acc1;
+    }
+  }
+  for (; i < n_; ++i) {
+    double acc = x[static_cast<std::size_t>(p[i])];
+    const int jb = std::max(0, i - band_);
+    for (int j = jb; j < i; ++j) acc -= at(i, j) * s[j];
+    s[i] = acc;
+  }
+  // Back substitution.  Row i-1's first subtraction uses the final x[i],
+  // which only exists after row i completes, so rows cannot be jammed
+  // here without reordering row i-1's ascending-j sequence; the sweep
+  // stays row-at-a-time with the scatter (and the fixed-point compare)
+  // fused into the final write.
+  bool equal = compare != nullptr;
+  for (int r = n_ - 1; r >= 0; --r) {
+    double acc = s[r];
+    const int jEnd = std::min(n_ - 1, r + band_);
+    for (int j = r + 1; j <= jEnd; ++j) acc -= at(r, j) * s[j];
+    const double v = acc / at(r, r);
+    s[r] = v;
+    const auto dst = static_cast<std::size_t>(p[r]);
+    if (equal && !bitsEqual(v, compare[dst])) equal = false;
+    x[dst] = v;
+  }
+  return equal;
+}
+
 void BandedFactorization::solveManyInPlace(double* xs, int count) const {
   HAYAT_REQUIRE(count >= 0, "negative right-hand-side count");
   if (count == 0) return;
@@ -317,6 +388,51 @@ void BandedFactorization::solveManyInPlace(double* xs, int count) const {
     }
     const double diag = at(i, i);
     for (int k = 0; k < count; ++k) xi[k] /= diag;
+  }
+}
+
+void BandedFactorization::solveManyPermuted(std::vector<Vector>& xs,
+                                            double* scratch,
+                                            const std::vector<int>& perm) const {
+  const int count = static_cast<int>(xs.size());
+  if (count == 0) return;
+  HAYAT_DCHECK(static_cast<int>(perm.size()) == n_);
+  const auto stride = static_cast<std::size_t>(count);
+  const int* p = perm.data();
+  // Forward substitution with the gather fused into each row's first
+  // touch: lane k of row i starts from xs[k][perm[i]] instead of a
+  // pre-packed buffer.  Per RHS the subtraction order is the ascending-j
+  // sequence of solveInPlace, so every lane matches a per-RHS solve
+  // bitwise.
+  for (int i = 0; i < n_; ++i) {
+    double* si = scratch + static_cast<std::size_t>(i) * stride;
+    const auto src = static_cast<std::size_t>(p[i]);
+    for (int k = 0; k < count; ++k)
+      si[k] = xs[static_cast<std::size_t>(k)][src];
+    const int jBegin = std::max(0, i - band_);
+    for (int j = jBegin; j < i; ++j) {
+      const double lij = at(i, j);
+      const double* sj = scratch + static_cast<std::size_t>(j) * stride;
+      for (int k = 0; k < count; ++k) si[k] -= lij * sj[k];
+    }
+  }
+  // Back substitution with the scatter fused into each row's final
+  // divide: lane k's solution lands directly in xs[k][perm[i]].
+  for (int i = n_ - 1; i >= 0; --i) {
+    double* si = scratch + static_cast<std::size_t>(i) * stride;
+    const int jEnd = std::min(n_ - 1, i + band_);
+    for (int j = i + 1; j <= jEnd; ++j) {
+      const double uij = at(i, j);
+      const double* sj = scratch + static_cast<std::size_t>(j) * stride;
+      for (int k = 0; k < count; ++k) si[k] -= uij * sj[k];
+    }
+    const double diag = at(i, i);
+    const auto dst = static_cast<std::size_t>(p[i]);
+    for (int k = 0; k < count; ++k) {
+      const double v = si[k] / diag;
+      si[k] = v;
+      xs[static_cast<std::size_t>(k)][dst] = v;
+    }
   }
 }
 
@@ -364,17 +480,46 @@ RcSolver::RcSolver(const SparseMatrix& a, std::vector<int> perm, Mode mode)
 void RcSolver::solveInPlace(Vector& x, Vector& scratch) const {
   HAYAT_REQUIRE(static_cast<int>(x.size()) == n_, "rhs size mismatch");
   scratch.resize(static_cast<std::size_t>(n_));
+  HAYAT_DCHECK(static_cast<int>(scratch.size()) >= n_);
+  if (banded_ != nullptr) {
+    banded_->solvePermuted(x, scratch, perm_, nullptr);
+    return;
+  }
   for (int i = 0; i < n_; ++i)
     scratch[static_cast<std::size_t>(i)] =
         x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
-  if (banded_ != nullptr) {
-    banded_->solveInPlace(scratch);
-  } else {
-    scratch = dense_->solve(scratch);  // reference path; allocates
-  }
+  scratch = dense_->solve(scratch);  // reference path; allocates
+  HAYAT_DCHECK(static_cast<int>(scratch.size()) >= n_);
   for (int i = 0; i < n_; ++i)
     x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
         scratch[static_cast<std::size_t>(i)];
+}
+
+bool RcSolver::solveInPlaceCompare(Vector& x, Vector& scratch,
+                                   const Vector& compare) const {
+  HAYAT_REQUIRE(static_cast<int>(x.size()) == n_, "rhs size mismatch");
+  HAYAT_REQUIRE(static_cast<int>(compare.size()) == n_,
+                "compare size mismatch");
+  scratch.resize(static_cast<std::size_t>(n_));
+  HAYAT_DCHECK(static_cast<int>(scratch.size()) >= n_);
+  if (banded_ != nullptr)
+    return banded_->solvePermuted(x, scratch, perm_, compare.data());
+  // Dense reference twin: pack, solve, and fuse the bitwise compare
+  // into the unpack pass so both backends report the same fixed point.
+  for (int i = 0; i < n_; ++i)
+    scratch[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+  scratch = dense_->solve(scratch);  // reference path; allocates
+  HAYAT_DCHECK(static_cast<int>(scratch.size()) >= n_);
+  bool equal = true;
+  for (int i = 0; i < n_; ++i) {
+    const auto dst = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
+    const double v = scratch[static_cast<std::size_t>(i)];
+    if (equal && std::memcmp(&v, &compare[dst], sizeof(double)) != 0)
+      equal = false;
+    x[dst] = v;
+  }
+  return equal;
 }
 
 void RcSolver::solveManyInPlace(std::vector<Vector>& xs,
@@ -390,25 +535,14 @@ void RcSolver::solveManyInPlace(std::vector<Vector>& xs,
     return;
   }
 
-  // Pack the permuted RHS interleaved, sweep once, unpack.
+  // Fused-permutation batched sweep: the gather/scatter passes of the
+  // old pack -> solveManyInPlace -> unpack path now ride the forward
+  // and backward substitutions themselves.
   scratch.resize(static_cast<std::size_t>(n_) *
                  static_cast<std::size_t>(count));
-  for (int i = 0; i < n_; ++i) {
-    const auto src = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
-    double* row = scratch.data() +
-                  static_cast<std::size_t>(i) * static_cast<std::size_t>(count);
-    for (int k = 0; k < count; ++k)
-      row[k] = xs[static_cast<std::size_t>(k)][src];
-  }
-  banded_->solveManyInPlace(scratch.data(), count);
-  for (int i = 0; i < n_; ++i) {
-    const auto dst = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
-    const double* row =
-        scratch.data() +
-        static_cast<std::size_t>(i) * static_cast<std::size_t>(count);
-    for (int k = 0; k < count; ++k)
-      xs[static_cast<std::size_t>(k)][dst] = row[k];
-  }
+  HAYAT_DCHECK(scratch.size() >= static_cast<std::size_t>(n_) *
+                                     static_cast<std::size_t>(count));
+  banded_->solveManyPermuted(xs, scratch.data(), perm_);
 }
 
 Vector RcSolver::solve(const Vector& b) const {

@@ -126,6 +126,25 @@ class BandedFactorization {
   /// return.  No allocations.
   void solveInPlace(Vector& x) const;
 
+  /// Fused-permutation solve of the DESIGN.md §3.13 blocked sweeps: the
+  /// right-hand side is gathered as x[perm[i]] when the forward sweep
+  /// first touches row i, both triangular sweeps run on `scratch` (the
+  /// permuted domain), and each final back-substituted value scatters
+  /// straight to x[perm[i]] — the separate pack and unpack passes of the
+  /// pre-§3.13 RcSolver are gone.  The forward sweep jams two rows per
+  /// traversal; every accumulator still applies its subtractions in
+  /// ascending j, so the operation sequence per element is exactly
+  /// pack -> solveInPlace -> unpack and the results are bitwise equal.
+  ///
+  /// When `compare` is non-null (original-domain array of size()), the
+  /// scatter also checks each solution element bitwise against it and
+  /// the call returns true iff all elements matched — the fused
+  /// fixed-point detector of the transient early exit.  Returns false
+  /// when `compare` is null.  No allocations; `scratch` must already
+  /// hold at least size() elements (debug-asserted).
+  bool solvePermuted(Vector& x, Vector& scratch, const std::vector<int>& perm,
+                     const double* compare) const;
+
   /// Multi-RHS solve: `count` right-hand sides stored interleaved
   /// (element i of RHS k at xs[i*count + k]), each replaced by its
   /// solution.  Every RHS undergoes the identical substitution sequence
@@ -133,6 +152,18 @@ class BandedFactorization {
   /// traversal across RHS — so each solution is bitwise equal to a
   /// per-RHS solveInPlace.  No allocations.
   void solveManyInPlace(double* xs, int count) const;
+
+  /// Fused-permutation multi-RHS solve: like solvePermuted but for the
+  /// interleaved batch layout of solveManyInPlace.  Row i's lane values
+  /// are gathered from xs[k][perm[i]] by the forward sweep and the
+  /// back-substituted lane values scatter to xs[k][perm[i]], killing
+  /// the pack/unpack passes of the §3.8 path.  Per RHS the substitution
+  /// sequence is identical to solveInPlace, so each solution is bitwise
+  /// equal to a per-RHS solve.  `scratch` must hold at least
+  /// size() * xs.size() elements (the RcSolver wrapper sizes and
+  /// debug-asserts it).  No allocations.
+  void solveManyPermuted(std::vector<Vector>& xs, double* scratch,
+                         const std::vector<int>& perm) const;
 
   /// Convenience allocating solve.
   Vector solve(const Vector& b) const;
@@ -178,8 +209,18 @@ class RcSolver {
 
   /// Solves A x = b where `x` holds b on entry and the solution on
   /// return.  `scratch` is resized to size() and clobbered; reusing it
-  /// across calls makes the banded path allocation-free.
+  /// across calls makes the banded path allocation-free.  The banded
+  /// backend runs the fused-permutation blocked sweeps (§3.13): no
+  /// separate permute passes, bitwise-identical results.
   void solveInPlace(Vector& x, Vector& scratch) const;
+
+  /// As solveInPlace, but additionally compares the solution bitwise
+  /// against `compare` (size()) during the scatter writeback — one fused
+  /// pass, no extra traversal.  Returns true iff x's solution is
+  /// element-for-element bit-identical to `compare`.  The transient
+  /// solver uses this to prove a step reached its fixed point.
+  bool solveInPlaceCompare(Vector& x, Vector& scratch,
+                           const Vector& compare) const;
 
   /// Solves A x = b for every vector in `xs` at once (each holds its b
   /// on entry and its solution on return).  The banded backend packs the

@@ -6,6 +6,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "aging/health.hpp"
@@ -721,6 +725,246 @@ TEST_F(EpochFixture, DeterministicRuns) {
   EXPECT_EQ(a.dtm.events(), b.dtm.events());
   EXPECT_DOUBLE_EQ(a.chipPeak, b.chipPeak);
   EXPECT_LT(maxAbsDiff(a.averageTemperature, b.averageTemperature), 1e-12);
+}
+
+// --- §3.13 fast paths: early exit + trajectory memo ------------------------
+
+/// Sets one environment flag for the lifetime of a scope.
+class ScopedEnvFlag {
+ public:
+  ScopedEnvFlag(const char* name, bool on) : name_(name) {
+    setenv(name, on ? "1" : "0", 1);
+  }
+  ~ScopedEnvFlag() { unsetenv(name_); }
+  ScopedEnvFlag(const ScopedEnvFlag&) = delete;
+  ScopedEnvFlag& operator=(const ScopedEnvFlag&) = delete;
+
+ private:
+  const char* name_;
+};
+
+void expectEpochResultsBitwiseEqual(const EpochResult& a, const EpochResult& b,
+                                    const char* label) {
+  ASSERT_EQ(a.averageTemperature.size(), b.averageTemperature.size()) << label;
+  for (std::size_t i = 0; i < a.averageTemperature.size(); ++i) {
+    EXPECT_EQ(a.averageTemperature[i], b.averageTemperature[i])
+        << label << " avg core " << i;
+    EXPECT_EQ(a.peakTemperature[i], b.peakTemperature[i])
+        << label << " peak core " << i;
+    EXPECT_EQ(a.duty[i], b.duty[i]) << label << " duty core " << i;
+  }
+  EXPECT_EQ(a.chipPeak, b.chipPeak) << label;
+  EXPECT_EQ(a.chipTimeAverage, b.chipTimeAverage) << label;
+  EXPECT_EQ(a.dtm.migrations, b.dtm.migrations) << label;
+  EXPECT_EQ(a.dtm.throttles, b.dtm.throttles) << label;
+  EXPECT_EQ(a.dtm.restores, b.dtm.restores) << label;
+  EXPECT_EQ(a.throttledSteps, b.throttledSteps) << label;
+  EXPECT_EQ(a.totalSteps, b.totalSteps) << label;
+  EXPECT_EQ(a.achievedIps, b.achievedIps) << label;
+  EXPECT_EQ(a.requiredIps, b.requiredIps) << label;
+  ASSERT_EQ(a.finalMapping.coreCount(), b.finalMapping.coreCount()) << label;
+  for (int c = 0; c < a.finalMapping.coreCount(); ++c) {
+    const auto& sa = a.finalMapping.onCore(c);
+    const auto& sb = b.finalMapping.onCore(c);
+    ASSERT_EQ(sa.has_value(), sb.has_value()) << label << " core " << c;
+    if (!sa.has_value()) continue;
+    EXPECT_EQ(sa->ref.app, sb->ref.app) << label << " core " << c;
+    EXPECT_EQ(sa->ref.thread, sb->ref.thread) << label << " core " << c;
+    EXPECT_EQ(sa->frequency, sb->frequency) << label << " core " << c;
+    EXPECT_EQ(sa->requiredFrequency, sb->requiredFrequency)
+        << label << " core " << c;
+  }
+}
+
+SystemConfig gridConfig(int edge) {
+  SystemConfig sc;
+  sc.population.coreGrid = GridShape(edge, edge);
+  sc.pathsPerCore = 3;
+  sc.elementsPerPath = 12;
+  return sc;
+}
+
+Mapping scatterMapping(const WorkloadMix& mix, const Chip& chip,
+                       int onBudget) {
+  const auto k = chooseParallelism(mix, onBudget);
+  const auto threads = runnableThreads(mix, k);
+  const int n = chip.coreCount();
+  Mapping m(n);
+  int idx = 0;
+  for (const RunnableThread& t : threads) {
+    const int core =
+        static_cast<int>((static_cast<long>(idx) * n) /
+                         static_cast<long>(threads.size()));
+    m.assign(t.ref, core, std::min(t.minFrequency, chip.currentFmax(core)),
+             t.minFrequency);
+    ++idx;
+  }
+  return m;
+}
+
+TEST(EpochEarlyExit, BitwiseMatchesFullWindowAcrossSizes) {
+  for (const int edge : {4, 8, 16}) {
+    System system = System::create(gridConfig(edge), 77);
+    const WorkloadMix mix = smallMix(std::max(4, edge * edge / 2), 5);
+    EpochConfig ec;
+    ec.window = 0.3;
+    const EpochSimulator sim(system.chip(), system.thermal(),
+                             system.leakage(), ec);
+    const Mapping m = scatterMapping(mix, system.chip(), edge * edge / 2);
+    const ScopedEnvFlag noMemo("HAYAT_NO_THERMAL_MEMO", true);
+    EpochResult reference{Vector{}, Vector{}, {}, 0, 0, {}, 0, 0, 0, 0,
+                          Mapping(1)};
+    {
+      const ScopedEnvFlag noExit("HAYAT_NO_THERMAL_EARLYEXIT", true);
+      reference = sim.run(m, mix);
+    }
+    const EpochResult fast = sim.run(m, mix);
+    expectEpochResultsBitwiseEqual(reference, fast,
+                                   edge == 4   ? "4x4"
+                                   : edge == 8 ? "8x8"
+                                               : "16x16");
+  }
+}
+
+TEST(EpochEarlyExit, BitwiseMatchesFullWindowUnderDenseTwin) {
+  // The dense reference backend must agree with itself across the
+  // early-exit twin too (the detector's fused compare also has a dense
+  // implementation).
+  ThermalModel::clearSharedTransientCacheForTest();
+  const ScopedEnvFlag dense("HAYAT_DENSE_SOLVER", true);
+  System system = System::create(gridConfig(4), 77);
+  const WorkloadMix mix = smallMix(8, 5);
+  EpochConfig ec;
+  ec.window = 0.3;
+  const EpochSimulator sim(system.chip(), system.thermal(), system.leakage(),
+                           ec);
+  const Mapping m = scatterMapping(mix, system.chip(), 8);
+  const ScopedEnvFlag noMemo("HAYAT_NO_THERMAL_MEMO", true);
+  EpochResult reference{Vector{}, Vector{}, {}, 0, 0, {}, 0, 0, 0, 0,
+                        Mapping(1)};
+  {
+    const ScopedEnvFlag noExit("HAYAT_NO_THERMAL_EARLYEXIT", true);
+    reference = sim.run(m, mix);
+  }
+  const EpochResult fast = sim.run(m, mix);
+  expectEpochResultsBitwiseEqual(reference, fast, "dense 4x4");
+  ThermalModel::clearSharedTransientCacheForTest();
+}
+
+/// A mix whose threads hold one constant phase forever — the steady
+/// workload the fixed-point early exit is designed for.
+WorkloadMix steadyMix(int threads) {
+  std::vector<ThreadProfile> profiles;
+  for (int t = 0; t < threads; ++t)
+    profiles.emplace_back(
+        std::vector<ThreadPhase>{{1.0, 3.0 + 0.25 * t, 0.5, 1.0}}, 2.0e9);
+  WorkloadMix mix;
+  mix.applications.emplace_back("steady", std::move(profiles), 1);
+  return mix;
+}
+
+TEST(EpochEarlyExit, SteadyWindowSkipsSteps) {
+  clearTransientMemoForTest();
+  System system = System::create(gridConfig(4), 77);
+  const WorkloadMix mix = steadyMix(4);
+  EpochConfig ec;  // default 2 s window: ~303 steps, plenty to lock
+  const EpochSimulator sim(system.chip(), system.thermal(), system.leakage(),
+                           ec);
+  const Mapping m = scatterMapping(mix, system.chip(), 4);
+  const std::uint64_t before = epochStepsSkipped();
+  const EpochResult r = sim.run(m, mix);
+  EXPECT_EQ(r.dtm.events(), 0);
+  EXPECT_GT(epochStepsSkipped() - before, 0u)
+      << "steady constant-power window reached no bitwise fixed point";
+}
+
+TEST(EpochMemo, TwinIdentityAndHitCounting) {
+  clearTransientMemoForTest();
+  System system = System::create(gridConfig(4), 77);
+  const WorkloadMix mix = smallMix(8, 5);
+  EpochConfig ec;
+  ec.window = 0.2;
+  const EpochSimulator sim(system.chip(), system.thermal(), system.leakage(),
+                           ec);
+  const Mapping m = scatterMapping(mix, system.chip(), 8);
+  EpochResult reference{Vector{}, Vector{}, {}, 0, 0, {}, 0, 0, 0, 0,
+                        Mapping(1)};
+  {
+    const ScopedEnvFlag noMemo("HAYAT_NO_THERMAL_MEMO", true);
+    reference = sim.run(m, mix);
+  }
+  const std::uint64_t misses0 = transientMemoMisses();
+  const std::uint64_t hits0 = transientMemoHits();
+  const EpochResult first = sim.run(m, mix);   // miss: simulates + stores
+  const EpochResult second = sim.run(m, mix);  // hit: replays the store
+  EXPECT_EQ(transientMemoMisses() - misses0, 1u);
+  EXPECT_EQ(transientMemoHits() - hits0, 1u);
+  expectEpochResultsBitwiseEqual(reference, first, "memo miss");
+  expectEpochResultsBitwiseEqual(reference, second, "memo hit");
+}
+
+TEST(EpochMemo, HitPathAllocationBound) {
+  if (!allocCounterActive()) {
+    GTEST_SKIP() << "allocation counter compiled out (sanitizer build)";
+  }
+  clearTransientMemoForTest();
+  System system = System::create(gridConfig(4), 77);
+  const WorkloadMix mix = smallMix(8, 5);
+  EpochConfig ec;
+  ec.window = 0.2;
+  const EpochSimulator sim(system.chip(), system.thermal(), system.leakage(),
+                           ec);
+  const Mapping m = scatterMapping(mix, system.chip(), 8);
+  (void)sim.run(m, mix);  // miss: stores the window, warms the key buffer
+  const std::uint64_t hits0 = transientMemoHits();
+  const std::uint64_t before = heapAllocationCount();
+  (void)sim.run(m, mix);  // hit
+  const std::uint64_t hitAllocs = heapAllocationCount() - before;
+  ASSERT_EQ(transientMemoHits() - hits0, 1u);
+  // The hit replays a stored result: the only allowed allocations are
+  // the returned EpochResult's own vectors (no solves, no warm start).
+  EXPECT_LE(hitAllocs, 16u)
+      << "memo hit path allocated " << hitAllocs << " times";
+}
+
+TEST(EpochMemo, ConcurrentRunsShareMemoSafely) {
+  clearTransientMemoForTest();
+  System system = System::create(gridConfig(4), 77);
+  const WorkloadMix mixA = smallMix(8, 5);
+  const WorkloadMix mixB = smallMix(8, 9);
+  EpochConfig ec;
+  ec.window = 0.2;
+  const EpochSimulator sim(system.chip(), system.thermal(), system.leakage(),
+                           ec);
+  const Mapping mA = scatterMapping(mixA, system.chip(), 8);
+  const Mapping mB = scatterMapping(mixB, system.chip(), 8);
+  EpochResult refA{Vector{}, Vector{}, {}, 0, 0, {}, 0, 0, 0, 0, Mapping(1)};
+  EpochResult refB{Vector{}, Vector{}, {}, 0, 0, {}, 0, 0, 0, 0, Mapping(1)};
+  {
+    const ScopedEnvFlag noMemo("HAYAT_NO_THERMAL_MEMO", true);
+    refA = sim.run(mA, mixA);
+    refB = sim.run(mB, mixB);
+  }
+  std::vector<std::thread> workers;
+  std::vector<EpochResult> results;
+  std::mutex resultsMutex;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (int iter = 0; iter < 3; ++iter) {
+        const bool useA = (w + iter) % 2 == 0;
+        EpochResult r = sim.run(useA ? mA : mB, useA ? mixA : mixB);
+        std::lock_guard<std::mutex> lock(resultsMutex);
+        results.push_back(std::move(r));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const EpochResult& r : results) {
+    const bool isA =
+        r.averageTemperature.size() == refA.averageTemperature.size() &&
+        r.achievedIps == refA.achievedIps;
+    expectEpochResultsBitwiseEqual(isA ? refA : refB, r, "concurrent");
+  }
 }
 
 }  // namespace
