@@ -47,6 +47,14 @@
 // lane additionally disables the early exit so the seed column stays
 // the true pre-§3.13 baseline.
 //
+// A "failure_breakdown" section (v5) times the Monte Carlo lifetime
+// distribution of DESIGN.md §3.14 against its point-MTTF twin: the same
+// 4x4 lifetime task once with failure.samples = 0 and once with 256
+// samples, reporting the sampling overhead ratio and the mechanism kill
+// split.  The counter-based sampler rides on trajectories the simulator
+// records anyway, so the distribution must stay a small constant factor
+// over the point run — CI's perf-smoke gate budgets the ratio.
+//
 // A "prune_quality" section (v3) runs the same lifetime unit under
 // --policy-prune radii against the exact sweep and reports projected
 // MTTF, aging skew (worst/average damage) and the policy-phase speedup,
@@ -503,6 +511,58 @@ Breakdown benchLifetimeBreakdown(int rows, int cols, int reps) {
   return b;
 }
 
+/// §3.14 cost of lifetime distributions: one 4x4 lifetime task with and
+/// without the failure Monte Carlo, on identical seeds and fast paths.
+struct FailureBreakdown {
+  std::string config;
+  int samples = 0;
+  double pointNs = 0.0;         ///< failure.samples = 0 (point MTTF)
+  double distributionNs = 0.0;  ///< same task sampling the distribution
+  long emKills = 0;
+  long tddbKills = 0;
+
+  double overhead() const {
+    return pointNs > 0.0 ? distributionNs / pointNs : 0.0;
+  }
+};
+
+FailureBreakdown benchFailureBreakdown(int rows, int cols, int samples,
+                                       double minRepNs) {
+  const SystemConfig sc = benchSystemConfig(rows, cols);
+  const ScopedBackend banded(false);
+  const ScopedScalarAging batched(false);
+  FailureBreakdown b;
+  b.config = gridLabel(rows, cols);
+  b.samples = samples;
+  LifetimeConfig lc;
+  lc.horizon = 0.5;
+  lc.epochLength = 0.25;
+  lc.workloadSeed = 77;
+  lc.failure.seed = 99;
+  HayatPolicy policy;
+  const auto timeWith = [&](int sampleCount) {
+    lc.failure.samples = sampleCount;
+    const LifetimeSimulator sim(lc);
+    return timeNs(
+        [&] {
+          System system = System::create(sc, 2015);
+          sim.run(system, policy);
+        },
+        minRepNs, 2);
+  };
+  b.pointNs = timeWith(0);
+  b.distributionNs = timeWith(samples);
+  // One extra un-timed run for the mechanism split.
+  lc.failure.samples = samples;
+  System system = System::create(sc, 2015);
+  const LifetimeResult result = LifetimeSimulator(lc).run(system, policy);
+  if (result.distribution.has_value()) {
+    b.emKills = result.distribution->emKills;
+    b.tddbKills = result.distribution->tddbKills;
+  }
+  return b;
+}
+
 /// Speed/quality point of one spatial-pruning radius against the exact
 /// sweep: same chip, same workload seed, same horizon — only the
 /// candidate set differs (DESIGN.md §3.11).  radius == 0 is the exact
@@ -550,11 +610,12 @@ void writeJson(const std::string& path, const std::string& mode,
                const std::vector<Entry>& entries,
                const std::vector<Breakdown>& breakdowns,
                const std::vector<ThermalBreakdown>& thermalBreakdowns,
+               const std::vector<FailureBreakdown>& failureBreakdowns,
                const std::vector<PruneQuality>& pruneQuality) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"benchmark\": \"bench_kernels\",\n"
-      << "  \"version\": 4,\n"
+      << "  \"version\": 5,\n"
       << "  \"mode\": \"" << mode << "\",\n"
       << "  \"units\": \"nanoseconds\",\n"
       << "  \"results\": [\n";
@@ -608,6 +669,23 @@ void writeJson(const std::string& path, const std::string& mode,
                   t.sweepNs, t.earlyExitSavedNs,
                   static_cast<unsigned long long>(t.stepsSkipped),
                   i + 1 < thermalBreakdowns.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n"
+      << "  \"failure_breakdown\": [\n";
+  for (std::size_t i = 0; i < failureBreakdowns.size(); ++i) {
+    const FailureBreakdown& f = failureBreakdowns[i];
+    // overhead is distribution_ns / point_ns of the identical task; CI's
+    // perf-smoke gate budgets it (the sampler must stay a small constant
+    // factor over the point run it rides on).
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"config\": \"%s\", \"samples\": %d, "
+                  "\"point_ns\": %.0f, \"distribution_ns\": %.0f, "
+                  "\"overhead\": %.3f, \"em_kills\": %ld, "
+                  "\"tddb_kills\": %ld}%s\n",
+                  f.config.c_str(), f.samples, f.pointNs, f.distributionNs,
+                  f.overhead(), f.emKills, f.tddbKills,
+                  i + 1 < failureBreakdowns.size() ? "," : "");
     out << buf;
   }
   out << "  ],\n"
@@ -692,6 +770,14 @@ int main(int argc, char** argv) {
   for (const auto& [rows, cols] : breakdownGrids)
     thermalBreakdowns.push_back(
         benchThermalBreakdown(rows, cols, small ? 0.0 : minRepNs));
+  // Failure Monte Carlo cost: always the 4x4 task at 256 samples (what
+  // the CI perf-smoke gate budgets); full mode adds the 8x8 point.
+  // minRepNs applies even in small mode: the CI gate budgets the
+  // distribution/point *ratio*, so both lanes need calibrated loops.
+  std::vector<FailureBreakdown> failureBreakdowns;
+  failureBreakdowns.push_back(benchFailureBreakdown(4, 4, 256, minRepNs));
+  if (!small)
+    failureBreakdowns.push_back(benchFailureBreakdown(8, 8, 256, minRepNs));
   // Pruning speed/quality curve: exact (radius 0) first so the JSON
   // speedup column has its reference, then the tracked radii.
   const int pruneGrid = small ? 8 : 16;
@@ -725,6 +811,13 @@ int main(int argc, char** argv) {
                 t.config.c_str(), t.factorNs, t.permuteNs, t.sweepNs,
                 t.earlyExitSavedNs,
                 static_cast<unsigned long long>(t.stepsSkipped));
+  std::printf("\n%-20s %-10s %8s %12s %14s %9s %8s %8s\n",
+              "failure-breakdown", "config", "samples", "point [ns]",
+              "dist [ns]", "overhead", "em", "tddb");
+  for (const FailureBreakdown& f : failureBreakdowns)
+    std::printf("%-20s %-10s %8d %12.0f %14.0f %8.2fx %8ld %8ld\n", "",
+                f.config.c_str(), f.samples, f.pointNs, f.distributionNs,
+                f.overhead(), f.emKills, f.tddbKills);
   std::printf("\n%-20s %-10s %8s %12s %10s %9s\n", "prune-quality", "config",
               "radius", "mttf [yr]", "skew", "speedup");
   double exactPolicyNs = 0.0;
@@ -740,7 +833,7 @@ int main(int argc, char** argv) {
   }
 
   writeJson(outPath, small ? "small" : "full", entries, breakdowns,
-            thermalBreakdowns, pruneQuality);
+            thermalBreakdowns, failureBreakdowns, pruneQuality);
   std::printf("wrote %s\n", outPath.c_str());
   return 0;
 }

@@ -45,6 +45,40 @@ DamageAccumulator DamageAccumulator::fromDamage(double damage) {
   return a;
 }
 
+double weibullMeanOneQuantile(double u, double shape) {
+  HAYAT_REQUIRE(u >= 0.0 && u < 1.0, "quantile probability must be in [0, 1)");
+  HAYAT_REQUIRE(shape > 0.0, "Weibull shape must be positive");
+  // Weibull(shape k, scale l): Q(u) = l * (-ln(1-u))^(1/k), mean
+  // l * Gamma(1 + 1/k); scale for mean 1 is 1/Gamma(1 + 1/k).
+  const double scale = 1.0 / std::tgamma(1.0 + 1.0 / shape);
+  return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+}
+
+Years damageCrossingTime(const std::vector<double>& epochDamageRates,
+                         Years epochLength, double threshold) {
+  HAYAT_REQUIRE(epochLength > 0.0, "epoch length must be positive");
+  HAYAT_REQUIRE(threshold >= 0.0, "negative damage threshold");
+  if (threshold <= 0.0) return 0.0;
+  double damage = 0.0;
+  for (std::size_t e = 0; e < epochDamageRates.size(); ++e) {
+    const double rate = epochDamageRates[e];
+    HAYAT_REQUIRE(rate >= 0.0, "negative damage rate");
+    const double next = damage + rate * epochLength;
+    if (next >= threshold) {
+      // Crossed inside this epoch; rate > 0 is implied by next > damage.
+      return static_cast<double>(e) * epochLength +
+             (threshold - damage) / rate;
+    }
+    damage = next;
+  }
+  // Never crossed within the trajectory: extrapolate the observed regime.
+  const Years horizon =
+      static_cast<double>(epochDamageRates.size()) * epochLength;
+  if (damage <= 0.0 || horizon <= 0.0) return kUnboundedLifetime;
+  const double meanRate = damage / horizon;
+  return horizon + (threshold - damage) / meanRate;
+}
+
 ChipReliability summarizeReliability(const std::vector<double>& coreDamage,
                                      Years elapsed) {
   HAYAT_REQUIRE(!coreDamage.empty(), "no cores to summarize");

@@ -18,11 +18,16 @@
 // hard-failure margin its thermal profile buys.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace hayat {
+
+/// Lifetime of a unit its stress never damages (zero-stress sentinel of
+/// the per-unit wearout models, failure/wearout.hpp).
+constexpr Years kUnboundedLifetime = std::numeric_limits<double>::infinity();
 
 /// Arrhenius MTTF parameters.
 struct MttfConfig {
@@ -83,5 +88,26 @@ struct ChipReliability {
 /// Summarizes per-core damage after `elapsed` years of operation.
 ChipReliability summarizeReliability(const std::vector<double>& coreDamage,
                                      Years elapsed);
+
+// Distribution mode (DESIGN.md §3.14) — the closed-form primitives the
+// failure Monte Carlo (src/failure) samples with.  MTTF models give the
+// *mean*; real units scatter around it.  The standard lifetime
+// distribution for wear-out mechanisms is the Weibull; normalizing its
+// scale so the mean is exactly 1 turns a sampled quantile into a Miner
+// damage *threshold*: the unit fails when its accumulated consumed-life
+// fraction crosses the threshold, so E[threshold] = 1 reproduces the
+// point MTTF on average while the shape parameter carries the scatter.
+
+/// Quantile (inverse CDF) of the mean-one Weibull with shape `shape` at
+/// probability u in [0, 1).  Monotone in u; u = 0 returns 0.
+double weibullMeanOneQuantile(double u, double shape);
+
+/// Failure time under Miner's rule: walks per-epoch damage rates
+/// [1/years] until the accumulated damage crosses `threshold`
+/// (interpolating within the crossing epoch).  Past the trajectory the
+/// regime is assumed to continue at the trajectory's mean rate; a
+/// trajectory that accumulates zero damage returns kUnboundedLifetime.
+Years damageCrossingTime(const std::vector<double>& epochDamageRates,
+                         Years epochLength, double threshold);
 
 }  // namespace hayat

@@ -1,0 +1,70 @@
+#include "baselines/utilization_aware.hpp"
+
+#include <algorithm>
+
+#include "baselines/simple_policies.hpp"
+#include "common/error.hpp"
+#include "runtime/thermal_predictor.hpp"
+
+namespace hayat {
+
+Mapping UtilizationAwarePolicy::map(const PolicyContext& context) {
+  HAYAT_REQUIRE(context.chip && context.mix && context.thermal &&
+                    context.leakage,
+                "incomplete policy context");
+  const Chip& chip = *context.chip;
+  const int n = chip.coreCount();
+  const std::vector<int> parallelism =
+      chooseParallelism(*context.mix, onCoreBudget(context));
+  std::vector<RunnableThread> threads =
+      runnableThreads(*context.mix, parallelism);
+
+  // Hottest (highest-power) threads place first so they take the
+  // least-worn spots.
+  std::sort(threads.begin(), threads.end(),
+            [](const RunnableThread& a, const RunnableThread& b) {
+              return a.averagePower > b.averagePower;
+            });
+
+  // The idle-chip thermal baseline only serves as the tie-break, so one
+  // prediction up front is enough (no per-placement refresh).
+  const ThermalPredictor predictor(*context.thermal, *context.leakage);
+  const Vector dynPower(static_cast<std::size_t>(n), 0.0);
+  const std::vector<bool> on(static_cast<std::size_t>(n), false);
+  const ThermalPredictor::Baseline baseline =
+      predictor.makeBaseline(dynPower, on);
+
+  // Lexicographic score: least consumed life first, coldest second.
+  const auto better = [&](int a, int b) {
+    const double wearA = context.observedWearOf(a);
+    const double wearB = context.observedWearOf(b);
+    if (wearA != wearB) return wearA < wearB;
+    return baseline.temperatures[static_cast<std::size_t>(a)] <
+           baseline.temperatures[static_cast<std::size_t>(b)];
+  };
+
+  Mapping mapping(n);
+  for (const RunnableThread& t : threads) {
+    int best = -1;
+    for (int c = 0; c < n; ++c) {
+      if (mapping.coreBusy(c)) continue;
+      if (context.observedFmax(c) < t.minFrequency) continue;
+      if (best < 0 || better(c, best)) best = c;
+    }
+    if (best < 0) {
+      // Requirement infeasible everywhere: least-worn idle core
+      // regardless of frequency.
+      for (int c = 0; c < n; ++c) {
+        if (mapping.coreBusy(c)) continue;
+        if (best < 0 || better(c, best)) best = c;
+      }
+    }
+    HAYAT_REQUIRE(best >= 0, "no idle core left");
+    mapping.assign(t.ref, best,
+                   operatingFrequency(context, best, t.minFrequency),
+                   t.minFrequency);
+  }
+  return mapping;
+}
+
+}  // namespace hayat

@@ -1,0 +1,29 @@
+// Utilization-aware (wear-leveling) allocation baseline.
+//
+// The classic lifetime-balancing heuristic the failure benches compare
+// Hayat against: place work on the cores that have *consumed the least
+// life* so far, so accumulated wear-out damage (and hence the unit
+// failure distribution, src/failure) spreads evenly across the fabric.
+// It is the duty-cycle complement of CoolestFirst — utilization-history
+// aware but instantaneous-temperature and variation blind, which is
+// exactly the regime where per-unit failure modeling shows the gap:
+// leveling wear maximizes the k-of-n fabric's time-to-k-deaths, but
+// ignoring thermals lets every core age faster than it needs to.
+#pragma once
+
+#include "runtime/mapping.hpp"
+
+namespace hayat {
+
+/// Greedy least-worn-core placement; ties (e.g. the pristine epoch-0
+/// chip) break toward the coldest predicted core so the first mapping is
+/// still sane.
+class UtilizationAwarePolicy : public MappingPolicy {
+ public:
+  UtilizationAwarePolicy() = default;
+
+  std::string name() const override { return "UtilizationAware"; }
+  Mapping map(const PolicyContext& context) override;
+};
+
+}  // namespace hayat

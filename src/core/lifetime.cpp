@@ -242,6 +242,20 @@ LifetimeResult LifetimeSimulator::run(System& system,
   std::optional<Mapping> carriedMapping;
   std::vector<std::pair<int, int>> pendingArrivals;
 
+  // Distribution mode: one trajectory per failure-graph unit, filled as
+  // the epoch loop observes the chip.  Units follow buildSocFailureGraph
+  // order — cores 0..n-1, then the shared L2 (biased whenever the chip
+  // is powered: stress 1.0 at the chip's time-average temperature).
+  const bool sampleFailures = config_.failure.samples > 0;
+  std::vector<UnitTrajectory> trajectories;
+  if (sampleFailures) {
+    trajectories.resize(static_cast<std::size_t>(n) + 1);
+    for (UnitTrajectory& t : trajectories) {
+      t.temperature.reserve(static_cast<std::size_t>(epochCount));
+      t.stress.reserve(static_cast<std::size_t>(epochCount));
+    }
+  }
+
   for (int e = 0; e < epochCount; ++e) {
     static std::atomic<std::uint64_t> epochSpanSite{0};
     const telemetry::Span epochSpan(
@@ -353,6 +367,16 @@ LifetimeResult LifetimeSimulator::run(System& system,
                             config_.epochLength);
       result.coreDamage[si] = damage[si].damage();
     }
+    if (sampleFailures) {
+      for (int i = 0; i < n; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        trajectories[si].temperature.push_back(window.averageTemperature[si]);
+        trajectories[si].stress.push_back(window.duty[si]);
+      }
+      trajectories[static_cast<std::size_t>(n)].temperature.push_back(
+          window.chipTimeAverage);
+      trajectories[static_cast<std::size_t>(n)].stress.push_back(1.0);
+    }
 
     EpochRecord record;
     record.startYear = startYear;
@@ -373,6 +397,14 @@ LifetimeResult LifetimeSimulator::run(System& system,
   }
 
   result.finalFmax = chip.health().currentFmaxAll();
+  if (sampleFailures) {
+    SocFailureTopology topology;
+    topology.coreCount = n;
+    topology.minAliveCoreFraction = config_.failure.minAliveCoreFraction;
+    const FailureMonteCarlo mc(config_.failure,
+                               buildSocFailureGraph(topology));
+    result.distribution = mc.run(trajectories, config_.epochLength);
+  }
   totalPhaseNanos.fetch_add(telemetry::nowNanos() - runT0,
                             std::memory_order_relaxed);
   return result;

@@ -16,6 +16,7 @@
 #include "aging/mttf.hpp"
 #include "arch/sensors.hpp"
 #include "core/system.hpp"
+#include "failure/monte_carlo.hpp"
 #include "runtime/mapping.hpp"
 #include "workload/generator.hpp"
 
@@ -56,6 +57,11 @@ struct LifetimeConfig {
   /// ideal sensors.
   SensorNoise healthSensorNoise{};
   std::uint64_t sensorSeed = 4242;
+  /// Distribution mode (DESIGN.md §3.14): failure.samples > 0 makes the
+  /// run additionally collect per-unit (temperature, stress)
+  /// trajectories and Monte Carlo a system-lifetime distribution over
+  /// the SoC failure graph; 0 keeps the classic point-MTTF-only run.
+  FailureConfig failure{};
 };
 
 /// Metrics captured per epoch.
@@ -86,6 +92,9 @@ struct LifetimeResult {
   /// Miner's-rule consumed-life fraction per core (Arrhenius wear-out,
   /// accumulated from each epoch's time-average temperatures).
   std::vector<double> coreDamage;
+  /// Sampled system-lifetime distribution, present iff the run's
+  /// LifetimeConfig::failure.samples > 0.
+  std::optional<LifetimeDistribution> distribution;
 
   /// Chip-level hard-failure summary (series system over cores).
   ChipReliability reliability() const;

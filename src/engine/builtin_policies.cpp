@@ -7,6 +7,7 @@
 #include <string>
 
 #include "baselines/simple_policies.hpp"
+#include "baselines/utilization_aware.hpp"
 #include "baselines/vaa.hpp"
 #include "common/error.hpp"
 #include "core/exhaustive_policy.hpp"
@@ -89,6 +90,12 @@ std::unique_ptr<MappingPolicy> makeCoolestFirst(const PolicyParams& params) {
   return std::make_unique<CoolestFirstPolicy>();
 }
 
+std::unique_ptr<MappingPolicy> makeUtilizationAware(
+    const PolicyParams& params) {
+  requireKnownParams("UtilizationAware", params, {});
+  return std::make_unique<UtilizationAwarePolicy>();
+}
+
 std::unique_ptr<MappingPolicy> makeExhaustive(const PolicyParams& params) {
   requireKnownParams("Exhaustive", params, {"maxAssignments", "dutyPolicy"});
   ExhaustiveConfig config;
@@ -109,6 +116,7 @@ void registerBuiltinPolicies() {
     registry.add("VAA", makeVaa);
     registry.add("Random", makeRandom);
     registry.add("CoolestFirst", makeCoolestFirst);
+    registry.add("UtilizationAware", makeUtilizationAware);
     registry.add("Exhaustive", makeExhaustive);
   });
 }

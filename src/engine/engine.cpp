@@ -197,6 +197,8 @@ std::vector<RunTask> ExperimentEngine::expand(
               deriveSeed(spec.baseSeed, chip, rep, SeedStream::Workload);
           task.lifetime.sensorSeed =
               deriveSeed(spec.baseSeed, chip, rep, SeedStream::HealthSensor);
+          task.lifetime.failure.seed =
+              deriveSeed(spec.baseSeed, chip, rep, SeedStream::Failure);
           tasks.push_back(std::move(task));
         }
       }

@@ -124,6 +124,28 @@ void visitLifetime(LifetimeConfig& c, SpecFieldVisitor& v) {
   else
     c.dvfs = FrequencyLadder(levels);
 
+  // Failure Monte Carlo knobs (DESIGN.md §3.14).  samples flips the run
+  // into distribution mode, so a distribution spec can never share a
+  // signature — or a cache slot — with its point-MTTF twin.  failure.seed
+  // is derived per task (SeedStream::Failure) and excluded.
+  FailureConfig& f = c.failure;
+  v.field("life.failure.samples", f.samples);
+  v.field("life.failure.weibullShape", f.weibullShape);
+  v.field("life.failure.minAliveCoreFraction", f.minAliveCoreFraction);
+  v.field("life.failure.em.activationEnergyEv", f.em.activationEnergyEv);
+  v.field("life.failure.em.currentExponent", f.em.currentExponent);
+  v.field("life.failure.em.referenceMttfYears", f.em.referenceMttfYears);
+  v.field("life.failure.em.referenceTemperature", f.em.referenceTemperature);
+  v.field("life.failure.em.referenceCurrentFactor",
+          f.em.referenceCurrentFactor);
+  v.field("life.failure.tddb.activationEnergyEv", f.tddb.activationEnergyEv);
+  v.field("life.failure.tddb.voltageExponent", f.tddb.voltageExponent);
+  v.field("life.failure.tddb.vdd", f.tddb.vdd);
+  v.field("life.failure.tddb.referenceVdd", f.tddb.referenceVdd);
+  v.field("life.failure.tddb.referenceMttfYears", f.tddb.referenceMttfYears);
+  v.field("life.failure.tddb.referenceTemperature",
+          f.tddb.referenceTemperature);
+
   // A fixed mix cannot be canonically serialized here; walk its presence
   // (as the application count) so two specs differing only in the mix
   // never share a signature silently.  The engine additionally disables
@@ -228,10 +250,9 @@ std::uint64_t deriveSeed(std::uint64_t baseSeed, int chip, int repetition,
 std::string specSignature(const ExperimentSpec& spec) {
   ExperimentSpec copy = spec;  // the walk takes mutable refs; keep callers const
   SignatureWriter w;
-  // v3: policyPrune joined the walk and the Hayat placement commit moved
-  // from a full leakage-sweep refresh to the promoted what-if fold
-  // (§3.11) — cached v2 tables must not shadow v3 results.
-  int version = 3;
+  // v4: the failure Monte Carlo knobs joined the walk (§3.14) — cached
+  // v3 point-MTTF tables must not shadow distribution-mode results.
+  int version = 4;
   w.field("spec.version", version);
   visitSpecFields(copy, w);
   return w.str();

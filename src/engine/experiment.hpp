@@ -43,6 +43,7 @@ enum class SeedStream : std::uint64_t {
   Workload = 1,       ///< LifetimeConfig::workloadSeed
   HealthSensor = 2,   ///< LifetimeConfig::sensorSeed
   ThermalSensor = 3,  ///< EpochConfig::thermalSensorSeed
+  Failure = 4,        ///< LifetimeConfig::failure.seed (Monte Carlo)
 };
 
 /// The documented seed-derivation rule.

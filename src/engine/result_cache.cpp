@@ -103,6 +103,35 @@ bool readRunResultImpl(std::istream& in, RunResult& r) {
     e.throughputRatio = std::stod(f[12]);
     l.epochs.push_back(e);
   }
+
+  // Failure section (format v4): always present so multi-run files stay
+  // unambiguous; "none" marks a point-MTTF run.
+  if (!std::getline(in, line) || !fields(line, "failure", f)) return false;
+  l.distribution.reset();
+  if (f.size() == 1 && f[0] == "none") return true;
+  if (f.size() != 4) return false;
+  LifetimeDistribution d;
+  const long samples = std::stol(f[0]);
+  d.emKills = std::stol(f[1]);
+  d.tddbKills = std::stol(f[2]);
+  const long units = std::stol(f[3]);
+  for (long i = 0; i < units; ++i) {
+    if (!std::getline(in, line) || !fields(line, "funit", f) || f.size() != 4)
+      return false;
+    UnitFailureStats u;
+    u.name = f[0];
+    u.kind = static_cast<UnitKind>(std::stoi(f[1]));
+    u.kills = std::stol(f[2]);
+    u.deaths = std::stol(f[3]);
+    d.units.push_back(std::move(u));
+  }
+  for (long i = 0; i < samples; ++i) {
+    if (!std::getline(in, line) || !fields(line, "fsample", f) ||
+        f.size() != 1)
+      return false;
+    d.systemLifetimes.push_back(std::stod(f[0]));
+  }
+  l.distribution = std::move(d);
   return true;
 }
 
@@ -129,6 +158,18 @@ void writeRunResult(std::ostream& out, const RunResult& r) {
         << fmt(e.averageFmax) << ',' << fmt(e.minHealth) << ','
         << fmt(e.averageHealth) << ',' << fmt(e.throughputRatio) << '\n';
   }
+  if (!l.distribution.has_value()) {
+    out << "failure,none\n";
+    return;
+  }
+  const LifetimeDistribution& d = *l.distribution;
+  out << "failure," << d.systemLifetimes.size() << ',' << d.emKills << ','
+      << d.tddbKills << ',' << d.units.size() << '\n';
+  for (const UnitFailureStats& u : d.units)
+    out << "funit," << u.name << ',' << static_cast<int>(u.kind) << ','
+        << u.kills << ',' << u.deaths << '\n';
+  for (const Years life : d.systemLifetimes)
+    out << "fsample," << fmt(life) << '\n';
 }
 
 bool readRunResult(std::istream& in, RunResult& result) {

@@ -28,8 +28,10 @@ namespace hayat::engine {
 /// stale file (see loadCachedTable).  v3: thermal solves moved to the
 /// RCM-ordered sparse kernels, which shifts results at the last few ulps
 /// — entries computed with the dense pre-sparse numerics must not be
-/// served as hits.
-inline constexpr int kCacheFormatVersion = 3;
+/// served as hits.  v4: every record carries a failure section (the
+/// Monte Carlo lifetime distribution, or "none" for point-MTTF runs), so
+/// v3 readers and v4 files must never mix.
+inline constexpr int kCacheFormatVersion = 4;
 
 /// Canonical text record of one RunResult (identity columns + the full
 /// lifetime trace, doubles at %.17g so values round-trip exactly).  The

@@ -42,7 +42,10 @@ namespace hayat::engine {
 /// already carried the spec hash, so the frames are unchanged; the
 /// version bump exists because a v4 worker would answer TaskError for
 /// every task of a second spec.
-inline constexpr std::uint8_t kWireVersion = 5;
+/// v6: the spec walker gained the failure Monte Carlo knobs and Result
+/// records carry a failure section (result-cache format v4), so both
+/// payload layouts changed.
+inline constexpr std::uint8_t kWireVersion = 6;
 
 /// Message types.
 enum class MsgType : std::uint8_t {

@@ -1,0 +1,144 @@
+#include "failure/failure_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hayat {
+
+int FailureGraph::addNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void FailureGraph::requireMembers(const std::vector<int>& members) const {
+  HAYAT_REQUIRE(!members.empty(), "failure group needs at least one member");
+  for (const int m : members)
+    HAYAT_REQUIRE(m >= 0 && m < nodeCount(),
+                  "failure group references an unknown node");
+}
+
+int FailureGraph::addUnit(std::string name, UnitKind kind) {
+  Node node;
+  node.type = NodeType::Leaf;
+  node.name = name;
+  node.unitIndex = static_cast<int>(units_.size());
+  units_.push_back(FailureUnit{std::move(name), kind});
+  return addNode(std::move(node));
+}
+
+int FailureGraph::addSerialGroup(std::string name, std::vector<int> members) {
+  requireMembers(members);
+  Node node;
+  node.type = NodeType::Serial;
+  node.name = std::move(name);
+  node.members = std::move(members);
+  return addNode(std::move(node));
+}
+
+int FailureGraph::addParallelGroup(std::string name, std::vector<int> members,
+                                   int required) {
+  requireMembers(members);
+  HAYAT_REQUIRE(required >= 1 &&
+                    required <= static_cast<int>(members.size()),
+                "k-of-n group needs 1 <= k <= n");
+  Node node;
+  node.type = NodeType::Parallel;
+  node.name = std::move(name);
+  node.members = std::move(members);
+  node.required = required;
+  return addNode(std::move(node));
+}
+
+void FailureGraph::setRoot(int node) {
+  HAYAT_REQUIRE(node >= 0 && node < nodeCount(), "unknown root node");
+  root_ = node;
+}
+
+const FailureUnit& FailureGraph::unit(int unitIndex) const {
+  HAYAT_REQUIRE(unitIndex >= 0 && unitIndex < unitCount(),
+                "unknown failure unit");
+  return units_[static_cast<std::size_t>(unitIndex)];
+}
+
+const std::string& FailureGraph::nodeName(int node) const {
+  HAYAT_REQUIRE(node >= 0 && node < nodeCount(), "unknown failure node");
+  return nodes_[static_cast<std::size_t>(node)].name;
+}
+
+Years FailureGraph::nodeDeathTime(
+    int node, const std::vector<Years>& unitLifetimes) const {
+  HAYAT_REQUIRE(node >= 0 && node < nodeCount(), "unknown failure node");
+  HAYAT_REQUIRE(static_cast<int>(unitLifetimes.size()) == unitCount(),
+                "lifetime vector does not match the graph's unit count");
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  switch (n.type) {
+    case NodeType::Leaf:
+      return unitLifetimes[static_cast<std::size_t>(n.unitIndex)];
+    case NodeType::Serial: {
+      Years death = kUnboundedLifetime;
+      for (const int m : n.members)
+        death = std::min(death, nodeDeathTime(m, unitLifetimes));
+      return death;
+    }
+    case NodeType::Parallel: {
+      // The group dies the instant the alive count drops below
+      // `required`: the (n - required + 1)-th member death.
+      std::vector<Years> deaths;
+      deaths.reserve(n.members.size());
+      for (const int m : n.members)
+        deaths.push_back(nodeDeathTime(m, unitLifetimes));
+      const auto nth =
+          deaths.begin() + (static_cast<long>(deaths.size()) - n.required);
+      std::nth_element(deaths.begin(), nth, deaths.end());
+      return *nth;
+    }
+  }
+  return kUnboundedLifetime;  // unreachable
+}
+
+Years FailureGraph::systemLifetime(
+    const std::vector<Years>& unitLifetimes) const {
+  HAYAT_REQUIRE(root_ >= 0, "failure graph has no root");
+  return nodeDeathTime(root_, unitLifetimes);
+}
+
+int FailureGraph::killerUnit(const std::vector<Years>& unitLifetimes) const {
+  const Years death = systemLifetime(unitLifetimes);
+  if (std::isinf(death)) return -1;
+  for (int u = 0; u < unitCount(); ++u)
+    if (unitLifetimes[static_cast<std::size_t>(u)] == death) return u;
+  return -1;  // unreachable for graphs whose root covers every leaf
+}
+
+FailureGraph buildSocFailureGraph(const SocFailureTopology& topology) {
+  HAYAT_REQUIRE(topology.coreCount >= 1, "SoC graph needs at least one core");
+  HAYAT_REQUIRE(topology.minAliveCoreFraction > 0.0 &&
+                    topology.minAliveCoreFraction <= 1.0,
+                "minAliveCoreFraction must be in (0, 1]");
+  HAYAT_REQUIRE(topology.acceleratorCount >= 0,
+                "negative accelerator count");
+
+  FailureGraph graph;
+  std::vector<int> cores;
+  cores.reserve(static_cast<std::size_t>(topology.coreCount));
+  for (int c = 0; c < topology.coreCount; ++c)
+    cores.push_back(
+        graph.addUnit("core" + std::to_string(c), UnitKind::Core));
+  const int l2 = graph.addUnit("l2", UnitKind::SharedCache);
+
+  const int required = std::max(
+      1, static_cast<int>(std::ceil(topology.minAliveCoreFraction *
+                                    topology.coreCount - 1e-9)));
+  const int fabric = graph.addParallelGroup("cores", cores, required);
+
+  std::vector<int> system = {fabric, l2};
+  for (int a = 0; a < topology.acceleratorCount; ++a)
+    system.push_back(graph.addUnit("accel" + std::to_string(a),
+                                   UnitKind::Accelerator));
+  graph.setRoot(graph.addSerialGroup("system", std::move(system)));
+  return graph;
+}
+
+}  // namespace hayat

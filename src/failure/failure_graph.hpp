@@ -1,0 +1,112 @@
+// Failure-dependency graph: unit deaths propagate to group/system death.
+//
+// OldSpot-style whole-SoC failure semantics: the chip is a DAG whose
+// leaves are physical units (cores, the shared L2, accelerator blocks)
+// and whose interior nodes are redundancy groups.  A *serial* group dies
+// the moment its weakest member dies (a shared resource everyone needs);
+// a *parallel* k-of-n group survives member deaths until fewer than k
+// members remain alive (a many-core compute fabric that tolerates dead
+// cores).  Groups compose — a group is itself a member of other groups —
+// and the designated root node's death time is the system lifetime.
+//
+// The graph is pure structure: it never samples anything.  Given one
+// vector of per-leaf failure times (one Monte Carlo sample from
+// monte_carlo.hpp), nodeDeathTime() folds them up the DAG in closed form,
+// so the same graph instance serves every sample of every thread without
+// mutation — a prerequisite of the byte-identical determinism contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "failure/wearout.hpp"
+
+namespace hayat {
+
+/// Physical unit classes a failure graph can carry as leaves.
+enum class UnitKind {
+  Core,         ///< one compute core (EM via its own duty trajectory)
+  SharedCache,  ///< the shared L2 (biased whenever the chip is powered)
+  Accelerator,  ///< fixed-function block (future heterogeneous units)
+};
+
+/// One leaf unit of the graph.
+struct FailureUnit {
+  std::string name;
+  UnitKind kind = UnitKind::Core;
+};
+
+/// The redundancy DAG.  Nodes are added bottom-up (members must already
+/// exist), so node ids are topologically ordered by construction.
+class FailureGraph {
+ public:
+  /// Adds a leaf unit; returns its node id.  Leaf ids double as indices
+  /// into the per-sample lifetime vectors (unit u is the u-th addUnit).
+  int addUnit(std::string name, UnitKind kind);
+
+  /// Adds a group that dies with its first member death.  Members must be
+  /// existing node ids.  Returns the group's node id.
+  int addSerialGroup(std::string name, std::vector<int> members);
+
+  /// Adds a k-of-n group: alive while at least `required` members are.
+  /// required == n degenerates to serial; required == 1 dies last.
+  int addParallelGroup(std::string name, std::vector<int> members,
+                       int required);
+
+  /// Marks `node` as the system: its death time is the system lifetime.
+  void setRoot(int node);
+
+  int unitCount() const { return static_cast<int>(units_.size()); }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  const FailureUnit& unit(int unitIndex) const;
+  const std::string& nodeName(int node) const;
+
+  /// Death time of `node` given each leaf unit's failure time (indexed
+  /// by addUnit order).  kUnboundedLifetime members never die.
+  Years nodeDeathTime(int node, const std::vector<Years>& unitLifetimes) const;
+
+  /// Death time of the root.
+  Years systemLifetime(const std::vector<Years>& unitLifetimes) const;
+
+  /// The leaf whose death coincides with system death — the unit that
+  /// "took the system down" in this sample (lowest index on ties).
+  /// Returns -1 when the system never dies.
+  int killerUnit(const std::vector<Years>& unitLifetimes) const;
+
+ private:
+  enum class NodeType { Leaf, Serial, Parallel };
+  struct Node {
+    NodeType type = NodeType::Leaf;
+    std::string name;
+    int unitIndex = -1;        ///< leaves: index into units_
+    std::vector<int> members;  ///< groups: member node ids
+    int required = 0;          ///< parallel: minimum alive members
+  };
+
+  int addNode(Node node);
+  void requireMembers(const std::vector<int>& members) const;
+
+  std::vector<FailureUnit> units_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Topology knobs of the default SoC graph.
+struct SocFailureTopology {
+  int coreCount = 0;
+  /// The compute fabric survives while at least ceil(fraction * cores)
+  /// cores are alive (k-of-n redundancy over the core array).
+  double minAliveCoreFraction = 0.5;
+  /// Fixed-function accelerator blocks; they join the system serial
+  /// group (a dead accelerator removes a capability the SoC contract
+  /// promises, so it counts as system death).
+  int acceleratorCount = 0;
+};
+
+/// Builds the default whole-SoC graph: unit ids are cores 0..n-1, then
+/// the shared L2, then any accelerators; the root is the serial
+/// composition of the k-of-n core fabric, the L2, and the accelerators.
+FailureGraph buildSocFailureGraph(const SocFailureTopology& topology);
+
+}  // namespace hayat

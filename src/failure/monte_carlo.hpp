@@ -1,0 +1,129 @@
+// Seeded Monte Carlo over unit lifetimes: distributions, not point MTTF.
+//
+// The lifetime simulator observes each unit's (temperature, stress)
+// trajectory; the wearout models (wearout.hpp) turn a trajectory into
+// per-epoch Miner damage rates; this driver samples the *scatter* around
+// those means.  Each sample draws one mean-one Weibull damage threshold
+// per (unit, mechanism) — aging/mttf.hpp's weibullMeanOneQuantile — and
+// the unit fails when its accumulated damage crosses the threshold; the
+// failure graph folds unit deaths into one system lifetime per sample.
+//
+// Determinism contract (pinned by tests/test_failure.cpp)
+// ------------------------------------------------------
+// Sampling is *counter-based*: the u01 behind sample s, unit u,
+// mechanism m is the pure function counterUniform(seed, s, u, m) — no
+// shared sequential generator, no draw-order dependence.  Any execution
+// order (1 thread, 8 threads, proc:N worker processes) computes the
+// same bytes, which is what lets `hayat mttf --distribution` promise
+// byte-identical exports across --workers backends.  The per-task seed
+// derives from the spec's baseSeed via SeedStream::Failure, so disjoint
+// (chip, repetition) tasks draw decorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "failure/failure_graph.hpp"
+#include "failure/wearout.hpp"
+
+namespace hayat {
+
+/// Pure counter-based u64: one splitmix64 chain over (seed, a, b, c).
+std::uint64_t counterU64(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c);
+
+/// Pure counter-based uniform in [0, 1): the 53-bit mantissa of
+/// counterU64.  Identical on every platform and execution order.
+double counterUniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                      std::uint64_t c);
+
+/// Monte Carlo knobs.  Part of the ExperimentSpec signature (samples > 0
+/// switches a run into distribution mode, so the spec hash — and hence
+/// the result-cache key — distinguishes distribution runs from
+/// point-MTTF runs).
+struct FailureConfig {
+  /// Lifetime samples per run; 0 keeps the run in point-MTTF mode (no
+  /// Monte Carlo, no distribution in the result).
+  int samples = 0;
+  /// Weibull shape of the per-unit lifetime scatter (~2: wear-out with
+  /// moderate spread; larger = tighter around the mean).
+  double weibullShape = 2.0;
+  /// k-of-n redundancy of the core fabric (buildSocFailureGraph).
+  double minAliveCoreFraction = 0.5;
+  EmConfig em;
+  TddbConfig tddb;
+  /// Per-task stream seed.  Like the lifetime seeds this is an *output*
+  /// of engine task expansion (SeedStream::Failure), never hashed.
+  std::uint64_t seed = 0;
+};
+
+/// One unit's observed operating history, one entry per aging epoch.
+struct UnitTrajectory {
+  std::vector<Kelvin> temperature;  ///< time-average T per epoch [K]
+  std::vector<double> stress;       ///< duty / current factor per epoch
+};
+
+/// Per-unit failure accounting over all samples.
+struct UnitFailureStats {
+  std::string name;
+  UnitKind kind = UnitKind::Core;
+  long kills = 0;   ///< samples where this unit's death WAS system death
+  long deaths = 0;  ///< samples where it died at or before system death
+};
+
+/// The sampled system-lifetime distribution.
+struct LifetimeDistribution {
+  /// System lifetime per sample, in sample (counter) order — the
+  /// canonical bytes the determinism contract is stated over.
+  std::vector<Years> systemLifetimes;
+  std::vector<UnitFailureStats> units;
+  long emKills = 0;    ///< samples whose killer died of electromigration
+  long tddbKills = 0;  ///< samples whose killer died of TDDB
+
+  /// Linear-interpolated percentile of the sampled lifetimes, p in
+  /// [0, 100].
+  Years percentile(double p) const;
+
+  /// Fraction of samples still alive at year t (survival function).
+  double survivalAt(Years t) const;
+
+  /// Mean sampled lifetime (infinite if any sample never fails).
+  Years meanLifetime() const;
+};
+
+/// The sampling driver.  Stateless after construction; run() is const
+/// and pure, so one instance may serve concurrent callers.
+class FailureMonteCarlo {
+ public:
+  FailureMonteCarlo(FailureConfig config, FailureGraph graph);
+
+  /// Samples the distribution from one trajectory per graph unit (same
+  /// order as addUnit; all trajectories must have equal epoch counts).
+  LifetimeDistribution run(const std::vector<UnitTrajectory>& units,
+                           Years epochLength) const;
+
+  /// One (sample, unit, mechanism) failure time — the pure function the
+  /// whole distribution is assembled from, exposed for the test
+  /// harness's stream-reuse (Kolmogorov–Smirnov) checks.
+  Years sampleMechanismLifetime(const UnitTrajectory& unit, Years epochLength,
+                                int sample, int unitIndex,
+                                bool tddb) const;
+
+  const FailureConfig& config() const { return config_; }
+  const FailureGraph& graph() const { return graph_; }
+
+ private:
+  FailureConfig config_;
+  FailureGraph graph_;
+  EmModel em_;
+  TddbModel tddb_;
+};
+
+/// Canonical text export of a distribution (versioned, %.17g doubles) —
+/// what `hayat mttf --distribution --export` writes and what the
+/// determinism tests diff byte-for-byte across worker topologies.
+void writeDistribution(std::ostream& out, const LifetimeDistribution& d);
+
+}  // namespace hayat

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 
@@ -25,6 +26,7 @@
 #include "core/hayat_policy.hpp"
 #include "core/lifetime.hpp"
 #include "core/system.hpp"
+#include "failure/wearout.hpp"
 #include "power/thermal_coupling.hpp"
 #include "runtime/epoch.hpp"
 #include "runtime/thermal_predictor.hpp"
@@ -243,6 +245,94 @@ TEST_P(SeededProperty, PruneRadiusIsMonotoneInTheExactObjective) {
     EXPECT_GE(d[1].weight, previousWeight)
         << "radius " << radius << " worsened the exact-scored objective";
     previousWeight = d[1].weight;
+  }
+}
+
+TEST_P(SeededProperty, WearoutLifetimeMonotoneInTemperatureAndStress) {
+  // Hotter or harder-driven silicon never outlives cooler, lighter
+  // silicon: EM and TDDB MTTF are non-increasing in both temperature and
+  // stress over random operating points.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 41 + 17);
+  const EmModel em;
+  const TddbModel tddb;
+  for (int trial = 0; trial < 64; ++trial) {
+    const Kelvin t = rng.uniform(310.0, 400.0);
+    const double stress = rng.uniform(0.05, 1.0);
+    const Kelvin hotter = t + rng.uniform(0.1, 30.0);
+    const double harder = std::min(1.0, stress + rng.uniform(0.01, 0.5));
+    EXPECT_LE(em.mttf(hotter, stress), em.mttf(t, stress));
+    EXPECT_LE(em.mttf(t, harder), em.mttf(t, stress));
+    EXPECT_LE(tddb.mttf(hotter, stress), tddb.mttf(t, stress));
+    EXPECT_LE(tddb.mttf(t, harder), tddb.mttf(t, stress));
+    // Damage rate is exactly the reciprocal lifetime.
+    EXPECT_DOUBLE_EQ(em.damageRate(t, stress), 1.0 / em.mttf(t, stress));
+    EXPECT_DOUBLE_EQ(tddb.damageRate(t, stress), 1.0 / tddb.mttf(t, stress));
+  }
+}
+
+TEST_P(SeededProperty, WearoutZeroStressIsImmortal) {
+  // A permanently dark unit (zero current, zero bias duty) never damages:
+  // unbounded lifetime and zero damage rate at any temperature.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 43 + 19);
+  const EmModel em;
+  const TddbModel tddb;
+  for (int trial = 0; trial < 16; ++trial) {
+    const Kelvin t = rng.uniform(280.0, 420.0);
+    EXPECT_TRUE(std::isinf(em.mttf(t, 0.0)));
+    EXPECT_DOUBLE_EQ(em.damageRate(t, 0.0), 0.0);
+    EXPECT_TRUE(std::isinf(tddb.mttf(t, 0.0)));
+    EXPECT_DOUBLE_EQ(tddb.damageRate(t, 0.0), 0.0);
+  }
+}
+
+TEST_P(SeededProperty, WearoutAgreesWithClosedFormAtRandomPoints) {
+  // The evaluators are the textbook closed forms, nothing more: Black's
+  // equation for EM, the power-law voltage model for TDDB.  Recompute
+  // both from scratch at random operating points and at randomly drawn
+  // model parameters.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 47 + 23);
+  constexpr double kBoltzmannEv = 8.617333262e-5;  // [eV/K]
+
+  EmConfig ec;
+  ec.activationEnergyEv = rng.uniform(0.6, 1.2);
+  ec.currentExponent = rng.uniform(1.0, 3.0);
+  ec.referenceMttfYears = rng.uniform(5.0, 40.0);
+  ec.referenceTemperature = rng.uniform(330.0, 360.0);
+  ec.referenceCurrentFactor = rng.uniform(0.3, 0.8);
+  const EmModel em(ec);
+
+  TddbConfig tc;
+  tc.activationEnergyEv = rng.uniform(0.6, 0.9);
+  tc.voltageExponent = rng.uniform(30.0, 50.0);
+  tc.vdd = rng.uniform(0.9, 1.3);
+  tc.referenceVdd = rng.uniform(0.9, 1.3);
+  tc.referenceMttfYears = rng.uniform(10.0, 40.0);
+  tc.referenceTemperature = rng.uniform(330.0, 360.0);
+  const TddbModel tddb(tc);
+
+  for (int trial = 0; trial < 32; ++trial) {
+    const Kelvin t = rng.uniform(310.0, 400.0);
+    const double stress = rng.uniform(0.05, 1.0);
+    const double arrheniusEm =
+        std::exp(ec.activationEnergyEv / kBoltzmannEv *
+                 (1.0 / t - 1.0 / ec.referenceTemperature));
+    const double expectedEm =
+        ec.referenceMttfYears *
+        std::pow(stress / ec.referenceCurrentFactor, -ec.currentExponent) *
+        arrheniusEm;
+    EXPECT_NEAR(em.mttf(t, stress), expectedEm, expectedEm * 1e-12);
+
+    const double arrheniusTddb =
+        std::exp(tc.activationEnergyEv / kBoltzmannEv *
+                 (1.0 / t - 1.0 / tc.referenceTemperature));
+    const double expectedTddb =
+        tc.referenceMttfYears *
+        std::pow(tc.vdd / tc.referenceVdd, -tc.voltageExponent) *
+        arrheniusTddb / stress;
+    EXPECT_NEAR(tddb.mttf(t, stress), expectedTddb, expectedTddb * 1e-12);
   }
 }
 

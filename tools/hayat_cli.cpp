@@ -3,6 +3,11 @@
 // Subcommands:
 //   lifetime    run a multi-year lifetime simulation for one chip/policy
 //               and print (or export) the per-epoch metrics
+//   mttf        hard-failure lifetime of one scenario: the point MTTF
+//               projection, or with --distribution --samples=N the
+//               seeded Monte Carlo system-lifetime distribution
+//               (percentiles, per-unit kill counts; --export writes the
+//               canonical distribution file)
 //   sweep       run a population experiment (chips x darks x policies) on
 //               the ExperimentEngine and export the result table;
 //               --workers=proc:N|exec:N|tcp:host:port distributes the
@@ -86,8 +91,9 @@ PolicySpec policySpecFor(const std::string& name) {
   if (name == "vaa") return {"VAA", {}};
   if (name == "random") return {"Random", {}};
   if (name == "coolest") return {"CoolestFirst", {}};
+  if (name == "utilization") return {"UtilizationAware", {}};
   throw Error("unknown policy '" + name +
-              "' (expected hayat|vaa|random|coolest)");
+              "' (expected hayat|vaa|random|coolest|utilization)");
 }
 
 std::unique_ptr<MappingPolicy> makePolicy(const std::string& name) {
@@ -211,6 +217,79 @@ int cmdSweep(FlagParser& flags) {
                   "cannot write export files");
     std::printf("Exported %s_{summary,epochs}.csv and %s.json\n",
                 prefix.c_str(), prefix.c_str());
+  }
+  return 0;
+}
+
+/// `hayat mttf` — hard-failure lifetime of one (chip, policy, dark)
+/// scenario.  Default: the point-MTTF projection.  --distribution runs
+/// the seeded failure Monte Carlo (DESIGN.md §3.14) instead and reports
+/// percentiles of the sampled system-lifetime distribution; --export
+/// writes the canonical distribution file, which is byte-identical for a
+/// given --seed across thread counts and --workers backends.
+int cmdMttf(FlagParser& flags) {
+  engine::ExperimentSpec spec;
+  spec.name = flags.getString("name");
+  spec.lifetime.horizon = flags.getDouble("years");
+  spec.lifetime.epochLength = flags.getDouble("epoch");
+  spec.policies = {policySpecFor(flags.getString("policy"))};
+  spec.darkFractions = {flags.getDouble("dark")};
+  spec.chips = {flags.getInt("chip")};
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  spec.populationSeed = seed;
+  spec.baseSeed = seed;
+  const bool distribution = flags.getBool("distribution");
+  if (distribution) {
+    spec.lifetime.failure.samples = flags.getInt("samples");
+    HAYAT_REQUIRE(spec.lifetime.failure.samples >= 1,
+                  "--distribution needs --samples >= 1");
+  }
+
+  engine::EngineConfig engineConfig;
+  if (flags.provided("workers"))
+    engineConfig.dispatch = flags.getString("workers");
+  const engine::ExperimentEngine eng(engineConfig);
+  const engine::SweepTable table = eng.run(spec);
+  HAYAT_REQUIRE(table.runs.size() == 1, "mttf spec expands to one task");
+  const engine::RunResult& run = table.runs.front();
+
+  const ChipReliability rel = run.lifetime.reliability();
+  std::printf("Policy %s, dark %.2f, chip %d over %.2f years:\n",
+              run.policy.c_str(), run.darkFraction, run.chip,
+              run.lifetime.horizon);
+  std::printf("  point MTTF projection: %.2f years (worst core damage "
+              "%.4f, average %.4f)\n",
+              rel.projectedMttf, rel.worstDamage, rel.averageDamage);
+
+  if (!distribution) return 0;
+  HAYAT_REQUIRE(run.lifetime.distribution.has_value(),
+                "distribution run produced no distribution");
+  const LifetimeDistribution& d = *run.lifetime.distribution;
+
+  TextTable out({"percentile", "system lifetime [years]"});
+  for (const double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0})
+    out.addRow("p" + std::to_string(static_cast<int>(p)),
+               {d.percentile(p)}, 2);
+  std::printf("%zu Monte Carlo samples:\n%s", d.systemLifetimes.size(),
+              out.render().c_str());
+  std::printf("Mean lifetime %.2f years; survival at horizon %.1f%%; "
+              "killer mechanism: %ld EM, %ld TDDB\n",
+              d.meanLifetime(),
+              100.0 * d.survivalAt(run.lifetime.horizon), d.emKills,
+              d.tddbKills);
+  TextTable units({"unit", "kills", "deaths"});
+  for (const UnitFailureStats& u : d.units)
+    units.addRow(u.name, {static_cast<double>(u.kills),
+                          static_cast<double>(u.deaths)}, 0);
+  std::printf("%s\n", units.render().c_str());
+
+  if (flags.provided("export")) {
+    std::ofstream exportOut(flags.getString("export"),
+                            std::ios::binary | std::ios::trunc);
+    HAYAT_REQUIRE(exportOut.is_open(), "cannot open export file");
+    writeDistribution(exportOut, d);
+    std::printf("Distribution written to %s\n",
+                flags.getString("export").c_str());
   }
   return 0;
 }
@@ -537,9 +616,11 @@ int main(int argc, char** argv) {
   using namespace hayat;
   FlagParser flags(
       "hayat",
-      "command-line driver (subcommands: lifetime, sweep, map, "
+      "command-line driver (subcommands: lifetime, mttf, sweep, map, "
       "population, aging, export-trace, worker, serve, job, trace)");
-  flags.addFlag("policy", "mapping policy: hayat|vaa|random|coolest", "hayat");
+  flags.addFlag("policy",
+                "mapping policy: hayat|vaa|random|coolest|utilization",
+                "hayat");
   flags.addFlag("policy-prune",
                 "sweep subcommand: Hayat spatial candidate pruning "
                 "(radius:R or radius:inf; default off = exact)");
@@ -554,6 +635,12 @@ int main(int argc, char** argv) {
                 "358");
   flags.addFlag("duty", "duty cycle (aging subcommand)", "0.6");
   flags.addFlag("csv", "write per-epoch CSV to this path");
+  flags.addFlag("distribution",
+                "mttf subcommand: Monte Carlo a system-lifetime "
+                "distribution instead of the point projection", "false");
+  flags.addFlag("samples",
+                "mttf subcommand: Monte Carlo samples with --distribution",
+                "256");
   flags.addFlag("trace", "run a workload trace CSV instead of synthetic mixes");
   flags.addFlag("churn", "fraction of applications replaced per epoch", "0");
   flags.addFlag("incremental",
@@ -621,6 +708,7 @@ int main(int argc, char** argv) {
     if (flags.provided("telemetry") && cmd != "trace")
       telemetry::configure(flags.getString("telemetry"), cmd);
     if (cmd == "lifetime") return cmdLifetime(flags);
+    if (cmd == "mttf") return cmdMttf(flags);
     if (cmd == "sweep") return cmdSweep(flags);
     if (cmd == "map") return cmdMap(flags);
     if (cmd == "population") return cmdPopulation(flags);
